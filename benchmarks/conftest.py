@@ -1,0 +1,36 @@
+"""Shared benchmark plumbing.
+
+Every benchmark regenerates one of the paper's tables/figures and prints
+the same rows/series the paper reports.  Rendered tables are also written
+to ``benchmarks/results/`` so EXPERIMENTS.md can reference a stable copy.
+
+Run with:  pytest benchmarks/ --benchmark-only
+(add -s to stream the tables to the terminal)
+"""
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture
+def report():
+    """Returns save(name, table): print + persist a rendered table."""
+
+    def save(name, table):
+        text = table.render()
+        print()
+        print(text)
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as fh:
+            fh.write(text + "\n")
+        return table
+
+    return save
+
+
+def once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,66 @@
+"""Ablation: what the ghOSt delegation machinery costs.
+
+Figure 8's thread-scheduling variants pay three distinct prices: the
+dedicated agent core, per-message processing, and commit+IPI latency per
+placement.  This isolates the mechanism costs by re-running the combined
+cross-layer policy with them zeroed (the agent core stays lost — that is
+structural).
+"""
+
+from conftest import once
+
+from repro.config import set_a, with_costs
+from repro.core.hooks import Hook
+from repro.experiments.runner import RocksDbTestbed
+from repro.policies.builtin import SCAN_AVOID
+from repro.policies.thread_policies import GetPriorityPolicy
+from repro.stats.results import Table
+from repro.workload.mixes import GET_SCAN_50_50
+from repro.workload.requests import GET
+
+LOAD = 8_000
+THREADS = 36
+
+
+def run_variant(zero_costs):
+    config = set_a()
+    if zero_costs:
+        config = with_costs(config, ghost_msg_us=0.0, ghost_commit_us=0.0,
+                            ghost_ipi_us=0.0)
+    testbed = RocksDbTestbed(
+        policy=(SCAN_AVOID, Hook.SOCKET_SELECT, {"NUM_THREADS": THREADS}),
+        thread_policy_factory=lambda server: GetPriorityPolicy(server.type_map),
+        num_threads=THREADS,
+        scheduler="ghost",
+        mark_scans=True,
+        mark_types=True,
+        config=config,
+        seed=5,
+    )
+    gen = testbed.drive(LOAD, GET_SCAN_50_50, 600_000.0, 150_000.0).start()
+    testbed.machine.run()
+    return gen
+
+
+def run_sweep():
+    table = Table(
+        "Ablation: ghOSt mechanism costs (cross-layer policy @ 8K RPS)",
+        ["variant", "get_p99_us", "get_p50_us"],
+    )
+    for zero, name in ((False, "modeled costs"), (True, "zero-cost agent")):
+        gen = run_variant(zero)
+        table.add(variant=name, get_p99_us=gen.latency.p99(tag=GET),
+                  get_p50_us=gen.latency.p50(tag=GET))
+    return table
+
+
+def test_ghost_cost_ablation(benchmark, report):
+    table = once(benchmark, run_sweep)
+    report("ablation_ghost", table)
+
+    rows = {r["variant"]: r for r in table}
+    # delegation costs add real microseconds to every dispatch...
+    assert rows["modeled costs"]["get_p50_us"] \
+        > rows["zero-cost agent"]["get_p50_us"]
+    # ...but the policy's benefit does not depend on pretending they're free
+    assert rows["modeled costs"]["get_p99_us"] < 500.0

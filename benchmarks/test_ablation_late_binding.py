@@ -1,0 +1,73 @@
+"""Ablation: early vs late binding at the socket layer (paper §6.3).
+
+Early binding picks the socket at packet arrival; late binding buffers
+inputs and matches when a thread frees up.  On the 99.5/0.5 GET/SCAN mix,
+late binding removes intra-socket HOL blocking without needing the SCAN
+Avoid map machinery — at the cost of a central queue.
+"""
+
+from conftest import once
+
+from repro import Hook, Machine, set_a
+from repro.apps.rocksdb import RocksDbServer
+from repro.core.late_binding import LateBinder, shortest_first_pick
+from repro.policies.builtin import ROUND_ROBIN, SCAN_AVOID
+from repro.stats.results import Table
+from repro.workload.generator import OpenLoopGenerator
+from repro.workload.mixes import GET_SCAN_995_005
+from repro.workload.requests import GET
+
+LOAD = 150_000
+N = 6
+
+
+def run_variant(name):
+    machine = Machine(set_a(), seed=21)
+    app = machine.register_app("rocksdb", ports=[8080])
+    mark = name == "early scan-avoid"
+    server = RocksDbServer(machine, app, 8080, N, mark_scans=mark)
+    if name == "early round-robin":
+        app.deploy_policy(ROUND_ROBIN, Hook.SOCKET_SELECT,
+                          constants={"NUM_THREADS": N})
+    elif name == "early scan-avoid":
+        app.deploy_policy(SCAN_AVOID, Hook.SOCKET_SELECT,
+                          constants={"NUM_THREADS": N})
+    elif name == "late fcfs":
+        LateBinder(machine, app, server)
+    elif name == "late shortest-first":
+        LateBinder(machine, app, server, pick=shortest_first_pick)
+    gen = OpenLoopGenerator(machine, 8080, LOAD, GET_SCAN_995_005,
+                            duration_us=250_000.0, warmup_us=60_000.0)
+    server.response_sink = gen.deliver_response
+    gen.start()
+    machine.run()
+    return gen
+
+
+def run_sweep():
+    table = Table(
+        "Ablation: early vs late binding (99.5/0.5 GET/SCAN @ 150K RPS)",
+        ["variant", "get_p99_us", "overall_p99_us"],
+    )
+    for name in ("early round-robin", "early scan-avoid", "late fcfs",
+                 "late shortest-first"):
+        gen = run_variant(name)
+        table.add(variant=name, get_p99_us=gen.latency.p99(tag=GET),
+                  overall_p99_us=gen.latency.p99())
+    return table
+
+
+def test_late_binding_ablation(benchmark, report):
+    table = once(benchmark, run_sweep)
+    report("ablation_late_binding", table)
+
+    rows = {r["variant"]: r for r in table}
+    # late binding kills the HOL blocking early round-robin suffers
+    assert rows["late fcfs"]["get_p99_us"] \
+        < rows["early round-robin"]["get_p99_us"] / 3
+    # and is competitive with the map-assisted early SCAN Avoid
+    assert rows["late fcfs"]["get_p99_us"] \
+        < 3 * rows["early scan-avoid"]["get_p99_us"]
+    # shortest-first sharpens GET tails further (or at least not worse)
+    assert rows["late shortest-first"]["get_p99_us"] \
+        <= rows["late fcfs"]["get_p99_us"] * 1.1

@@ -1,0 +1,72 @@
+"""Ablation: IR peephole optimizer on the paper's policies.
+
+Not part of the paper's evaluation, but a natural toolchain question: how
+much does constant folding + dead-code elimination shrink the compiled
+policies, and does it change decision cost?  (Spoiler: modestly — like the
+paper, enforcement dominates decision cost.)
+"""
+
+import statistics
+
+from conftest import once
+
+from repro.ebpf.compiler import compile_policy
+from repro.ebpf.optimizer import optimize
+from repro.ebpf.program import load_program
+from repro.net.packet import FiveTuple, Packet, build_payload
+from repro.policies.builtin import ROUND_ROBIN, SCAN_AVOID, SITA, TOKEN_BASED
+from repro.stats.results import Table
+from repro.workload.requests import SCAN
+
+FLOW = FiveTuple(0x0A000002, 40000, 0x0A000001, 8080, 17)
+
+POLICIES = {
+    "round_robin": (ROUND_ROBIN, {"NUM_THREADS": 6}),
+    "scan_avoid": (SCAN_AVOID, {"NUM_THREADS": 6}),
+    "sita": (SITA, {"NUM_THREADS": 6, "SCAN_TYPE": SCAN}),
+    "token_based": (TOKEN_BASED, {"NUM_THREADS": 6}),
+}
+
+
+def run_sweep():
+    table = Table(
+        "Ablation: IR optimizer on the Fig-5 policies",
+        ["policy", "insns_before", "insns_after", "cycles_before",
+         "cycles_after"],
+    )
+    packets = [
+        Packet(FLOW, build_payload(1, user_id=1, key_hash=i * 31))
+        for i in range(128)
+    ]
+    for name, (source, constants) in POLICIES.items():
+        program = compile_policy(source, name=name, constants=constants)
+        optimized = optimize(program)
+        plain = load_program(program)
+        opt = load_program(optimized)
+        for loaded in (plain, opt):
+            if name == "token_based":
+                loaded.map_by_name("token_map").update(1, 10**6)
+        cycles_before = statistics.fmean(
+            plain.run_interp(p).cycles for p in packets
+        )
+        cycles_after = statistics.fmean(
+            opt.run_interp(p).cycles for p in packets
+        )
+        table.add(
+            policy=name,
+            insns_before=program.n_insns,
+            insns_after=optimized.n_insns,
+            cycles_before=cycles_before,
+            cycles_after=cycles_after,
+        )
+    return table
+
+
+def test_optimizer_ablation(benchmark, report):
+    table = once(benchmark, run_sweep)
+    report("ablation_optimizer", table)
+
+    for row in table:
+        assert row["insns_after"] <= row["insns_before"]
+        # optimization never makes decisions slower
+        assert row["cycles_after"] <= row["cycles_before"] + 1e-9

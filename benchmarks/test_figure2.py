@@ -1,0 +1,30 @@
+"""Figure 2: RocksDB 100% GET — Vanilla Linux vs Round Robin.
+
+Paper shape to reproduce: vanilla drops requests and its 99% latency turns
+high and noisy above ~250K RPS; round robin eliminates drops and holds
+sub-200 us tails to a load ~80% higher.
+"""
+
+from conftest import once
+
+from repro.experiments.figure2 import run_figure2
+
+LOADS = [60_000 * i for i in range(1, 9)]  # 60K .. 480K RPS
+
+
+def test_figure2(benchmark, report):
+    table = once(
+        benchmark,
+        lambda: run_figure2(loads=LOADS, duration_us=250_000.0,
+                            warmup_us=60_000.0),
+    )
+    report("figure2", table)
+
+    vanilla = {r["load_rps"]: r for r in table if r["policy"] == "vanilla"}
+    rr = {r["load_rps"]: r for r in table if r["policy"] == "round_robin"}
+    # vanilla degrades by the 300K range: drops or multi-ms tails
+    assert vanilla[300_000]["drop_pct"] > 0.5 or vanilla[300_000]["p99_us"] > 1000
+    assert vanilla[480_000]["drop_pct"] > 5.0
+    # round robin: no drops and sub-200us tails at 80% above 250K
+    assert rr[420_000]["drop_pct"] == 0.0
+    assert rr[420_000]["p99_us"] < 200.0

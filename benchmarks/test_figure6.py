@@ -1,0 +1,37 @@
+"""Figure 6: RocksDB 99.5% GET / 0.5% SCAN under four policies.
+
+Paper shape: vanilla noisy and >1 ms even at low load; round robin +124%
+usable throughput but SCAN-dominated tails; SCAN Avoid <150 us to 150K RPS
+(~8x below vanilla); SITA low tails to roughly double SCAN Avoid's load.
+"""
+
+from conftest import once
+
+from repro.experiments.figure6 import run_figure6
+
+LOADS = [25_000, 75_000, 150_000, 225_000, 300_000, 350_000]
+
+
+def test_figure6(benchmark, report):
+    table = once(
+        benchmark,
+        lambda: run_figure6(loads=LOADS, duration_us=250_000.0,
+                            warmup_us=60_000.0),
+    )
+    report("figure6", table)
+
+    def p99(policy, load):
+        return next(
+            r["p99_us"] for r in table
+            if r["policy"] == policy and r["load_rps"] == load
+        )
+
+    # vanilla: noisy/high tails from low load
+    assert p99("vanilla", 150_000) > 500.0
+    # SCAN Avoid: <150us at 150K, ~8x below vanilla
+    assert p99("scan_avoid", 150_000) < 150.0
+    assert p99("scan_avoid", 150_000) < p99("vanilla", 150_000) / 4
+    # round robin still SCAN-bound (tail near/above the SCAN service time)
+    assert p99("round_robin", 150_000) > 500.0
+    # SITA: still low at 2x SCAN Avoid's comfortable load
+    assert p99("sita", 300_000) < 150.0

@@ -1,0 +1,39 @@
+"""Figure 8: cross-layer scheduling on 50% GET / 50% SCAN, 36 threads.
+
+Paper shape: thread-scheduling-only keeps GET tails high (>800 us) even at
+low load (socket-level HOL remains); SCAN-Avoid-only degrades as cores fill
+with SCANs that CFS won't preempt; the combined policy extends the
+sub-500 us GET-tail regime well past either single layer, at slightly lower
+max throughput (one core feeds the ghOSt agent).
+"""
+
+from conftest import once
+
+from repro.experiments.figure8 import run_figure8
+
+LOADS = [1_000, 2_000, 4_000, 6_000, 8_000, 10_000, 12_000, 14_000]
+
+
+def test_figure8(benchmark, report):
+    table = once(
+        benchmark,
+        lambda: run_figure8(loads=LOADS, duration_us=800_000.0,
+                            warmup_us=200_000.0),
+    )
+    report("figure8", table)
+
+    def get_p99(variant, load):
+        return next(
+            r["get_p99_us"] for r in table
+            if r["variant"] == variant and r["load_rps"] == load
+        )
+
+    # thread-sched-only: high GET tails even at 2K RPS (socket HOL)
+    assert get_p99("thread_sched", 2_000) > 300.0
+    # combined: low tails through the mid range, beating both single layers
+    for load in (2_000, 4_000, 6_000, 8_000):
+        assert get_p99("both", load) < 500.0
+        assert get_p99("both", load) <= get_p99("thread_sched", load) / 3
+    assert get_p99("both", 8_000) < get_p99("scan_avoid", 8_000)
+    # scan-avoid-only eventually explodes under SCAN-filled cores
+    assert get_p99("scan_avoid", 14_000) > 800.0

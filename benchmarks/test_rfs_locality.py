@@ -1,0 +1,62 @@
+"""§2.1's motivating counter-example: locality (RFS) beats balance.
+
+"A netperf TCP_RR test that uses RFS has been shown to achieve up to 200%
+higher throughput than one without RFS."  Reproduced with the CPU Redirect
+hook: the RFS_STEERING policy keeps protocol processing on each flow's
+consuming core (table published by the app through a Syrup Map), against
+default RSS spreading.  This is the experiment that shows why Syrup must
+support *per-application* choice: Figure 2's round robin and this policy
+are both right, for different workloads.
+"""
+
+from conftest import once
+
+from repro import Hook, Machine
+from repro.apps.netperf import EchoServer
+from repro.config import set_a, with_costs
+from repro.policies import RFS_STEERING
+from repro.stats.results import Table
+from repro.workload.tcp_rr import TcpRRGenerator
+
+CONNECTIONS = 64
+DURATION_US = 250_000.0
+WARMUP_US = 60_000.0
+
+
+def run_variant(rfs):
+    config = with_costs(set_a(), remote_softirq_us=7.0)
+    machine = Machine(config, seed=7)
+    app = machine.register_app("netperf", ports=[5201])
+    server = EchoServer(machine, app, 5201, num_threads=6, rfs=rfs)
+    if rfs:
+        app.deploy_policy(RFS_STEERING, Hook.CPU_REDIRECT)
+    gen = TcpRRGenerator(machine, 5201, num_connections=CONNECTIONS,
+                         duration_us=DURATION_US, warmup_us=WARMUP_US).start()
+    server.response_sink = gen.deliver_response
+    machine.run()
+    return gen
+
+
+def run_sweep():
+    table = Table(
+        "RFS locality: netperf TCP_RR, 64 connections / 6 cores",
+        ["variant", "transactions_per_sec", "p99_us", "p50_us"],
+    )
+    for rfs, name in ((False, "no RFS (RSS)"), (True, "RFS via Syrup")):
+        gen = run_variant(rfs)
+        table.add(variant=name,
+                  transactions_per_sec=gen.transactions_per_sec(),
+                  p99_us=gen.latency.p99(), p50_us=gen.latency.p50())
+    return table
+
+
+def test_rfs_locality(benchmark, report):
+    table = once(benchmark, run_sweep)
+    report("rfs_locality", table)
+
+    rows = {r["variant"]: r for r in table}
+    gain = (rows["RFS via Syrup"]["transactions_per_sec"]
+            / rows["no RFS (RSS)"]["transactions_per_sec"]) - 1.0
+    # "up to 200% higher": we require at least +100%
+    assert gain > 1.0
+    assert rows["RFS via Syrup"]["p99_us"] < rows["no RFS (RSS)"]["p99_us"]

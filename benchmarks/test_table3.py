@@ -1,0 +1,25 @@
+"""Table 3: userspace Map operation latency by backend placement.
+
+Paper shape: ~1 us per get/update against host maps regardless of
+contention; ~25 us against NIC-resident (offloaded) maps.
+"""
+
+from conftest import once
+
+from repro.experiments.table3 import run_table3
+
+
+def test_table3(benchmark, report):
+    table = once(benchmark, lambda: run_table3(n_ops=4000))
+    report("table3", table)
+
+    means = {(r["backend"], r["op"]): r["mean_us"] for r in table}
+    for op in ("get", "update"):
+        assert 0.8 < means[("Host", op)] < 1.5
+        assert 20.0 < means[("Offload", op)] < 30.0
+        # contention is a rounding error, not a regime change
+        assert means[("Host Contended", op)] < 2 * means[("Host", op)]
+        assert means[("Offload Contended", op)] < 1.2 * means[("Offload", op)]
+        # the 25x host-vs-offload gap
+        ratio = means[("Offload", op)] / means[("Host", op)]
+        assert 15 < ratio < 35

@@ -1,0 +1,57 @@
+"""Where does tail latency come from?  Stage-by-stage tracing.
+
+Attaches a RequestTracer to the Figure-6 workload under two policies and
+prints the p99 of each pipeline stage — making it visible that SCAN Avoid's
+entire win lives in the socket-wait stage (head-of-line blocking), while
+wire, stack, and service costs are untouched.
+
+Run:  python examples/latency_breakdown.py
+"""
+
+from repro import Hook, Machine, set_a
+from repro.apps import RocksDbServer
+from repro.policies import ROUND_ROBIN, SCAN_AVOID
+from repro.trace import RequestTracer, STAGES
+from repro.workload import GET_SCAN_995_005, OpenLoopGenerator
+
+LOAD_RPS = 120_000
+DURATION_US = 150_000.0
+N = 6
+
+
+def run(name, source, mark_scans):
+    machine = Machine(set_a(), seed=9)
+    app = machine.register_app("rocksdb", ports=[8080])
+    server = RocksDbServer(machine, app, 8080, N, mark_scans=mark_scans)
+    app.deploy_policy(source, Hook.SOCKET_SELECT, constants={"NUM_THREADS": N})
+    tracer = RequestTracer(machine, server, warmup_us=DURATION_US / 4)
+    gen = OpenLoopGenerator(machine, 8080, LOAD_RPS, GET_SCAN_995_005,
+                            duration_us=DURATION_US,
+                            warmup_us=DURATION_US / 4)
+    server.response_sink = gen.deliver_response
+    gen.start()
+    machine.run()
+    return tracer
+
+
+def main():
+    print(f"99.5/0.5 GET/SCAN @ {LOAD_RPS:,} RPS — p99 per pipeline stage\n")
+    tracers = {
+        "round robin": run("rr", ROUND_ROBIN, False),
+        "scan avoid": run("sa", SCAN_AVOID, True),
+    }
+    header = f"{'stage':>12} | " + " | ".join(f"{n:>12}" for n in tracers)
+    print(header)
+    print("-" * len(header))
+    for stage in STAGES:
+        row = " | ".join(
+            f"{t.breakdown()[stage]:12.1f}" for t in tracers.values()
+        )
+        print(f"{stage:>12} | {row}")
+    print()
+    print("Only socket_wait moves: the policy's entire effect is where")
+    print("datagrams queue, exactly as the matching abstraction intends.")
+
+
+if __name__ == "__main__":
+    main()

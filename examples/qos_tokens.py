@@ -1,0 +1,76 @@
+"""Token-based QoS across users (paper §3.4 and §5.2.2, Fig. 7).
+
+Two users share one RocksDB service: a latency-sensitive (LS) user and a
+best-effort (BE) user.  A kernel-side Syrup policy consumes tokens per
+admitted request and DROPs when a user's bucket is empty; a userspace agent
+refills the LS bucket every 100 us and gifts leftovers to the BE user —
+cross-layer coordination through a Syrup Map.
+
+Run:  python examples/qos_tokens.py
+"""
+
+from repro import Hook, Machine
+from repro.apps import RocksDbServer
+from repro.config import set_a, with_costs
+from repro.policies import ROUND_ROBIN, TOKEN_BASED, TokenAgent
+from repro.workload import GET_ONLY, OpenLoopGenerator
+
+LS_USER, BE_USER = 1, 2
+TOKEN_RATE = 350_000
+TOTAL_LOAD = 400_000
+DURATION_US = 200_000.0
+WARMUP_US = 50_000.0
+N = 6
+
+
+def run(policy_name, ls_load):
+    config = with_costs(set_a(), recv_syscall_us=3.0)
+    machine = Machine(config, seed=4)
+    app = machine.register_app("rocksdb", ports=[8080])
+    server = RocksDbServer(machine, app, 8080, N)
+    source = TOKEN_BASED if policy_name == "token" else ROUND_ROBIN
+    app.deploy_policy(source, Hook.SOCKET_SELECT, constants={"NUM_THREADS": N})
+    agent = None
+    if policy_name == "token":
+        token_map = app.map_open(app.map_path("token_map"))
+        agent = TokenAgent(machine, token_map, LS_USER, BE_USER,
+                           rate_per_sec=TOKEN_RATE)
+    ls = OpenLoopGenerator(machine, 8080, ls_load, GET_ONLY,
+                           duration_us=DURATION_US, warmup_us=WARMUP_US,
+                           user_id=LS_USER, stream="ls")
+    be = OpenLoopGenerator(machine, 8080, TOTAL_LOAD - ls_load, GET_ONLY,
+                           duration_us=DURATION_US, warmup_us=WARMUP_US,
+                           user_id=BE_USER, stream="be")
+    sinks = {LS_USER: ls, BE_USER: be}
+    server.response_sink = lambda req: sinks[req.user_id].deliver_response(req)
+    ls.start()
+    be.start()
+    machine.run(until=DURATION_US + 50_000)
+    if agent:
+        agent.stop()
+    machine.run()
+    return ls, be
+
+
+def main():
+    print(f"Total offered load fixed at {TOTAL_LOAD:,} RPS "
+          f"(token rate {TOKEN_RATE:,}/s)")
+    header = (f"{'policy':>6} | {'LS load':>8} | {'LS p99 (us)':>11} | "
+              f"{'BE goodput':>10}")
+    print(header)
+    print("-" * len(header))
+    for policy in ("rr", "token"):
+        for ls_load in (100_000, 250_000, 350_000):
+            ls, be = run(policy, ls_load)
+            print(
+                f"{policy:>6} | {ls_load:8,} | {ls.latency.p99():11.1f} | "
+                f"{be.goodput_rps(DURATION_US):10,.0f}"
+            )
+    print()
+    print("Round robin admits everything: slightly more BE throughput, but")
+    print("the LS user's tail latency explodes.  The token policy keeps the")
+    print("LS p99 flat and gifts unused capacity to the BE user.")
+
+
+if __name__ == "__main__":
+    main()

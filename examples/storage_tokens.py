@@ -1,0 +1,76 @@
+"""Storage extension: matching IO requests to NVMe queues (paper §6.1).
+
+Syrup's matching model is not network-specific: here the inputs are block
+IO requests and the executors are flash device queues.  A ReFlex-style
+token policy provisions a latency-critical tenant with a dedicated queue
+and an IOPS budget; a best-effort tenant floods the rest of the device.
+
+Run:  python examples/storage_tokens.py
+"""
+
+import random
+
+from repro.sim.engine import Engine
+from repro.storage import IoHook, IoRequest, IoTokenPolicy, NvmeDevice
+
+
+def run(use_policy):
+    eng = Engine()
+    device = NvmeDevice(eng, num_queues=4)
+    policy = None
+    if use_policy:
+        policy = IoTokenPolicy(eng, epoch_us=500.0)
+        # one 82 us/read queue sustains ~12K IOPS; provision below that
+        policy.provision(tenant=1, rate_iops=10_000, queue=0)
+    hook = IoHook(device, policy)
+    rng = random.Random(7)
+    done = {1: [], 2: []}
+    rid = [0]
+
+    def issue(tenant):
+        rid[0] += 1
+        hook.submit(
+            IoRequest(rid[0], "read", rng.randrange(1000), tenant=tenant),
+            done[tenant].append,
+        )
+
+    horizon = 50_000
+    # latency-critical tenant: steady 8K IOPS (within its 10K provision)
+    t = 0.0
+    while t < horizon:
+        eng.at(t, issue, 1)
+        t += 125.0
+    # best-effort tenant: a flood at ~55K IOPS (the striped queues saturate)
+    t = 0.0
+    while t < horizon:
+        eng.at(t, issue, 2)
+        t += 18.0
+    eng.run(until=horizon * 2)
+    if policy:
+        policy.stop()
+    eng.run()
+    return done, hook
+
+
+def p95(requests):
+    lats = sorted(r.latency_us for r in requests)
+    return lats[int(0.95 * len(lats))] if lats else float("nan")
+
+
+def main():
+    print("Flash device, 4 queues; tenant 1 latency-critical, tenant 2 flood")
+    print(f"{'scheduler':>14} | {'LC p95 (us)':>11} | {'BE p95 (us)':>11} | "
+          f"{'rejected':>8}")
+    print("-" * 56)
+    for use_policy, name in ((False, "striped (none)"), (True, "token policy")):
+        done, hook = run(use_policy)
+        print(f"{name:>14} | {p95(done[1]):11.1f} | {p95(done[2]):11.1f} | "
+              f"{hook.dropped:8d}")
+    print()
+    print("Without the policy the flood's queueing bleeds into the")
+    print("latency-critical tenant; with it, tenant 1 keeps a dedicated")
+    print("queue and its own token budget (ReFlex-style, paper §6.1).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""Syrup (SOSP 2021) reproduction: user-defined scheduling across the stack.
+
+Quickstart::
+
+    from repro import Hook, Machine, set_a
+    from repro.apps import RocksDbServer
+    from repro.policies import ROUND_ROBIN
+    from repro.workload import GET_ONLY, OpenLoopGenerator
+
+    machine = Machine(set_a(), seed=1)
+    app = machine.register_app("rocksdb", ports=[8080])
+    server = RocksDbServer(machine, app, 8080, num_threads=6)
+    app.deploy_policy(ROUND_ROBIN, Hook.SOCKET_SELECT,
+                      constants={"NUM_THREADS": 6})
+    gen = OpenLoopGenerator(machine, 8080, rate_rps=200_000,
+                            mix=GET_ONLY, duration_us=200_000).start()
+    server.response_sink = gen.deliver_response
+    machine.run()
+    print(gen.latency.p99())
+
+See DESIGN.md for the architecture and EXPERIMENTS.md for paper-vs-measured
+results.
+"""
+
+from repro.config import CostModel, MachineConfig, NicSpec, set_a, set_b
+from repro.constants import DROP, PASS
+from repro.core.api import App
+from repro.core.hooks import Hook
+from repro.core.syrupd import IsolationError, Syrupd
+from repro.machine import Machine
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "App",
+    "CostModel",
+    "DROP",
+    "Hook",
+    "IsolationError",
+    "Machine",
+    "MachineConfig",
+    "NicSpec",
+    "PASS",
+    "Syrupd",
+    "__version__",
+    "set_a",
+    "set_b",
+]

@@ -1,0 +1,16 @@
+"""Applications: a real KV engine plus the paper's two server workloads."""
+
+from repro.apps.kvstore import KVStore
+from repro.apps.mica import MicaCosts, MicaServer
+from repro.apps.rocksdb import RocksDbServer
+from repro.apps.server import ServerStats, SocketWorkSource, UdpServer
+
+__all__ = [
+    "KVStore",
+    "MicaCosts",
+    "MicaServer",
+    "RocksDbServer",
+    "ServerStats",
+    "SocketWorkSource",
+    "UdpServer",
+]

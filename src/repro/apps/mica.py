@@ -1,0 +1,198 @@
+"""A MICA-like partitioned key-value store (paper §5.1.2, §5.4).
+
+MICA partitions data across cores; each request has a *home* core
+(``key_hash % num_threads``).  What Figure 9 measures is where the
+steering happens and how much data movement each choice costs:
+
+- **sw_redirect** (original MICA without client-side steering): RSS lands
+  the packet on an arbitrary thread, which parses it and — if it is not the
+  home — hands it off over a DPDK-style inter-core queue.  Up to two data
+  movements per request.
+- **syrup_sw**: a Syrup policy at the kernel AF_XDP hook steers each packet
+  to the home thread's AF_XDP socket.  The home core still pulls the packet
+  from a remote NIC queue's buffers (one movement).
+- **syrup_hw**: the same policy offloaded to the smartNIC picks the RX
+  queue, so the packet lands in the home core's own queue — zero end-host
+  movement.
+
+The same policy source (:data:`repro.policies.builtin.MICA_HASH`) deploys
+at both the kernel hook and the NIC hook — the paper's portability claim.
+"""
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.apps.kvstore import KVStore
+from repro.kernel.threads import KThread
+from repro.stats.meters import Counter
+from repro.workload.requests import PUT
+
+__all__ = ["MicaCosts", "MicaServer"]
+
+MODES = ("sw_redirect", "syrup_sw", "syrup_hw")
+
+
+@dataclass
+class MicaCosts:
+    """App-core CPU costs (us/request), calibrated so 8 cores saturate near
+    the paper's 1.7-1.8M / 2.7-2.8M / 3.2-3.3M RPS for the three variants."""
+
+    proc_us: float = 2.45          # hash-table op + response send
+    put_extra_us: float = 0.10     # PUTs write; slightly dearer than GETs
+    remote_pull_us: float = 0.45   # pulling packet data DMA'd to another
+    #                                queue's buffers (syrup_sw, cache miss)
+    parse_us: float = 1.00         # request parse on the RX thread
+    handoff_send_us: float = 0.55  # enqueue to another core's DPDK queue
+    handoff_recv_us: float = 0.55  # dequeue on the home core
+
+
+class _MicaWorkSource:
+    """Per-thread source: inter-core inbox first, then the AF_XDP socket."""
+
+    __slots__ = ("server", "index", "socket", "inbox")
+
+    def __init__(self, server, index, socket):
+        self.server = server
+        self.index = index
+        self.socket = socket
+        self.inbox = deque()
+
+    def pull(self):
+        if self.inbox:
+            request = self.inbox.popleft()
+            return self.server.handoff_work(self.index, request)
+        packet = self.socket.pop()
+        if packet is None:
+            return None
+        return self.server.packet_work(self.index, packet)
+
+    def complete(self, token):
+        self.server.complete(self.index, token)
+
+
+class MicaServer:
+    def __init__(self, machine, app, port, num_threads=8, mode="syrup_sw",
+                 costs=None, preload_keys=10000):
+        if mode not in MODES:
+            raise ValueError(f"mode must be one of {MODES}")
+        self.machine = machine
+        self.app = app
+        self.port = port
+        self.num_threads = num_threads
+        self.mode = mode
+        self.costs = costs or MicaCosts()
+        self.response_sink = None
+        self.partitions = [KVStore() for _ in range(num_threads)]
+        self.key_space = preload_keys
+        for key in range(preload_keys):
+            self.partitions[self._home_for_key(key)].put(key, f"value-{key}")
+        self.stats = Counter()
+        self.misroutes = 0
+        self.handoffs = 0
+
+        self.sockets = []
+        self.threads = []
+        self.sources = []
+        for i in range(num_threads):
+            socket = machine.create_udp_socket(app, port, is_af_xdp=True)
+            thread = KThread(tid=i, name=f"mica-{i}", app=app.name)
+            source = _MicaWorkSource(self, i, socket)
+            thread.source = source
+            socket.thread = thread
+            app.register_thread(thread)
+            machine.scheduler.attach(thread)
+            self.sockets.append(socket)
+            self.threads.append(thread)
+            self.sources.append(source)
+
+        if mode == "sw_redirect" or mode == "syrup_hw":
+            # Plain AF_XDP: queue i's packets land in thread i's socket.
+            for i in range(num_threads):
+                machine.netstack.bind_af_xdp(i, self.sockets[i])
+        if mode == "syrup_sw":
+            # App registers its AF_XDP sockets as the policy's executors.
+            hook = self.kernel_xdp_hook()
+            for i, socket in enumerate(self.sockets):
+                app.register_socket(socket, i, hook=hook)
+
+    # ------------------------------------------------------------------
+    def kernel_xdp_hook(self):
+        """Best kernel XDP mode this NIC supports (native when zero-copy)."""
+        from repro.core.hooks import Hook
+
+        if self.machine.config.nic.zero_copy:
+            return Hook.XDP_DRV
+        return Hook.XDP_SKB
+
+    def deploy_policy(self):
+        """Deploy the hash steering policy at the layer ``mode`` calls for."""
+        from repro.core.hooks import Hook
+        from repro.policies.builtin import MICA_HASH
+
+        if self.mode == "sw_redirect":
+            return None
+        if self.mode == "syrup_sw":
+            hook = self.kernel_xdp_hook()
+        else:
+            hook = Hook.XDP_OFFLOAD
+        return self.app.deploy_policy(
+            MICA_HASH, hook, constants={"NUM_EXECUTORS": self.num_threads}
+        )
+
+    # ------------------------------------------------------------------
+    def _home_for_key(self, key):
+        key_hash = (key * 0x9E3779B97F4A7C15) & ((1 << 64) - 1)
+        return key_hash % self.num_threads
+
+    def home(self, request):
+        return request.key_hash % self.num_threads
+
+    # -- work-item construction ------------------------------------------
+    def packet_work(self, index, packet):
+        request = packet.request
+        home = self.home(request)
+        costs = self.costs
+        if self.mode == "sw_redirect":
+            if home == index:
+                cost = costs.parse_us + self._proc_cost(request)
+                return (cost, ("proc", request))
+            cost = costs.parse_us + costs.handoff_send_us
+            return (cost, ("forward", request))
+        # Syrup modes: the policy should have steered us home already.
+        if home != index:
+            self.misroutes += 1
+        cost = self._proc_cost(request)
+        if self.mode == "syrup_sw" and packet.rx_queue is not None \
+                and packet.rx_queue != index:
+            cost += costs.remote_pull_us
+        return (cost, ("proc", request))
+
+    def handoff_work(self, index, request):
+        cost = self.costs.handoff_recv_us + self._proc_cost(request)
+        return (cost, ("proc", request))
+
+    def _proc_cost(self, request):
+        cost = self.costs.proc_us
+        if request.rtype == PUT:
+            cost += self.costs.put_extra_us
+        return cost
+
+    # -- completion --------------------------------------------------------
+    def complete(self, index, token):
+        kind, request = token
+        if kind == "forward":
+            self.handoffs += 1
+            home = self.home(request)
+            self.sources[home].inbox.append(request)
+            self.threads[home].wake()
+            return
+        # real store op at the home partition
+        partition = self.partitions[index % self.num_threads]
+        key = request.key % self.key_space
+        if request.rtype == PUT:
+            partition.put(key, request.rid)
+        else:
+            partition.get(key)
+        self.stats.add(self.machine.now, request.rtype)
+        if self.response_sink is not None:
+            self.response_sink(request)

@@ -1,0 +1,42 @@
+"""A netperf-style echo server (TCP_RR) with optional RFS publishing.
+
+Paper §2.1 motivates scheduling *flexibility* with Receive Flow Steering:
+"A netperf TCP_RR test that uses RFS has been shown to achieve up to 200%
+higher throughput than one without RFS" — locality sometimes matters more
+than balance, so no single policy wins everywhere.
+
+With ``rfs=True`` the server publishes a flow→core steering table into a
+Syrup Map on every datagram delivery (the analogue of the kernel updating
+the RFS table at recvmsg time); the RFS_STEERING policy at the CPU Redirect
+hook then keeps protocol processing on the consuming core's hyperthread
+buddy.
+"""
+
+from repro.apps.server import UdpServer
+
+__all__ = ["EchoServer", "RFS_TABLE_SIZE"]
+
+RFS_TABLE_SIZE = 1024
+
+
+class EchoServer(UdpServer):
+    """Echoes tiny requests; transaction cost is syscalls + ~1 us of work."""
+
+    def __init__(self, machine, app, port, num_threads, rfs=False):
+        super().__init__(machine, app, port, num_threads)
+        # hash kind: map_has must be able to miss for unknown flows
+        self.rfs_map = (
+            app.create_map("rfs_map", size=RFS_TABLE_SIZE, kind="hash")
+            if rfs
+            else None
+        )
+
+    def on_enqueue(self, thread_index, packet):
+        if self.rfs_map is None:
+            return
+        key = packet.load(0, 4) % RFS_TABLE_SIZE
+        thread = self.threads[thread_index]
+        buddy = (
+            thread.home_core if thread.home_core is not None else thread_index
+        ) % len(self.machine.netstack.softirq)
+        self.rfs_map.update(key, buddy)

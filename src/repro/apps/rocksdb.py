@@ -1,0 +1,79 @@
+"""A RocksDB-like UDP server (paper §5.1.2).
+
+Real point (GET) and range (SCAN) queries against the in-memory
+:class:`~repro.apps.kvstore.KVStore`; simulated CPU time comes from the
+request's calibrated service time (GET 10-12 us, SCAN ~700 us).
+
+Two optional "userspace components" publish scheduling state into Syrup
+Maps, enabling the paper's cross-layer policies:
+
+- ``mark_scans`` — the SCAN Avoid userspace half (Fig. 5b): set
+  ``scan_map[thread_index]`` while that thread serves a SCAN.
+- ``mark_types`` — for the ghOSt GET-priority thread policy (§5.3): keep
+  ``type_map[thread_index]`` at the request type the thread is processing
+  (or about to process).
+"""
+
+from repro.apps.kvstore import KVStore
+from repro.apps.server import UdpServer
+from repro.workload.requests import GET, SCAN
+
+__all__ = ["RocksDbServer", "SCAN_MAP", "TYPE_MAP"]
+
+SCAN_MAP = "scan_map"
+TYPE_MAP = "type_map"
+
+_SCAN_RANGE = 16  # real keys touched per SCAN
+
+
+class RocksDbServer(UdpServer):
+    def __init__(
+        self,
+        machine,
+        app,
+        port,
+        num_threads,
+        mark_scans=False,
+        mark_types=False,
+        preload_keys=10000,
+    ):
+        super().__init__(machine, app, port, num_threads)
+        self.store = KVStore().preload(preload_keys)
+        self.key_space = preload_keys
+        self.scan_map = (
+            app.create_map(SCAN_MAP, size=max(64, num_threads), kind="array")
+            if mark_scans
+            else None
+        )
+        self.type_map = (
+            app.create_map(TYPE_MAP, size=max(64, num_threads), kind="array")
+            if mark_types
+            else None
+        )
+
+    # ------------------------------------------------------------------
+    def on_enqueue(self, thread_index, packet):
+        if self.type_map is not None:
+            thread = self.threads[thread_index]
+            if thread.token is None:
+                # idle thread: its next request is the one that just landed
+                self.type_map.update(thread_index, packet.request.rtype)
+
+    def on_request_start(self, thread_index, request):
+        super().on_request_start(thread_index, request)
+        key = request.key % self.key_space
+        if request.rtype == SCAN:
+            self.store.scan(key, _SCAN_RANGE)
+        else:
+            self.store.get(key)
+        if self.scan_map is not None and request.rtype == SCAN:
+            self.scan_map.update(thread_index, 1)
+        if self.type_map is not None:
+            self.type_map.update(thread_index, request.rtype)
+
+    def on_request_complete(self, thread_index, request):
+        if self.scan_map is not None and request.rtype == SCAN:
+            self.scan_map.update(thread_index, 0)
+        if self.type_map is not None and not len(self.sockets[thread_index].queue):
+            self.type_map.update(thread_index, 0)
+        super().on_request_complete(thread_index, request)

@@ -1,0 +1,136 @@
+"""Command-line interface for the experiment harnesses.
+
+Regenerate any of the paper's tables/figures from a shell::
+
+    python -m repro figure2
+    python -m repro figure6 --loads 100000 200000 --duration-ms 150
+    python -m repro table2
+    python -m repro all --quick
+
+``--quick`` shrinks load grids and windows for a fast sanity pass; the
+defaults match the benchmark suite's paper-scale sweeps.
+"""
+
+import argparse
+import sys
+
+from repro.experiments import (
+    run_figure2,
+    run_figure6,
+    run_figure7,
+    run_figure8,
+    run_figure9,
+    run_table2,
+    run_table3,
+)
+
+__all__ = ["main"]
+
+_QUICK = {
+    "figure2": dict(loads=[150_000, 450_000], duration_us=120_000.0,
+                    warmup_us=30_000.0),
+    "figure6": dict(loads=[100_000, 250_000], duration_us=120_000.0,
+                    warmup_us=30_000.0),
+    "figure7": dict(ls_loads=[100_000, 300_000], duration_us=120_000.0,
+                    warmup_us=30_000.0),
+    "figure8": dict(loads=[4_000, 10_000], duration_us=300_000.0,
+                    warmup_us=75_000.0),
+    "figure9": dict(loads=[1_000_000, 2_500_000], duration_us=20_000.0,
+                    warmup_us=5_000.0),
+    "table2": dict(samples=128),
+    "table3": dict(n_ops=500),
+}
+
+_RUNNERS = {
+    "figure2": run_figure2,
+    "figure6": run_figure6,
+    "figure7": run_figure7,
+    "figure8": run_figure8,
+    "figure9": run_figure9,
+    "table2": run_table2,
+    "table3": run_table3,
+}
+
+
+def _build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate Syrup (SOSP 2021) tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(_RUNNERS) + ["all"],
+        help="which experiment to run ('all' runs every one)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="reduced grids/windows for a fast sanity pass",
+    )
+    parser.add_argument(
+        "--loads", type=int, nargs="+", default=None,
+        help="override the load grid (RPS); for figure7 these are LS loads",
+    )
+    parser.add_argument(
+        "--duration-ms", type=float, default=None,
+        help="measurement window per point, in milliseconds",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None, help="override the RNG seed"
+    )
+    parser.add_argument(
+        "--out", type=str, default=None,
+        help="also write the rendered table(s) to this file",
+    )
+    parser.add_argument(
+        "--plot", action="store_true",
+        help="render an ASCII latency-vs-load plot for figure experiments",
+    )
+    return parser
+
+
+def _kwargs_for(name, args):
+    kwargs = dict(_QUICK[name]) if args.quick else {}
+    if args.loads is not None and name.startswith("figure"):
+        key = "ls_loads" if name == "figure7" else "loads"
+        kwargs[key] = args.loads
+    if args.duration_ms is not None and name.startswith("figure"):
+        kwargs["duration_us"] = args.duration_ms * 1000.0
+        kwargs["warmup_us"] = args.duration_ms * 250.0  # 25% warmup
+    if args.seed is not None and name.startswith("figure"):
+        kwargs["seed"] = args.seed
+    return kwargs
+
+
+#: plot axes per figure: (series column, x column, y column)
+_PLOT_AXES = {
+    "figure2": ("policy", "load_rps", "p99_us"),
+    "figure6": ("policy", "load_rps", "p99_us"),
+    "figure7": ("policy", "ls_load_rps", "ls_p99_us"),
+    "figure8": ("variant", "load_rps", "get_p99_us"),
+    "figure9": ("mode", "load_rps", "p999_us"),
+}
+
+
+def main(argv=None):
+    args = _build_parser().parse_args(argv)
+    names = sorted(_RUNNERS) if args.experiment == "all" else [args.experiment]
+    rendered = []
+    for name in names:
+        table = _RUNNERS[name](**_kwargs_for(name, args))
+        text = table.render()
+        if args.plot and name in _PLOT_AXES:
+            from repro.stats.plot import plot_table
+
+            series, x_col, y_col = _PLOT_AXES[name]
+            text += "\n\n" + plot_table(table, series, x_col, y_col)
+        print(text)
+        print()
+        rendered.append(text)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write("\n\n".join(rendered) + "\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,35 @@
+"""Rack-scale extension (paper §6.1).
+
+"Scheduling occurs across the data center stack, from cluster managers and
+software load balancers to programmable switches.  We can extend Syrup to
+support such backends as they are fully compatible with Syrup's matching
+view of scheduling; similar to end-host components, they schedule inputs
+(jobs/requests/packets) to executors (servers)."
+
+This package implements that extension: a programmable top-of-rack switch
+(:class:`~repro.cluster.switch.ProgrammableSwitch`) whose per-port
+match/action rules select a *server* for each request — the same matching
+shape as every end-host hook, and the same isolation mechanism (per-port
+rules, §6.1's P4 match/action isolation).  Verified Syrup programs deploy
+at the switch unchanged (the paper's P4-to-eBPF unification argument,
+§6.2), alongside native load-aware policies in the RackSched style.
+"""
+
+from repro.cluster.cluster import Cluster, ClusterGenerator
+from repro.cluster.switch import (
+    HashFlowPolicy,
+    LeastOutstandingPolicy,
+    ProgrammableSwitch,
+    ProgramPolicy,
+    RoundRobinPolicy,
+)
+
+__all__ = [
+    "Cluster",
+    "ClusterGenerator",
+    "HashFlowPolicy",
+    "LeastOutstandingPolicy",
+    "ProgramPolicy",
+    "ProgrammableSwitch",
+    "RoundRobinPolicy",
+]

@@ -1,0 +1,19 @@
+"""Framework-wide constants.
+
+``schedule`` returns a ``uint32`` index into the hook's executor map, or one
+of two special action values (paper §3.3):
+
+- :data:`PASS` — fall back to the system's default policy for this input.
+- :data:`DROP` — drop the input (used e.g. by the token-based QoS policy).
+
+The values sit at the top of the u32 space so they can never collide with a
+legal executor-map index.
+"""
+
+PASS = 0xFFFFFFFF
+DROP = 0xFFFFFFFE
+
+#: Executor indices must be strictly below this bound.
+MAX_EXECUTOR_INDEX = 0xFFFFFF00
+
+__all__ = ["DROP", "MAX_EXECUTOR_INDEX", "PASS"]

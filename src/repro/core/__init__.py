@@ -1,0 +1,36 @@
+"""The Syrup framework: the paper's primary contribution.
+
+Layers the user-facing pieces over the substrates:
+
+- :mod:`repro.core.maps` — the Map abstraction (Table 1): pinned, permission
+  -checked key-value stores shared between userspace and deployed policies,
+  with host/NIC placement latencies (Table 3).
+- :mod:`repro.core.executors` — executor maps: the hook-specific Map of
+  available executors a policy indexes into (§3.3, §4.4).
+- :mod:`repro.core.hooks` — hook sites with per-application dispatch: the
+  root port-matching program + PROG_ARRAY tail calls of §4.3.
+- :mod:`repro.core.syrupd` — the system-wide daemon: compiles, verifies and
+  deploys policies; enforces isolation; owns map pinning.
+- :mod:`repro.core.api` — the application-facing API of Table 1
+  (``deploy_policy``, ``map_open``, ``map_lookup``, ...).
+"""
+
+from repro.constants import DROP, PASS
+from repro.core.api import App
+from repro.core.executors import ExecutorMap
+from repro.core.hooks import Hook, HookSite
+from repro.core.maps import MapRegistry, SyrupMap
+from repro.core.syrupd import IsolationError, Syrupd
+
+__all__ = [
+    "App",
+    "DROP",
+    "ExecutorMap",
+    "Hook",
+    "HookSite",
+    "IsolationError",
+    "MapRegistry",
+    "PASS",
+    "SyrupMap",
+    "Syrupd",
+]

@@ -1,0 +1,113 @@
+"""The application-facing Syrup API (paper Table 1).
+
+An :class:`App` is what ``syr_register`` hands back: the object through
+which an application deploys policies, opens/creates Maps, registers its
+sockets as executors, and registers threads for thread scheduling.  The
+free functions at the bottom mirror Table 1's C names one-to-one for
+readers following along with the paper.
+"""
+
+from repro.core.executors import ExecutorMap
+from repro.core.hooks import Hook
+
+__all__ = [
+    "App",
+    "syr_map_close",
+    "syr_map_lookup_elem",
+    "syr_map_open",
+    "syr_map_update_elem",
+]
+
+
+class App:
+    """A registered application and its Syrup resources."""
+
+    def __init__(self, syrupd, name, ports):
+        self.syrupd = syrupd
+        self.name = name
+        self.ports = list(ports)
+        self.threads = []
+        self.enclave = None
+        self._executor_maps = {}
+
+    # ------------------------------------------------------------------
+    # Table 1: syr_deploy_policy
+    # ------------------------------------------------------------------
+    def deploy_policy(self, policy, hook, constants=None, ports=None):
+        """Deploy a scheduling policy to a hook (see Syrupd.deploy_policy)."""
+        return self.syrupd.deploy_policy(
+            self, policy, hook, constants=constants, ports=ports
+        )
+
+    # ------------------------------------------------------------------
+    # Maps
+    # ------------------------------------------------------------------
+    def create_map(self, name, size=256, kind="hash", placement="host",
+                   shared=False):
+        """Create (or reopen) a map pinned under this app's path."""
+        return self.syrupd.registry.create(
+            self.name, name, size=size, kind=kind, placement=placement,
+            shared=shared,
+        )
+
+    def map_open(self, path):
+        """Open a pinned map by path; permission-checked (Table 1)."""
+        return self.syrupd.registry.open(path, self.name)
+
+    def map_path(self, map_name):
+        return self.syrupd.registry.pin_path(self.name, map_name)
+
+    # ------------------------------------------------------------------
+    # Executors (paper §4.4)
+    # ------------------------------------------------------------------
+    def executor_map(self, hook):
+        """The executor Map for one hook (created on first use)."""
+        executors = self._executor_maps.get(hook)
+        if executors is None:
+            executors = ExecutorMap(f"{self.name}:{hook}:executors")
+            self._executor_maps[hook] = executors
+        return executors
+
+    def register_socket(self, socket, index, hook=Hook.SOCKET_SELECT):
+        """Register a socket at an executor-map index the app chooses."""
+        if socket.app not in (None, self.name):
+            raise PermissionError(
+                f"socket belongs to app {socket.app!r}, not {self.name!r}"
+            )
+        socket.app = self.name
+        self.executor_map(hook).set(index, socket)
+
+    def register_thread(self, thread):
+        """Register a thread for Thread Scheduler policies (ghOSt)."""
+        thread.app = self.name
+        self.threads.append(thread)
+        if self.enclave is not None:
+            self.enclave.register(thread)
+
+    def __repr__(self):
+        return f"<App {self.name!r} ports={self.ports}>"
+
+
+# ----------------------------------------------------------------------
+# Table-1-style free functions (thin veneers over the object API)
+# ----------------------------------------------------------------------
+def syr_map_open(app, path):
+    """Open the Map pinned to ``path``; returns a map handle (map_fd)."""
+    return app.map_open(path)
+
+
+def syr_map_close(map_handle):
+    """Close a map handle.  Handles hold no OS state here; provided for
+    API parity with Table 1."""
+    return 0
+
+
+def syr_map_lookup_elem(map_handle, key):
+    """Return the value associated with ``key`` (None when absent)."""
+    return map_handle.lookup(key)
+
+
+def syr_map_update_elem(map_handle, key, value):
+    """Store ``value`` at ``key``; returns 0 on success."""
+    map_handle.update(key, value)
+    return 0

@@ -1,0 +1,54 @@
+"""Executor maps (paper §3.3, §4.4).
+
+A policy's ``schedule`` returns a ``uint32`` key into a hook-specific Map of
+available executors, set up by syrupd at deploy time.  Applications control
+the index each executor occupies ("the application controls the map index
+used for each socket") — e.g. add sockets after ``bind()``.  For hardware
+hooks, syrupd statically allocates core/queue ids per application.
+"""
+
+from repro.constants import MAX_EXECUTOR_INDEX
+
+__all__ = ["ExecutorMap"]
+
+
+class ExecutorMap:
+    """index -> executor object (socket, core id, NIC queue id)."""
+
+    def __init__(self, name, max_entries=256):
+        self.name = name
+        self.max_entries = max_entries
+        self._slots = {}
+        self.invalid_lookups = 0
+
+    def set(self, index, executor):
+        if not 0 <= index < min(self.max_entries, MAX_EXECUTOR_INDEX):
+            raise KeyError(
+                f"executor index {index} out of range for {self.name!r}"
+            )
+        self._slots[index] = executor
+
+    def remove(self, index):
+        self._slots.pop(index, None)
+
+    def resolve(self, index):
+        """Look up an executor; None when the policy returned an index the
+        app never populated (the decision then falls back to PASS)."""
+        executor = self._slots.get(index)
+        if executor is None:
+            self.invalid_lookups += 1
+        return executor
+
+    def populate(self, executors):
+        """Bulk-populate indices 0..n-1."""
+        for i, executor in enumerate(executors):
+            self.set(i, executor)
+
+    def __len__(self):
+        return len(self._slots)
+
+    def __contains__(self, index):
+        return index in self._slots
+
+    def __repr__(self):
+        return f"<ExecutorMap {self.name} entries={len(self._slots)}>"

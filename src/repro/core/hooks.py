@@ -1,0 +1,114 @@
+"""Hook sites with per-application dispatch.
+
+Implements §4.3's isolation mechanism literally: each hook site holds a
+``PROG_ARRAY`` map of loaded policy programs plus port-matching rules; the
+root dispatcher matches the destination port of each input and tail-calls
+the owning application's program.  A policy therefore only ever sees inputs
+destined to its own application's ports.
+
+The site exposes the substrate-facing protocol expected by
+:mod:`repro.kernel.netstack` and :mod:`repro.net.nic`:
+``decide(packet) -> (action, target)`` and ``cost_us(packet)``.
+"""
+
+from repro.constants import DROP, PASS
+from repro.ebpf.maps import ProgArrayMap
+
+__all__ = ["Hook", "HookSite"]
+
+
+class Hook:
+    """The hooks of paper Figure 4."""
+
+    THREAD_SCHED = "thread_sched"
+    SOCKET_SELECT = "socket_select"
+    CPU_REDIRECT = "cpu_redirect"
+    XDP_SKB = "xdp_skb"
+    XDP_DRV = "xdp_drv"
+    XDP_OFFLOAD = "xdp_offload"
+
+    NETWORK = (SOCKET_SELECT, CPU_REDIRECT, XDP_SKB, XDP_DRV, XDP_OFFLOAD)
+    ALL = (THREAD_SCHED,) + NETWORK
+
+    #: Hooks whose executor targets are plain integers (core / queue ids)
+    #: rather than app-registered objects.
+    INTEGER_EXECUTORS = (CPU_REDIRECT, XDP_OFFLOAD)
+
+
+class _Attachment:
+    __slots__ = ("app_name", "program", "executors", "prog_index")
+
+    def __init__(self, app_name, program, executors, prog_index):
+        self.app_name = app_name
+        self.program = program
+        self.executors = executors
+        self.prog_index = prog_index
+
+
+class HookSite:
+    """One hook point's dispatcher (root matcher + PROG_ARRAY)."""
+
+    def __init__(self, hook, costs, max_programs=64):
+        self.hook = hook
+        self.costs = costs
+        self.prog_array = ProgArrayMap(f"{hook}:prog_array", max_programs)
+        self._port_rules = {}       # dst port -> _Attachment
+        self._next_index = 0
+        self.pass_decisions = 0
+        self.drop_decisions = 0
+
+    # ------------------------------------------------------------------
+    def install(self, app_name, ports, loaded_program, executors):
+        """Insert port-matching rules tail-calling the app's program."""
+        index = self._next_index
+        self._next_index += 1
+        self.prog_array.update(index, loaded_program)
+        attachment = _Attachment(app_name, loaded_program, executors, index)
+        for port in ports:
+            existing = self._port_rules.get(port)
+            if existing is not None and existing.app_name != app_name:
+                raise PermissionError(
+                    f"port {port} already claimed by app "
+                    f"{existing.app_name!r} at hook {self.hook}"
+                )
+            self._port_rules[port] = attachment
+        return attachment
+
+    def uninstall(self, app_name, ports):
+        for port in ports:
+            attachment = self._port_rules.get(port)
+            if attachment is not None and attachment.app_name == app_name:
+                del self._port_rules[port]
+
+    def attachment_for_port(self, port):
+        return self._port_rules.get(port)
+
+    # -- substrate-facing protocol --------------------------------------
+    def decide(self, packet):
+        attachment = self._port_rules.get(packet.dst_port)
+        if attachment is None:
+            return ("none", None)
+        # root dispatcher tail call
+        program = self.prog_array.lookup(attachment.prog_index)
+        value = program.run(packet)
+        if value == PASS:
+            self.pass_decisions += 1
+            return ("pass", None)
+        if value == DROP:
+            self.drop_decisions += 1
+            return ("drop", None)
+        executor = attachment.executors.resolve(value)
+        if executor is None:
+            # index the app never populated: safest is the default policy
+            self.pass_decisions += 1
+            return ("pass", None)
+        return ("target", executor)
+
+    def cost_us(self, packet):
+        attachment = self._port_rules.get(packet.dst_port)
+        if attachment is None:
+            return 0.0
+        return self.costs.cycles_to_us(attachment.program.cycle_estimate)
+
+    def __repr__(self):
+        return f"<HookSite {self.hook} ports={sorted(self._port_rules)}>"

@@ -1,0 +1,145 @@
+"""Late binding for socket selection (paper §6.3).
+
+Early binding (the default): a packet's executor is chosen at arrival time,
+which can strand a short request behind a long one in the chosen socket.
+Late binding buffers inputs centrally and runs the matching function when an
+*executor* becomes available — "when a thread calls recvmsg on a socket" —
+eliminating intra-socket head-of-line blocking at the cost of a central
+queue.
+
+Implementation: a :class:`LateBinder` installs a hook-site-compatible object
+at the Socket Select slot that steers every datagram into a central buffer
+(a pseudo-socket with a large backlog), and rewires each server thread's
+work source to pull from that buffer when its own socket is empty.  The
+user-supplied ``pick(thread_index, buffered_packets)`` matching function
+chooses *which buffered input* the free executor takes (default: FCFS).
+"""
+
+from collections import deque
+
+__all__ = ["LateBinder", "fcfs_pick", "shortest_first_pick"]
+
+
+def fcfs_pick(thread_index, packets):
+    """Default late-binding policy: first come, first served."""
+    return 0
+
+
+def shortest_first_pick(thread_index, packets):
+    """Prefer the buffered request with the smallest expected service time.
+
+    Peeks at the request type like SITA does; a useful policy when a few
+    long requests would otherwise delay many short ones.
+    """
+    best = 0
+    best_service = None
+    for i, packet in enumerate(packets):
+        request = packet.request
+        service = request.service_us if request is not None else 0.0
+        if best_service is None or service < best_service:
+            best, best_service = i, service
+    return best
+
+
+class _BufferTarget:
+    """The pseudo-socket the hook steers into: append + wake an idle thread."""
+
+    __slots__ = ("binder",)
+
+    def __init__(self, binder):
+        self.binder = binder
+
+    def enqueue(self, packet):
+        return self.binder._buffer_packet(packet)
+
+
+class _HookSiteShim:
+    """Socket-select hook protocol: always target the central buffer."""
+
+    hook = "socket_select"
+
+    def __init__(self, binder, ports):
+        self.binder = binder
+        self.ports = set(ports)
+        self.target = _BufferTarget(binder)
+
+    def decide(self, packet):
+        if packet.dst_port in self.ports:
+            return ("target", self.target)
+        return ("none", None)
+
+    def cost_us(self, packet):
+        return 0.1 if packet.dst_port in self.ports else 0.0
+
+
+class _ChainedSource:
+    """Thread work source: own socket first, then the shared buffer."""
+
+    __slots__ = ("binder", "index", "inner")
+
+    def __init__(self, binder, index, inner):
+        self.binder = binder
+        self.index = index
+        self.inner = inner
+
+    def pull(self):
+        item = self.inner.pull()
+        if item is not None:
+            return item
+        packet = self.binder._take(self.index)
+        if packet is None:
+            return None
+        # route through the server's costing/markings via the inner source
+        self.inner.socket.queue.append(packet)
+        return self.inner.pull()
+
+    def complete(self, token):
+        self.inner.complete(token)
+
+
+class LateBinder:
+    def __init__(self, machine, app, server, pick=None, capacity=4096):
+        self.machine = machine
+        self.server = server
+        self.pick = pick or fcfs_pick
+        self.capacity = capacity
+        self.buffer = deque()
+        self.drops = 0
+        self.buffered_total = 0
+        shim = _HookSiteShim(self, app.ports)
+        if machine.netstack.socket_select_hook is not None:
+            raise ValueError(
+                "late binding replaces the Socket Select hook; undeploy the "
+                "early-binding policy first"
+            )
+        machine.netstack.socket_select_hook = shim
+        for i, thread in enumerate(server.threads):
+            thread.source = _ChainedSource(self, i, thread.source)
+
+    # ------------------------------------------------------------------
+    def _buffer_packet(self, packet):
+        if len(self.buffer) >= self.capacity:
+            self.drops += 1
+            return False
+        self.buffer.append(packet)
+        self.buffered_total += 1
+        for thread in self.server.threads:
+            if thread.state == "blocked":
+                thread.wake()
+                break
+        return True
+
+    def _take(self, thread_index):
+        if not self.buffer:
+            return None
+        index = self.pick(thread_index, self.buffer)
+        if not 0 <= index < len(self.buffer):
+            index = 0
+        if index == 0:
+            return self.buffer.popleft()
+        packet = self.buffer[index]
+        del self.buffer[index]
+        return packet
+
+    def __len__(self):
+        return len(self.buffer)

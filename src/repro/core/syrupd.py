@@ -1,0 +1,235 @@
+"""syrupd: the system-wide Syrup daemon (paper §3.5, §4.3).
+
+Applications never load programs into hooks themselves; they send a request
+to syrupd (in the real system over a Unix domain socket — here, a method
+call standing in for that RPC).  The daemon:
+
+1. tracks which UDP ports belong to which application and rejects
+   cross-application port claims,
+2. compiles the policy file to bytecode and runs the verifier,
+3. creates/pins the policy's declared Maps under the owning app's path
+   (NIC-resident placement for offloaded programs),
+4. installs the program behind the hook's root port-matching dispatcher so
+   it only ever handles the owning app's inputs, and
+5. for the Thread Scheduler hook, launches a ghOSt agent restricted to the
+   app's enclave.
+"""
+
+from repro.core.hooks import Hook, HookSite
+from repro.core.maps import HOST, OFFLOAD, MapRegistry
+from repro.ebpf.compiler import compile_policy
+from repro.ebpf.insn import Program
+from repro.ebpf.program import load_program
+from repro.ghost.agent import GhostAgent
+from repro.ghost.enclave import Enclave
+from repro.ghost.sched import GhostScheduler
+
+__all__ = ["DeployedPolicy", "IsolationError", "Syrupd"]
+
+
+class IsolationError(PermissionError):
+    """A request violated Syrup's multi-tenancy guarantees."""
+
+
+class DeployedPolicy:
+    """Handle returned by deploy_policy (the paper's prog_fd)."""
+
+    _next_fd = [3]
+
+    def __init__(self, app_name, hook, program=None, agent=None):
+        self.fd = DeployedPolicy._next_fd[0]
+        DeployedPolicy._next_fd[0] += 1
+        self.app_name = app_name
+        self.hook = hook
+        self.program = program    # LoadedProgram (network hooks)
+        self.agent = agent        # GhostAgent (thread hook)
+
+    def __repr__(self):
+        return f"<DeployedPolicy fd={self.fd} app={self.app_name} hook={self.hook}>"
+
+
+class Syrupd:
+    def __init__(self, machine):
+        self.machine = machine
+        self.registry = MapRegistry(machine.costs, machine.config.nic)
+        self.apps = {}
+        self._port_owner = {}
+        self._sites = {}
+        self.deployed = []
+
+    # ------------------------------------------------------------------
+    # App registration
+    # ------------------------------------------------------------------
+    def register_app(self, name, ports):
+        from repro.core.api import App  # local import: api builds on syrupd
+
+        if name in self.apps:
+            raise ValueError(f"app {name!r} already registered")
+        for port in ports:
+            owner = self._port_owner.get(port)
+            if owner is not None:
+                raise IsolationError(
+                    f"port {port} already owned by app {owner!r}"
+                )
+        for port in ports:
+            self._port_owner[port] = name
+        app = App(self, name, ports)
+        self.apps[name] = app
+        return app
+
+    def _check_ports(self, app, ports):
+        for port in ports:
+            if self._port_owner.get(port) != app.name:
+                raise IsolationError(
+                    f"app {app.name!r} does not own port {port}"
+                )
+
+    # ------------------------------------------------------------------
+    # Hook sites
+    # ------------------------------------------------------------------
+    def _site(self, hook):
+        site = self._sites.get(hook)
+        if site is not None:
+            return site
+        site = HookSite(hook, self.machine.costs)
+        machine = self.machine
+        if hook == Hook.SOCKET_SELECT:
+            machine.netstack.socket_select_hook = site
+        elif hook == Hook.CPU_REDIRECT:
+            machine.netstack.cpu_redirect_hook = site
+        elif hook in (Hook.XDP_SKB, Hook.XDP_DRV):
+            if hook == Hook.XDP_DRV and not machine.config.nic.zero_copy:
+                raise ValueError(
+                    f"NIC {machine.config.nic.model!r} has no native "
+                    "(driver) XDP support; use xdp_skb"
+                )
+            existing = machine.netstack.xdp_hook
+            if existing is not None and existing.hook != hook:
+                raise ValueError(
+                    f"XDP hook already provisioned in {existing.hook} mode"
+                )
+            machine.netstack.xdp_hook = site
+        elif hook == Hook.XDP_OFFLOAD:
+            machine.nic.attach_classifier(site)
+        else:
+            raise ValueError(f"unknown network hook {hook!r}")
+        self._sites[hook] = site
+        return site
+
+    # ------------------------------------------------------------------
+    # Deployment (syr_deploy_policy)
+    # ------------------------------------------------------------------
+    def deploy_policy(self, app, policy, hook, constants=None, ports=None):
+        """Deploy ``policy`` for ``app`` at ``hook``.
+
+        ``policy`` is policy source text / a Python function in the safe
+        subset (network hooks), or a thread-policy object with a
+        ``schedule(status)`` method (the Thread Scheduler hook).
+
+        ``hook`` may be a list/tuple of hooks (paper §3.1: syr_deploy_policy
+        takes "one or more target deployment hooks"); each target gets its
+        own program instance, all sharing the policy's declared maps.
+        """
+        if isinstance(hook, (list, tuple)):
+            return [
+                self.deploy_policy(app, policy, one, constants=constants,
+                                   ports=ports)
+                for one in hook
+            ]
+        if hook not in Hook.ALL:
+            raise ValueError(f"unknown hook {hook!r}")
+        ports = list(ports) if ports is not None else list(app.ports)
+        self._check_ports(app, ports)
+        if hook == Hook.THREAD_SCHED:
+            return self._deploy_thread_policy(app, policy)
+        return self._deploy_network_policy(app, policy, hook, constants, ports)
+
+    def _deploy_network_policy(self, app, policy, hook, constants, ports):
+        if isinstance(policy, Program):
+            program = policy
+        else:
+            program = compile_policy(policy, constants=constants)
+        placement = OFFLOAD if hook == Hook.XDP_OFFLOAD else HOST
+        maps = {}
+        for map_name, size in zip(program.map_names, program.map_sizes):
+            syrup_map = self.registry.create(
+                app.name, map_name, size=size, placement=placement
+            )
+            maps[map_name] = syrup_map.bpf_map
+        loaded = load_program(
+            program, maps=maps, rng=self.machine.streams.get(f"policy/{app.name}")
+        )
+        executors = app.executor_map(hook)
+        self._prepopulate_executors(hook, executors)
+        site = self._site(hook)
+        site.install(app.name, ports, loaded, executors)
+        deployed = DeployedPolicy(app.name, hook, program=loaded)
+        self.deployed.append(deployed)
+        return deployed
+
+    def _prepopulate_executors(self, hook, executors):
+        """Hardware executors are allocated by syrupd, not the app (§4.4)."""
+        if len(executors):
+            return
+        if hook == Hook.CPU_REDIRECT:
+            executors.populate(range(self.machine.config.num_softirq_cores))
+        elif hook == Hook.XDP_OFFLOAD:
+            executors.populate(range(self.machine.config.nic.num_queues))
+
+    def _deploy_thread_policy(self, app, policy):
+        scheduler = self.machine.scheduler
+        if not isinstance(scheduler, GhostScheduler):
+            raise ValueError(
+                "Thread Scheduler hook requires the machine to run the "
+                "ghOSt scheduling class (Machine(scheduler='ghost'))"
+            )
+        if not hasattr(policy, "schedule"):
+            raise TypeError(
+                "thread policies must expose schedule(status) -> placements"
+            )
+        enclave = Enclave(app.name)
+        for thread in app.threads:
+            enclave.register(thread)
+        app.enclave = enclave
+        agent = GhostAgent(
+            self.machine.engine, scheduler, enclave, policy, self.machine.costs
+        )
+        deployed = DeployedPolicy(app.name, Hook.THREAD_SCHED, agent=agent)
+        self.deployed.append(deployed)
+        return deployed
+
+    # ------------------------------------------------------------------
+    def undeploy(self, app, hook):
+        site = self._sites.get(hook)
+        if site is not None:
+            site.uninstall(app.name, app.ports)
+
+    # ------------------------------------------------------------------
+    def status(self):
+        """Inspection (bpftool-style): every deployment with live stats."""
+        rows = []
+        for deployed in self.deployed:
+            row = {
+                "fd": deployed.fd,
+                "app": deployed.app_name,
+                "hook": deployed.hook,
+            }
+            if deployed.program is not None:
+                row.update(
+                    name=deployed.program.name,
+                    invocations=deployed.program.invocations,
+                    insns=deployed.program.program.n_insns,
+                    cycle_estimate=deployed.program.cycle_estimate,
+                    maps=[m.name for m in deployed.program.maps],
+                )
+            if deployed.agent is not None:
+                agent = deployed.agent
+                row.update(
+                    messages=agent.messages_processed,
+                    commits=agent.commits,
+                    failed_commits=agent.failed_commits,
+                    preemptions=agent.preemptions,
+                    policy_errors=agent.policy_errors,
+                )
+            rows.append(row)
+        return rows

@@ -1,0 +1,49 @@
+"""An eBPF-like execution substrate, in Python.
+
+The real Syrup deploys policies as eBPF bytecode: user C code is compiled,
+statically verified by the kernel (bounded execution, proven packet bounds),
+JIT-compiled, and run at kernel hooks with access to eBPF maps.  This package
+reproduces that pipeline end to end:
+
+- :mod:`repro.ebpf.compiler` — compiles a *restricted Python subset* (the
+  analogue of the paper's "safe subset of C") to a stack-machine IR.
+- :mod:`repro.ebpf.verifier` — static verifier: forward-only jumps (hence
+  guaranteed termination), instruction budget, abstract interpretation that
+  *proves* every packet load is covered by an explicit ``pkt_len`` check —
+  the reason the paper passes ``pkt_start``/``pkt_end`` pointers.
+- :mod:`repro.ebpf.vm` — reference interpreter with per-instruction cycle
+  accounting (used for Table 2).
+- :mod:`repro.ebpf.jit` — generates an equivalent native Python function
+  (the analogue of the kernel's eBPF JIT) used on the simulated datapath.
+- :mod:`repro.ebpf.maps` — array/hash/prog-array maps with pinning support.
+
+Programs and maps here are *mechanism*; policy deployment, isolation and the
+Map API live in :mod:`repro.core`.
+"""
+
+from repro.ebpf.compiler import compile_policy
+from repro.ebpf.errors import CompileError, VerifierError, VmFault
+from repro.ebpf.insn import Insn, Program
+from repro.ebpf.jit import jit_compile
+from repro.ebpf.maps import ArrayMap, HashMap, ProgArrayMap
+from repro.ebpf.program import LoadedProgram, load_program
+from repro.ebpf.verifier import verify
+from repro.ebpf.vm import ExecutionResult, execute
+
+__all__ = [
+    "ArrayMap",
+    "CompileError",
+    "ExecutionResult",
+    "HashMap",
+    "Insn",
+    "LoadedProgram",
+    "ProgArrayMap",
+    "Program",
+    "VerifierError",
+    "VmFault",
+    "compile_policy",
+    "execute",
+    "jit_compile",
+    "load_program",
+    "verify",
+]

@@ -1,0 +1,23 @@
+"""Disassembler for compiled programs (debugging / golden tests)."""
+
+__all__ = ["disassemble"]
+
+
+def disassemble(program):
+    """Return a readable listing of ``program``'s instructions."""
+    lines = [f"; program {program.name}: {len(program.insns)} insns"]
+    if program.global_names:
+        lines.append(f"; globals: {', '.join(program.global_names)}")
+    for slot, (name, size) in enumerate(
+        zip(program.map_names, program.map_sizes)
+    ):
+        lines.append(f"; map[{slot}] {name} max_entries={size}")
+    jump_targets = {
+        insn.a
+        for insn in program.insns
+        if insn.op in ("JMP", "JZ", "JNZ")
+    }
+    for pc, insn in enumerate(program.insns):
+        marker = "L" if pc in jump_targets else " "
+        lines.append(f"{marker}{pc:5d}: {insn}")
+    return "\n".join(lines)

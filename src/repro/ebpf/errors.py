@@ -1,0 +1,20 @@
+"""Errors raised by the eBPF-like toolchain."""
+
+__all__ = ["CompileError", "VerifierError", "VmFault"]
+
+
+class CompileError(ValueError):
+    """The policy source is outside the safe subset or malformed."""
+
+    def __init__(self, message, node=None):
+        if node is not None and hasattr(node, "lineno"):
+            message = f"line {node.lineno}: {message}"
+        super().__init__(message)
+
+
+class VerifierError(ValueError):
+    """The verifier rejected a program (the kernel's EACCES analogue)."""
+
+
+class VmFault(RuntimeError):
+    """A runtime fault in the interpreter (should be prevented by verify)."""

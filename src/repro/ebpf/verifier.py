@@ -1,0 +1,244 @@
+"""Static verifier for compiled policy programs.
+
+Models the kernel eBPF verifier's guarantees (paper §4.3):
+
+1. **Termination / liveness** — every jump must be strictly forward, so any
+   accepted program executes at most ``len(insns)`` instructions.  Bounded
+   source loops are unrolled by the compiler, exactly the restriction the
+   paper reports ("only bounded loops are allowed").  The analysis itself is
+   budgeted (the kernel analyzes up to 1M instructions and rejects beyond).
+2. **Memory safety** — every packet load must be *provably* in bounds: an
+   explicit ``pkt_len`` comparison must dominate the load.  This is why the
+   paper's ``schedule`` takes both ``pkt_start`` and ``pkt_end``.  We track
+   the proven minimum packet length along each path by abstract
+   interpretation of comparison results flowing into conditional jumps.
+3. **Well-formedness** — stack heights consistent at join points, no
+   underflow, valid local/global/map slots, control never falls off the end.
+
+Because jumps are forward-only the CFG is acyclic and a single in-order pass
+with state merging is a sound fixed point.
+"""
+
+from repro.ebpf.errors import VerifierError
+from repro.ebpf.insn import CMPOPS, OPCODES
+
+__all__ = ["VerifierStats", "verify"]
+
+DEFAULT_INSN_LIMIT = 4096
+MAX_STACK_DEPTH = 512
+
+_UNK = ("unk",)
+
+# How a comparison between pkt_len and a constant refines the proven minimum
+# packet length.  Keyed by (op, pktlen_on_left); values are
+# (bound_if_true, bound_if_false) where a bound of None means "no new lower
+# bound" and an integer n means "pkt_len >= n is now proven".
+_REFINE = {
+    ("CMPGE", True): (lambda n: n, lambda n: None),
+    ("CMPGT", True): (lambda n: n + 1, lambda n: None),
+    ("CMPLT", True): (lambda n: None, lambda n: n),
+    ("CMPLE", True): (lambda n: None, lambda n: n + 1),
+    ("CMPEQ", True): (lambda n: n, lambda n: None),
+    ("CMPNE", True): (lambda n: None, lambda n: n),
+    ("CMPGE", False): (lambda n: None, lambda n: n + 1),
+    ("CMPGT", False): (lambda n: None, lambda n: n),
+    ("CMPLT", False): (lambda n: n + 1, lambda n: None),
+    ("CMPLE", False): (lambda n: n, lambda n: None),
+    ("CMPEQ", False): (lambda n: n, lambda n: None),
+    ("CMPNE", False): (lambda n: None, lambda n: n),
+}
+
+_NEGATE = {
+    "CMPEQ": "CMPNE",
+    "CMPNE": "CMPEQ",
+    "CMPLT": "CMPGE",
+    "CMPGE": "CMPLT",
+    "CMPGT": "CMPLE",
+    "CMPLE": "CMPGT",
+}
+
+
+class VerifierStats:
+    """What the verifier proved; returned on success."""
+
+    def __init__(self, n_insns, max_stack, analyzed):
+        self.n_insns = n_insns
+        self.max_stack = max_stack
+        self.analyzed = analyzed
+
+    def __repr__(self):
+        return (
+            f"<VerifierStats insns={self.n_insns} max_stack={self.max_stack} "
+            f"analyzed={self.analyzed}>"
+        )
+
+
+class _State:
+    __slots__ = ("stack", "minlen")
+
+    def __init__(self, stack, minlen):
+        self.stack = stack  # tuple of abstract values
+        self.minlen = minlen
+
+
+def _join(a, b):
+    """Merge two abstract values at a control-flow join."""
+    return a if a == b else _UNK
+
+
+def verify(program, insn_limit=DEFAULT_INSN_LIMIT):
+    """Verify ``program``; raises :class:`VerifierError` or returns stats."""
+    insns = program.insns
+    n = len(insns)
+    if n == 0:
+        raise VerifierError("empty program")
+    if n > insn_limit:
+        raise VerifierError(
+            f"program has {n} instructions, exceeding the limit of "
+            f"{insn_limit} (the kernel verifier rejects it for liveness)"
+        )
+    n_globals = len(program.global_names)
+    n_maps = len(program.map_names)
+
+    states = [None] * (n + 1)
+    states[0] = _State((), 0)
+    max_stack = 0
+    analyzed = 0
+
+    def merge_into(target, state, pc):
+        if target <= pc:
+            raise VerifierError(
+                f"pc {pc}: backward jump to {target} (unbounded execution)"
+            )
+        if target > n:
+            raise VerifierError(f"pc {pc}: jump target {target} out of range")
+        existing = states[target]
+        if existing is None:
+            states[target] = _State(state.stack, state.minlen)
+            return
+        if len(existing.stack) != len(state.stack):
+            raise VerifierError(
+                f"pc {pc}: inconsistent stack depth at join point {target} "
+                f"({len(existing.stack)} vs {len(state.stack)})"
+            )
+        existing.stack = tuple(
+            _join(a, b) for a, b in zip(existing.stack, state.stack)
+        )
+        existing.minlen = min(existing.minlen, state.minlen)
+
+    for pc in range(n):
+        st = states[pc]
+        if st is None:
+            continue  # unreachable
+        analyzed += 1
+        insn = insns[pc]
+        op = insn.op
+        _imm_arity, pops, pushes = OPCODES[op]
+        stack = list(st.stack)
+        if len(stack) < pops:
+            raise VerifierError(f"pc {pc}: stack underflow at {insn}")
+
+        if op == "CONST":
+            stack.append(("const", insn.a))
+        elif op == "PKTLEN":
+            stack.append(("pktlen",))
+        elif op == "LDPKT":
+            offset, width = insn.a, insn.b
+            if offset + width > st.minlen:
+                raise VerifierError(
+                    f"pc {pc}: potential out-of-bounds packet access: load of "
+                    f"{width} byte(s) at offset {offset} but only "
+                    f"{st.minlen} byte(s) proven; add an explicit "
+                    f"'if pkt_len(pkt) < {offset + width}: return PASS' guard"
+                )
+            stack.append(_UNK)
+        elif op in CMPOPS:
+            rhs = stack.pop()
+            lhs = stack.pop()
+            if lhs == ("pktlen",) and rhs[0] == "const":
+                stack.append(("plcmp", op, rhs[1], True))
+            elif rhs == ("pktlen",) and lhs[0] == "const":
+                stack.append(("plcmp", op, lhs[1], False))
+            else:
+                stack.append(_UNK)
+        elif op == "NOT":
+            top = stack.pop()
+            if top[0] == "plcmp":
+                stack.append(("plcmp", _NEGATE[top[1]], top[2], top[3]))
+            else:
+                stack.append(_UNK)
+        elif op == "BOOL":
+            top = stack.pop()
+            stack.append(top if top[0] == "plcmp" else _UNK)
+        elif op == "DUP":
+            stack.append(stack[-1])
+        elif op in ("LOADL", "STOREL"):
+            if not 0 <= insn.a < max(program.n_locals, 1):
+                raise VerifierError(f"pc {pc}: invalid local slot {insn.a}")
+            if op == "LOADL":
+                stack.append(_UNK)
+            else:
+                stack.pop()
+        elif op in ("LOADG", "STOREG"):
+            if not 0 <= insn.a < n_globals:
+                raise VerifierError(f"pc {pc}: invalid global slot {insn.a}")
+            if op == "LOADG":
+                stack.append(_UNK)
+            else:
+                stack.pop()
+        elif op in ("MAPLOOKUP", "MAPHAS", "MAPDELETE"):
+            if not 0 <= insn.a < n_maps:
+                raise VerifierError(f"pc {pc}: invalid map slot {insn.a}")
+            stack.pop()
+            stack.append(_UNK)
+        elif op in ("MAPUPDATE", "ATOMICADD"):
+            if not 0 <= insn.a < n_maps:
+                raise VerifierError(f"pc {pc}: invalid map slot {insn.a}")
+            stack.pop()
+            stack.pop()
+            stack.append(_UNK)
+        elif op in ("JMP", "JZ", "JNZ", "RET"):
+            pass  # handled below
+        else:
+            # generic ALU / POP / RANDOM
+            del stack[len(stack) - pops :]
+            stack.extend([_UNK] * pushes)
+
+        if len(stack) > MAX_STACK_DEPTH:
+            raise VerifierError(f"pc {pc}: stack depth exceeds {MAX_STACK_DEPTH}")
+        max_stack = max(max_stack, len(stack))
+
+        # Control flow / successor states.
+        if op == "RET":
+            continue
+        if op == "JMP":
+            merge_into(insn.a, _State(tuple(stack), st.minlen), pc)
+            continue
+        if op in ("JZ", "JNZ"):
+            cond = stack.pop()
+            base = tuple(stack)
+            taken_min = fall_min = st.minlen
+            if cond[0] == "plcmp":
+                _tag, cmp_op, const, pkt_left = cond
+                on_true, on_false = _REFINE[(cmp_op, pkt_left)]
+                true_bound = on_true(const)
+                false_bound = on_false(const)
+                if op == "JZ":  # jump when condition is false
+                    if false_bound is not None:
+                        taken_min = max(taken_min, false_bound)
+                    if true_bound is not None:
+                        fall_min = max(fall_min, true_bound)
+                else:  # JNZ: jump when condition is true
+                    if true_bound is not None:
+                        taken_min = max(taken_min, true_bound)
+                    if false_bound is not None:
+                        fall_min = max(fall_min, false_bound)
+            merge_into(insn.a, _State(base, taken_min), pc)
+            merge_into(pc + 1, _State(base, fall_min), pc)
+            continue
+        # plain fallthrough
+        merge_into(pc + 1, _State(tuple(stack), st.minlen), pc)
+
+    if states[n] is not None:
+        raise VerifierError("control can fall off the end of the program")
+    return VerifierStats(n_insns=n, max_stack=max_stack, analyzed=analyzed)

@@ -1,0 +1,197 @@
+"""Reference interpreter with per-instruction cycle accounting.
+
+The interpreter is the ground truth for program semantics and the source of
+the cycle numbers in Table 2.  The datapath normally runs the JIT
+(:mod:`repro.ebpf.jit`); the two are checked for agreement by property tests.
+
+Cycle costs are a calibrated model of JIT-compiled eBPF on the paper's
+2.3 GHz Xeon: ~2 cycles per simple ALU op, more for packet loads, map
+helpers, and atomics.  Decision *enforcement* cost (packet redirection etc.)
+is charged separately by the hook (paper §5.5: "most of this time is spent
+on enforcing ... rather than making ... each scheduling decision").
+"""
+
+from repro.ebpf import helpers
+from repro.ebpf.errors import VmFault
+from repro.ebpf.insn import U64
+
+__all__ = ["CYCLE_COSTS", "ExecutionResult", "execute"]
+
+#: Modeled cycles per instruction.
+CYCLE_COSTS = {
+    "CONST": 1,
+    "LOADL": 1,
+    "STOREL": 1,
+    "LOADG": 2,
+    "STOREG": 2,
+    "PKTLEN": 2,
+    "LDPKT": 4,
+    "ADD": 1, "SUB": 1, "MUL": 3, "DIV": 20, "MOD": 20,
+    "AND": 1, "OR": 1, "XOR": 1, "SHL": 1, "SHR": 1,
+    "NEG": 1, "INV": 1,
+    "CMPEQ": 1, "CMPNE": 1, "CMPLT": 1, "CMPLE": 1, "CMPGT": 1, "CMPGE": 1,
+    "BOOL": 1, "NOT": 1, "DUP": 1, "POP": 1,
+    "JMP": 1, "JZ": 2, "JNZ": 2,
+    "MAPLOOKUP": 25, "MAPHAS": 25, "MAPUPDATE": 30, "MAPDELETE": 30,
+    "ATOMICADD": 45,  # locked RMW
+    "RANDOM": 20,
+    "RET": 1,
+}
+
+
+class ExecutionResult:
+    """Outcome of one interpreted program run."""
+
+    __slots__ = ("value", "cycles", "insns_executed")
+
+    def __init__(self, value, cycles, insns_executed):
+        self.value = value
+        self.cycles = cycles
+        self.insns_executed = insns_executed
+
+    def __repr__(self):
+        return (
+            f"<ExecutionResult value={self.value} cycles={self.cycles} "
+            f"insns={self.insns_executed}>"
+        )
+
+
+def execute(program, packet, maps, globals_state, rng):
+    """Interpret ``program`` against ``packet``.
+
+    Args:
+        program: a verified :class:`~repro.ebpf.insn.Program`.
+        packet: object with ``.length`` and ``.load(offset, width)``, or None.
+        maps: list of BpfMap in map-slot order.
+        globals_state: mutable list of the program's global values.
+        rng: ``random.Random`` used by the RANDOM instruction.
+
+    Returns an :class:`ExecutionResult`.
+    """
+    insns = program.insns
+    n = len(insns)
+    locals_ = [0] * program.n_locals
+    stack = []
+    pc = 0
+    cycles = 0
+    executed = 0
+    costs = CYCLE_COSTS
+
+    while pc < n:
+        insn = insns[pc]
+        op = insn.op
+        cycles += costs[op]
+        executed += 1
+        if executed > n:
+            raise VmFault("instruction budget exceeded (verifier bug?)")
+
+        if op == "CONST":
+            stack.append(insn.a)
+        elif op == "LOADL":
+            stack.append(locals_[insn.a])
+        elif op == "STOREL":
+            locals_[insn.a] = stack.pop()
+        elif op == "LOADG":
+            stack.append(globals_state[insn.a])
+        elif op == "STOREG":
+            globals_state[insn.a] = stack.pop()
+        elif op == "PKTLEN":
+            if packet is None:
+                raise VmFault("PKTLEN with no packet context")
+            stack.append(packet.length)
+        elif op == "LDPKT":
+            if packet is None:
+                raise VmFault("LDPKT with no packet context")
+            stack.append(packet.load(insn.a, insn.b))
+        elif op == "ADD":
+            b = stack.pop()
+            stack[-1] = (stack[-1] + b) & U64
+        elif op == "SUB":
+            b = stack.pop()
+            stack[-1] = (stack[-1] - b) & U64
+        elif op == "MUL":
+            b = stack.pop()
+            stack[-1] = (stack[-1] * b) & U64
+        elif op == "DIV":
+            b = stack.pop()
+            stack[-1] = helpers.div_u64(stack[-1], b)
+        elif op == "MOD":
+            b = stack.pop()
+            stack[-1] = helpers.mod_u64(stack[-1], b)
+        elif op == "AND":
+            b = stack.pop()
+            stack[-1] &= b
+        elif op == "OR":
+            b = stack.pop()
+            stack[-1] |= b
+        elif op == "XOR":
+            b = stack.pop()
+            stack[-1] ^= b
+        elif op == "SHL":
+            b = stack.pop()
+            stack[-1] = (stack[-1] << (b & 63)) & U64
+        elif op == "SHR":
+            b = stack.pop()
+            stack[-1] = stack[-1] >> (b & 63)
+        elif op == "NEG":
+            stack[-1] = (-stack[-1]) & U64
+        elif op == "INV":
+            stack[-1] = (~stack[-1]) & U64
+        elif op == "CMPEQ":
+            b = stack.pop()
+            stack[-1] = 1 if stack[-1] == b else 0
+        elif op == "CMPNE":
+            b = stack.pop()
+            stack[-1] = 1 if stack[-1] != b else 0
+        elif op == "CMPLT":
+            b = stack.pop()
+            stack[-1] = 1 if stack[-1] < b else 0
+        elif op == "CMPLE":
+            b = stack.pop()
+            stack[-1] = 1 if stack[-1] <= b else 0
+        elif op == "CMPGT":
+            b = stack.pop()
+            stack[-1] = 1 if stack[-1] > b else 0
+        elif op == "CMPGE":
+            b = stack.pop()
+            stack[-1] = 1 if stack[-1] >= b else 0
+        elif op == "BOOL":
+            stack[-1] = 1 if stack[-1] else 0
+        elif op == "NOT":
+            stack[-1] = 0 if stack[-1] else 1
+        elif op == "DUP":
+            stack.append(stack[-1])
+        elif op == "POP":
+            stack.pop()
+        elif op == "JMP":
+            pc = insn.a
+            continue
+        elif op == "JZ":
+            if not stack.pop():
+                pc = insn.a
+                continue
+        elif op == "JNZ":
+            if stack.pop():
+                pc = insn.a
+                continue
+        elif op == "MAPLOOKUP":
+            stack[-1] = helpers.map_lookup(maps[insn.a], stack[-1])
+        elif op == "MAPHAS":
+            stack[-1] = helpers.map_has(maps[insn.a], stack[-1])
+        elif op == "MAPUPDATE":
+            value = stack.pop()
+            stack[-1] = helpers.map_update(maps[insn.a], stack[-1], value)
+        elif op == "MAPDELETE":
+            stack[-1] = helpers.map_delete(maps[insn.a], stack[-1])
+        elif op == "ATOMICADD":
+            delta = stack.pop()
+            stack[-1] = helpers.atomic_add(maps[insn.a], stack[-1], delta)
+        elif op == "RANDOM":
+            stack.append(rng.getrandbits(32))
+        elif op == "RET":
+            return ExecutionResult(stack.pop(), cycles, executed)
+        else:  # pragma: no cover - opcode table is closed
+            raise VmFault(f"unknown opcode {op}")
+        pc += 1
+
+    raise VmFault("control fell off the end (verifier bug?)")

@@ -1,0 +1,25 @@
+"""Experiment harnesses: one module per paper table/figure.
+
+Every harness returns a :class:`repro.stats.results.Table` whose rows mirror
+the series the paper plots, and accepts scale parameters (load grids,
+window lengths) so tests can run miniature versions while benchmarks run
+paper-scale sweeps.
+"""
+
+from repro.experiments.figure2 import run_figure2
+from repro.experiments.figure6 import run_figure6
+from repro.experiments.figure7 import run_figure7
+from repro.experiments.figure8 import run_figure8
+from repro.experiments.figure9 import run_figure9
+from repro.experiments.table2 import run_table2
+from repro.experiments.table3 import run_table3
+
+__all__ = [
+    "run_figure2",
+    "run_figure6",
+    "run_figure7",
+    "run_figure8",
+    "run_figure9",
+    "run_table2",
+    "run_table3",
+]

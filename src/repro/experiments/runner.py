@@ -1,0 +1,65 @@
+"""Shared experiment plumbing."""
+
+from repro.config import set_a
+from repro.core.hooks import Hook
+from repro.machine import Machine
+from repro.apps.rocksdb import RocksDbServer
+from repro.workload.generator import OpenLoopGenerator
+
+__all__ = ["RocksDbTestbed", "run_point"]
+
+
+class RocksDbTestbed:
+    """One RocksDB server machine + load generator, policy-parameterized.
+
+    ``policy`` is ``None`` (Vanilla Linux) or a tuple
+    ``(source, hook, constants)``; the thread policy (ghOSt) is supplied
+    separately as a factory taking the server (so it can grab map handles).
+    """
+
+    def __init__(
+        self,
+        policy=None,
+        thread_policy_factory=None,
+        num_threads=6,
+        config=None,
+        scheduler="pinned",
+        seed=1,
+        port=8080,
+        mark_scans=False,
+        mark_types=False,
+    ):
+        self.machine = Machine(
+            config if config is not None else set_a(), seed=seed,
+            scheduler=scheduler,
+        )
+        self.app = self.machine.register_app("rocksdb", ports=[port])
+        self.server = RocksDbServer(
+            self.machine, self.app, port, num_threads,
+            mark_scans=mark_scans, mark_types=mark_types,
+        )
+        self.port = port
+        if policy is not None:
+            source, hook, constants = policy
+            self.app.deploy_policy(source, hook, constants=constants)
+        if thread_policy_factory is not None:
+            thread_policy = thread_policy_factory(self.server)
+            self.app.deploy_policy(thread_policy, Hook.THREAD_SCHED)
+
+    def drive(self, rate_rps, mix, duration_us, warmup_us, stream="client",
+              user_id=0):
+        gen = OpenLoopGenerator(
+            self.machine, self.port, rate_rps, mix,
+            duration_us=duration_us, warmup_us=warmup_us, stream=stream,
+            user_id=user_id,
+        )
+        self.server.response_sink = gen.deliver_response
+        return gen
+
+
+def run_point(testbed_factory, rate_rps, mix, duration_us, warmup_us):
+    """Build a fresh testbed, drive one load point to completion."""
+    testbed = testbed_factory()
+    gen = testbed.drive(rate_rps, mix, duration_us, warmup_us).start()
+    testbed.machine.run()
+    return testbed, gen

@@ -1,0 +1,27 @@
+"""ghOSt-like userspace thread scheduling substrate.
+
+Reproduces the delegation architecture the paper uses for its Thread
+Scheduler hook (§4.1): a lightweight kernel scheduling class forwards
+thread state-change messages to a *spinning userspace agent* on a dedicated
+core; the agent runs the user's matching function and commits placement
+transactions back to the kernel, which IPIs the target cores.
+
+The costs the paper calls out are modeled: one core lost to the agent,
+per-message processing time, commit syscalls, and IPI + context-switch
+latency on the target core.  Isolation follows §4.3: an agent only sees and
+schedules the threads of its own enclave (application).
+"""
+
+from repro.ghost.agent import GhostAgent, SchedStatus
+from repro.ghost.enclave import Enclave
+from repro.ghost.messages import Message, MessageKind
+from repro.ghost.sched import GhostScheduler
+
+__all__ = [
+    "Enclave",
+    "GhostAgent",
+    "GhostScheduler",
+    "Message",
+    "MessageKind",
+    "SchedStatus",
+]

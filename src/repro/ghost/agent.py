@@ -1,0 +1,161 @@
+"""The spinning userspace agent.
+
+One agent per application policy, occupying a dedicated core (which is why
+Figure 8b's thread-scheduling variants top out slightly lower: "one of the
+cores has to be used by the scheduling agent").
+
+The loop mirrors ghOSt: drain the message queue (per-message cost), update
+local state, invoke the user-defined matching function, and commit the
+returned placements as transactions (commit syscall cost on the agent,
+IPI latency before the remote core switches).
+"""
+
+from collections import deque
+
+from repro.ghost.messages import MessageKind
+
+__all__ = ["CoreView", "GhostAgent", "SchedStatus"]
+
+
+class CoreView:
+    """Read-only snapshot of a core for policy code."""
+
+    __slots__ = ("cid", "thread", "pending")
+
+    def __init__(self, cid, thread, pending):
+        self.cid = cid
+        self.thread = thread       # KThread currently running, or None
+        self.pending = pending     # a commit is in flight to this core
+
+    @property
+    def idle(self):
+        return self.thread is None and not self.pending
+
+    def __repr__(self):
+        tid = self.thread.tid if self.thread else None
+        return f"<CoreView {self.cid} thread={tid} pending={self.pending}>"
+
+
+class SchedStatus:
+    """What a thread policy sees when invoked: its app's runnable threads
+    and the state of the cores it may use."""
+
+    def __init__(self, now, runnable, cores):
+        self.now = now
+        self.runnable = runnable       # list of KThread (enclave only)
+        self.cores = cores             # list of CoreView
+
+    def idle_cores(self):
+        return [c for c in self.cores if c.idle]
+
+    def __repr__(self):
+        return (
+            f"<SchedStatus t={self.now:.1f} runnable={len(self.runnable)} "
+            f"idle={len(self.idle_cores())}>"
+        )
+
+
+class GhostAgent:
+    """Drives a user thread policy over a :class:`GhostScheduler`."""
+
+    def __init__(self, engine, scheduler, enclave, policy, costs):
+        self.engine = engine
+        self.scheduler = scheduler
+        self.enclave = enclave
+        self.policy = policy
+        self.costs = costs
+        scheduler.agent = self
+        self.inbox = deque()
+        self._busy = False
+        self._pending_threads = set()
+        self.messages_processed = 0
+        self.commits = 0
+        self.failed_commits = 0
+        self.preemptions = 0
+        self.policy_errors = 0
+        self.last_error = None
+
+    # ------------------------------------------------------------------
+    def notify(self, message):
+        if message.thread is not None and message.thread not in self.enclave:
+            return  # isolation: foreign-app events are invisible
+        self.inbox.append(message)
+        if not self._busy:
+            self._busy = True
+            self.engine.call_soon(self._drain)
+
+    def _drain(self):
+        n = len(self.inbox)
+        if n == 0:
+            self._busy = False
+            return
+        for message in self.inbox:
+            if message.kind == MessageKind.THREAD_PREEMPTED:
+                self.preemptions += 1
+        self.inbox.clear()
+        self.messages_processed += n
+        self.engine.schedule(n * self.costs.ghost_msg_us, self._decide)
+
+    def _decide(self):
+        status = self._snapshot()
+        try:
+            placements = self.policy.schedule(status) or []
+        except Exception as exc:  # noqa: BLE001 - untrusted user policy
+            # A crashing policy is the deploying app's problem only: its
+            # threads stop being scheduled (they fall back to nothing, as
+            # in ghOSt where the enclave's threads idle), but the rest of
+            # the system is untouched (paper §3.2's reliability argument).
+            self.policy_errors += 1
+            self.last_error = exc
+            placements = []
+        delay = 0.0
+        for thread, core_id in placements:
+            try:
+                self.enclave.check(thread)
+            except Exception as exc:  # EnclaveViolation: contained, counted
+                self.policy_errors += 1
+                self.last_error = exc
+                continue
+            core = self.scheduler.cores[core_id]
+            if thread.tid in self._pending_threads or core.pending_commit:
+                continue  # stale decision; skip
+            self._pending_threads.add(thread.tid)
+            core.pending_commit = thread
+            delay += self.costs.ghost_commit_us
+            self.engine.schedule(
+                delay + self.costs.ghost_ipi_us, self._commit_effect, thread, core
+            )
+        self.engine.schedule(delay, self._after_work)
+
+    def _commit_effect(self, thread, core):
+        self._pending_threads.discard(thread.tid)
+        if self.scheduler.commit(thread, core):
+            self.commits += 1
+        else:
+            self.failed_commits += 1
+            # re-evaluate: the failed target may leave work stranded
+            if not self._busy:
+                self._busy = True
+                self.engine.call_soon(self._redecide)
+
+    def _redecide(self):
+        self.engine.schedule(self.costs.ghost_msg_us, self._decide)
+
+    def _after_work(self):
+        if self.inbox:
+            self._drain()
+        else:
+            self._busy = False
+
+    # ------------------------------------------------------------------
+    def _snapshot(self):
+        runnable = [
+            t
+            for t in self.enclave.threads()
+            if t.state == "runnable" and t.tid not in self._pending_threads
+        ]
+        cores = [
+            CoreView(i, c.thread, c.pending_commit is not None)
+            for i, c in enumerate(self.scheduler.cores)
+        ]
+        return SchedStatus(self.engine.now, runnable, cores)

@@ -1,0 +1,73 @@
+"""Kernel side of ghOSt: the scheduling class that defers to the agent.
+
+The kernel's role is mechanical (paper §4.1): detect state changes, notify
+the agent, and act on committed transactions by interrupting remote cores
+and context-switching.  All *decisions* happen in the userspace agent.
+"""
+
+from repro.ghost.messages import Message, MessageKind
+from repro.kernel.sched import ThreadScheduler
+from repro.kernel.threads import RUNNABLE
+
+__all__ = ["GhostScheduler"]
+
+
+class GhostScheduler(ThreadScheduler):
+    """Thread scheduler that forwards events to a ghOSt agent.
+
+    ``cores`` must exclude the core dedicated to the spinning agent (the
+    throughput cost the paper measures in Figure 8b).
+    """
+
+    def __init__(self, engine, cores, costs):
+        super().__init__(engine, cores, costs)
+        self.agent = None  # set by GhostAgent
+
+    # -- event forwarding -------------------------------------------------
+    def _notify(self, kind, thread, core=None):
+        if self.agent is not None:
+            self.agent.notify(
+                Message(kind, thread, core=core, time=self.engine.now)
+            )
+
+    def attach(self, thread):
+        super().attach(thread)
+        self._notify(MessageKind.THREAD_CREATED, thread)
+
+    def wake(self, thread):
+        thread.state = RUNNABLE
+        self._notify(MessageKind.THREAD_WAKEUP, thread)
+
+    def _core_idle(self, core):
+        # the blocked notification carries the freed core
+        self._notify(MessageKind.THREAD_BLOCKED, core.last_blocked, core.cid)
+
+    # -- transaction commit (called by the agent after commit+IPI delays) --
+    def commit(self, thread, core):
+        """Place ``thread`` on ``core``; returns False if the txn aborts.
+
+        Aborts mirror ghOSt's failed transactions: the target thread is no
+        longer runnable (it ran and blocked elsewhere) or is already on a
+        CPU.
+        """
+        core.pending_commit = None
+        if thread.state != RUNNABLE or not thread.ensure_work():
+            return False
+        if core.thread is thread:
+            return False
+        if core.thread is not None:
+            victim = self.preempt(core)
+            self._notify(MessageKind.THREAD_PREEMPTED, victim, core.cid)
+        self._dispatch(core, thread, self.costs.ctx_switch_us)
+        return True
+
+    # -- run-loop overrides ------------------------------------------------
+    def _run_end(self, core):
+        # remember who is about to block so _core_idle can report it
+        core.last_blocked = core.thread
+        super()._run_end(core)
+
+    def _work_continues(self, core, thread):
+        # ghOSt does not reschedule between requests; the thread keeps the
+        # core until it blocks or the agent preempts it.
+        self._continue_run(core, thread, float("inf"))

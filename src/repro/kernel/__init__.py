@@ -1,0 +1,21 @@
+"""Kernel model: CPU cores, threads, schedulers, sockets, network stack."""
+
+from repro.kernel.cpu import Core, FifoServer
+from repro.kernel.sched import PinnedScheduler, ThreadScheduler
+from repro.kernel.cfs import CfsScheduler
+from repro.kernel.netstack import NetStack
+from repro.kernel.sockets import ReuseportGroup, SocketTable, UdpSocket
+from repro.kernel.threads import KThread
+
+__all__ = [
+    "CfsScheduler",
+    "Core",
+    "FifoServer",
+    "KThread",
+    "NetStack",
+    "PinnedScheduler",
+    "ReuseportGroup",
+    "SocketTable",
+    "ThreadScheduler",
+    "UdpSocket",
+]

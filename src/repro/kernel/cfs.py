@@ -1,0 +1,104 @@
+"""A CFS-like baseline thread scheduler.
+
+Models what matters about CFS for the paper's §5.3 result: it timeslices
+fairly among runnable threads on a core and is *oblivious to request types*
+— it will not preempt a thread serving a 700 us SCAN because a thread
+holding a 10 us GET just woke up.  (Real CFS has vruntime bookkeeping and
+load balancing; we use per-core round-robin with a fixed timeslice and
+static thread→core assignment, a standard simplification that preserves the
+head-of-line behaviour under study.  DESIGN.md records the divergence.)
+"""
+
+from collections import deque
+
+from repro.kernel.sched import ThreadScheduler
+from repro.kernel.threads import BLOCKED, RUNNABLE
+
+__all__ = ["CfsScheduler"]
+
+
+class CfsScheduler(ThreadScheduler):
+    def __init__(self, engine, cores, costs):
+        super().__init__(engine, cores, costs)
+        self._rq = {core.cid: deque() for core in cores}
+
+    def attach(self, thread):
+        super().attach(thread)
+        if thread.home_core is None:
+            thread.home_core = (len(self.threads) - 1) % len(self.cores)
+
+    # ------------------------------------------------------------------
+    def wake(self, thread):
+        # Wake balancing: prefer the home core, else any idle core — CFS is
+        # work-conserving across cores (select_idle_sibling et al.).
+        core = self.cores[thread.home_core]
+        if core.thread is not None or self._rq[core.cid]:
+            for candidate in self.cores:
+                if candidate.thread is None and not self._rq[candidate.cid]:
+                    core = candidate
+                    break
+        thread.state = RUNNABLE
+        self._rq[core.cid].append(thread)
+        if core.thread is None:
+            self._pick_next(core)
+
+    def _pick_next(self, core):
+        rq = self._rq[core.cid]
+        while rq:
+            thread = rq.popleft()
+            if not thread.ensure_work():
+                # Raced: the work was drained elsewhere; leave it blocked.
+                thread.state = BLOCKED
+                continue
+            core.slice_end = (
+                self.engine.now + self.costs.ctx_switch_us + self.costs.timeslice_us
+            )
+            self._dispatch(
+                core, thread, self.costs.ctx_switch_us, self.costs.timeslice_us
+            )
+            return
+        # nothing runnable
+
+    def _core_idle(self, core):
+        self._pick_next(core)
+        if core.thread is None:
+            self._steal_into(core)
+
+    def _steal_into(self, core):
+        """Idle balancing: pull from the longest other runqueue."""
+        donor = max(
+            (c for c in self.cores if c is not core),
+            key=lambda c: len(self._rq[c.cid]),
+            default=None,
+        )
+        if donor is None or not self._rq[donor.cid]:
+            return
+        thread = self._rq[donor.cid].popleft()
+        self._rq[core.cid].append(thread)
+        self._pick_next(core)
+
+    def _work_continues(self, core, thread):
+        rq = self._rq[core.cid]
+        budget = core.slice_end - self.engine.now
+        if budget <= 0:
+            if rq:
+                thread.state = RUNNABLE
+                rq.append(thread)
+                core.thread = None
+                self._pick_next(core)
+                return
+            # alone on the core: renew the slice
+            core.slice_end = self.engine.now + self.costs.timeslice_us
+            budget = self.costs.timeslice_us
+        self._continue_run(core, thread, budget)
+
+    def _slice_expired(self, core, thread):
+        rq = self._rq[core.cid]
+        if rq:
+            thread.state = RUNNABLE
+            rq.append(thread)
+            core.thread = None
+            self._pick_next(core)
+        else:
+            core.slice_end = self.engine.now + self.costs.timeslice_us
+            self._continue_run(core, thread, self.costs.timeslice_us)

@@ -1,0 +1,121 @@
+"""UDP sockets, SO_REUSEPORT groups, and the socket table.
+
+Sockets have finite backlogs; overflowing datagrams are dropped and counted
+— the mechanism behind Figure 2b's "% Dropped Requests".  A
+:class:`ReuseportGroup` is the executor set of the Socket Select hook: many
+sockets bound to one port, one scheduling decision per incoming datagram.
+"""
+
+from collections import deque
+
+from repro.net.rss import rss_hash
+
+__all__ = ["ReuseportGroup", "SocketTable", "UdpSocket"]
+
+
+class UdpSocket:
+    """A UDP socket with a bounded datagram backlog."""
+
+    __slots__ = (
+        "sid",
+        "app",
+        "port",
+        "backlog",
+        "queue",
+        "thread",
+        "is_af_xdp",
+        "drops",
+        "enqueued",
+        "on_enqueue",
+    )
+
+    _next_sid = [1]
+
+    def __init__(self, port, app=None, backlog=256, is_af_xdp=False):
+        self.sid = UdpSocket._next_sid[0]
+        UdpSocket._next_sid[0] += 1
+        self.port = port
+        self.app = app
+        self.backlog = backlog
+        self.queue = deque()
+        self.thread = None        # KThread woken on enqueue
+        self.is_af_xdp = is_af_xdp
+        self.drops = 0
+        self.enqueued = 0
+        self.on_enqueue = None    # app callback(packet) — e.g. type marking
+
+    def enqueue(self, packet):
+        """Deliver a datagram; returns False (and counts a drop) when full."""
+        if len(self.queue) >= self.backlog:
+            self.drops += 1
+            return False
+        self.queue.append(packet)
+        self.enqueued += 1
+        if self.on_enqueue is not None:
+            self.on_enqueue(packet)
+        if self.thread is not None:
+            self.thread.wake()
+        return True
+
+    def pop(self):
+        """Dequeue the next datagram (None if empty)."""
+        return self.queue.popleft() if self.queue else None
+
+    def __len__(self):
+        return len(self.queue)
+
+    def __repr__(self):
+        return f"<UdpSocket port={self.port} sid={self.sid} qlen={len(self.queue)}>"
+
+
+class ReuseportGroup:
+    """All sockets bound to one UDP port with SO_REUSEPORT."""
+
+    def __init__(self, port):
+        self.port = port
+        self.sockets = []
+
+    def add(self, socket):
+        if socket.port != self.port:
+            raise ValueError(
+                f"socket bound to {socket.port}, group is for {self.port}"
+            )
+        self.sockets.append(socket)
+        return len(self.sockets) - 1
+
+    def default_select(self, packet):
+        """Linux's default: hash of the datagram's 5-tuple."""
+        return rss_hash(packet.flow, salt=0x5EED) % len(self.sockets)
+
+    def __len__(self):
+        return len(self.sockets)
+
+    def __getitem__(self, index):
+        return self.sockets[index]
+
+    def total_drops(self):
+        return sum(s.drops for s in self.sockets)
+
+    def total_enqueued(self):
+        return sum(s.enqueued for s in self.sockets)
+
+
+class SocketTable:
+    """Port -> reuseport group."""
+
+    def __init__(self):
+        self._groups = {}
+
+    def bind(self, socket):
+        """Bind ``socket``; creates the port's group on first bind."""
+        group = self._groups.get(socket.port)
+        if group is None:
+            group = self._groups[socket.port] = ReuseportGroup(socket.port)
+        group.add(socket)
+        return group
+
+    def group(self, port):
+        return self._groups.get(port)
+
+    def ports(self):
+        return sorted(self._groups)

@@ -1,0 +1,98 @@
+"""The simulated server: engine + NIC + kernel + Syrup, assembled.
+
+This is the top-level object experiments build on::
+
+    machine = Machine(set_a(), seed=1, scheduler="pinned")
+    app = machine.register_app("rocksdb", ports=[8080])
+    app.deploy_policy(ROUND_ROBIN_SRC, Hook.SOCKET_SELECT,
+                      constants={"NUM_THREADS": 6})
+    machine.run(until=1_000_000)   # one simulated second
+"""
+
+from repro.config import MachineConfig
+from repro.core.syrupd import Syrupd
+from repro.ghost.sched import GhostScheduler
+from repro.kernel.cfs import CfsScheduler
+from repro.kernel.cpu import Core
+from repro.kernel.netstack import NetStack
+from repro.kernel.sched import PinnedScheduler
+from repro.kernel.sockets import UdpSocket
+from repro.net.nic import Nic
+from repro.sim.engine import Engine
+from repro.sim.rng import RngStreams
+
+__all__ = ["Machine"]
+
+_SCHEDULERS = {
+    "pinned": PinnedScheduler,
+    "cfs": CfsScheduler,
+    "ghost": GhostScheduler,
+}
+
+
+class Machine:
+    """One simulated end host."""
+
+    def __init__(self, config=None, seed=0, scheduler="pinned", engine=None):
+        if scheduler not in _SCHEDULERS:
+            raise ValueError(
+                f"scheduler must be one of {sorted(_SCHEDULERS)}, "
+                f"got {scheduler!r}"
+            )
+        self.config = config if config is not None else MachineConfig()
+        self.costs = self.config.costs
+        # Pass a shared engine to co-simulate several machines (the
+        # rack-scale extension in repro.cluster).
+        self.engine = engine if engine is not None else Engine()
+        self.streams = RngStreams(seed)
+        self.cores = [Core(i) for i in range(self.config.num_app_cores)]
+        self.scheduler_kind = scheduler
+        if scheduler == "ghost":
+            if len(self.cores) < 2:
+                raise ValueError("ghOSt needs at least 2 cores (1 for the agent)")
+            # The spinning agent occupies the last core (paper §5.3: "one is
+            # reserved for the spinning ghOSt agent").
+            self.agent_core = self.cores[-1]
+            sched_cores = self.cores[:-1]
+        else:
+            self.agent_core = None
+            sched_cores = self.cores
+        self.scheduler = _SCHEDULERS[scheduler](
+            self.engine, sched_cores, self.costs
+        )
+        salt = self.streams.get("rss-salt").getrandbits(32)
+        self.nic = Nic(self.engine, self.config.nic, self.costs, salt=salt)
+        self.netstack = NetStack(self.engine, self.config)
+        self.nic.deliver = self.netstack.deliver_from_nic
+        self.syrupd = Syrupd(self)
+
+    # ------------------------------------------------------------------
+    @property
+    def now(self):
+        return self.engine.now
+
+    def register_app(self, name, ports):
+        return self.syrupd.register_app(name, ports)
+
+    def create_udp_socket(self, app, port, is_af_xdp=False):
+        """Create a socket; non-AF_XDP sockets bind into the socket table
+        (SO_REUSEPORT semantics: same port -> same group)."""
+        socket = UdpSocket(
+            port,
+            app=app.name if app else None,
+            backlog=self.config.socket_backlog,
+            is_af_xdp=is_af_xdp,
+        )
+        if not is_af_xdp:
+            self.netstack.socket_table.bind(socket)
+        return socket
+
+    def run(self, until=None):
+        """Advance the simulation (time in microseconds)."""
+        self.engine.run(until=until)
+
+    def __repr__(self):
+        return (
+            f"<Machine {self.config.name} cores={len(self.cores)} "
+            f"sched={self.scheduler_kind} t={self.engine.now:.0f}us>"
+        )

@@ -1,0 +1,14 @@
+"""Network substrate: packets, flows, RSS hashing, and the NIC model."""
+
+from repro.net.nic import Nic, NicDropReason
+from repro.net.packet import FiveTuple, Packet, build_payload
+from repro.net.rss import rss_hash
+
+__all__ = [
+    "FiveTuple",
+    "Nic",
+    "NicDropReason",
+    "Packet",
+    "build_payload",
+    "rss_hash",
+]

@@ -1,0 +1,66 @@
+"""NIC model: RX queues, RSS steering, optional on-NIC (offloaded) policies.
+
+The XDP Offload hook site (``classifier``) follows the same duck-typed
+protocol as the kernel hook sites (see :mod:`repro.kernel.netstack`): when a
+Syrup program is offloaded, it picks the RX queue; otherwise RSS does.  A
+smartNIC runs the policy at line rate, so no host CPU time is charged — the
+price is paid elsewhere: userspace access to NIC-resident maps is ~25x
+slower (Table 3), modeled in :mod:`repro.core.maps`.
+"""
+
+from repro.net.rss import rss_queue
+
+__all__ = ["Nic", "NicDropReason"]
+
+
+class NicDropReason:
+    OFFLOAD_DROP = "offload_drop"
+    NO_HANDLER = "no_handler"
+
+
+class Nic:
+    def __init__(self, engine, spec, costs, salt=0):
+        self.engine = engine
+        self.spec = spec
+        self.costs = costs
+        self.salt = salt
+        #: XDP Offload hook site (None, or requires spec.supports_offload).
+        self.classifier = None
+        #: Delivery callback: fn(queue_index, packet); normally
+        #: NetStack.deliver_from_nic.
+        self.deliver = None
+        self.rx_packets = 0
+        self.drops = {
+            NicDropReason.OFFLOAD_DROP: 0,
+            NicDropReason.NO_HANDLER: 0,
+        }
+
+    def attach_classifier(self, hook_site):
+        if not self.spec.supports_offload:
+            raise ValueError(
+                f"NIC {self.spec.model!r} does not support XDP offload"
+            )
+        self.classifier = hook_site
+
+    def receive(self, packet):
+        """A packet arrives from the wire."""
+        self.rx_packets += 1
+        if self.deliver is None:
+            self.drops[NicDropReason.NO_HANDLER] += 1
+            return
+        queue = None
+        if self.classifier is not None:
+            action, target = self.classifier.decide(packet)
+            if action == "drop":
+                self.drops[NicDropReason.OFFLOAD_DROP] += 1
+                return
+            if action == "target":
+                queue = target % self.spec.num_queues
+        if queue is None:
+            queue = rss_queue(packet.flow, self.spec.num_queues, self.salt)
+        packet.rx_queue = queue
+        delay = self.spec.rx_process_us + self.costs.irq_delay_us
+        self.engine.schedule(delay, self.deliver, queue, packet)
+
+    def __repr__(self):
+        return f"<Nic {self.spec.model} queues={self.spec.num_queues}>"

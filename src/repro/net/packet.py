@@ -1,0 +1,101 @@
+"""Packets and flows.
+
+A simulated datagram carries real bytes so that Syrup policies genuinely
+parse packet contents (the paper's SITA and token policies "peek into the
+packet").  Layout (little-endian, documented divergence from network order):
+
+====== ===== =====================================================
+offset width field
+====== ===== =====================================================
+0      2     UDP source port
+2      2     UDP destination port
+4      2     UDP length
+6      2     UDP checksum (always 0 here)
+8      ...   application payload (see :func:`build_payload`)
+====== ===== =====================================================
+
+The standard application header used by the paper's workloads (RocksDB and
+MICA requests) puts a u64 request type at payload offset 0 (packet offset
+8, "First 8 bytes are UDP header" — Fig. 5d), then u64 user id, u64 key
+hash, u64 request id.
+"""
+
+import struct
+from collections import namedtuple
+
+__all__ = [
+    "APP_KEYHASH_OFF",
+    "APP_REQID_OFF",
+    "APP_TYPE_OFF",
+    "APP_USER_OFF",
+    "UDP_HEADER_LEN",
+    "FiveTuple",
+    "Packet",
+    "build_payload",
+]
+
+UDP_HEADER_LEN = 8
+APP_TYPE_OFF = 8
+APP_USER_OFF = 16
+APP_KEYHASH_OFF = 24
+APP_REQID_OFF = 32
+
+FiveTuple = namedtuple(
+    "FiveTuple", ["src_ip", "src_port", "dst_ip", "dst_port", "proto"]
+)
+
+_HEADER = struct.Struct("<HHHH")
+_APP = struct.Struct("<QQQQ")
+
+
+def build_payload(req_type, user_id=0, key_hash=0, req_id=0, extra=b""):
+    """Serialize the standard application header (+ optional extra bytes)."""
+    return _APP.pack(req_type, user_id, key_hash, req_id) + extra
+
+
+class Packet:
+    """A UDP datagram in flight.
+
+    ``data`` holds the full bytes (UDP header + payload); ``request`` is an
+    optional reference to the application-level request object so the
+    simulator does not need to re-parse bytes outside of policy code.
+    """
+
+    __slots__ = ("flow", "data", "length", "sent_at", "request", "rx_queue",
+                 "softirq_core")
+
+    def __init__(self, flow, payload, sent_at=0.0, request=None):
+        header = _HEADER.pack(
+            flow.src_port, flow.dst_port, UDP_HEADER_LEN + len(payload), 0
+        )
+        self.data = header + payload
+        self.length = len(self.data)
+        self.flow = flow
+        self.sent_at = sent_at
+        self.request = request
+        self.rx_queue = None      # filled in by the NIC delivery path
+        self.softirq_core = None  # which softirq core ran protocol processing
+
+    @property
+    def is_tcp(self):
+        return self.flow.proto == 6
+
+    def load(self, offset, width):
+        """Read ``width`` bytes at ``offset`` (little-endian unsigned).
+
+        Raises IndexError when out of bounds — the verifier guarantees
+        policy code never triggers this.
+        """
+        end = offset + width
+        if offset < 0 or end > self.length:
+            raise IndexError(
+                f"packet load [{offset}:{end}) out of bounds (len={self.length})"
+            )
+        return int.from_bytes(self.data[offset:end], "little")
+
+    @property
+    def dst_port(self):
+        return self.flow.dst_port
+
+    def __repr__(self):
+        return f"<Packet {self.flow} len={self.length}>"

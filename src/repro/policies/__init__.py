@@ -1,0 +1,34 @@
+"""The paper's scheduling policies, written against the Syrup API.
+
+Network-hook policies (:mod:`repro.policies.builtin`) are source strings in
+the safe subset — they are compiled, verified, and executed as programs.
+Thread policies (:mod:`repro.policies.thread_policies`) are userspace
+objects driven by the ghOSt agent.
+"""
+
+from repro.policies.builtin import (
+    DYNAMIC_ROUND_ROBIN,
+    HASH_BY_FLOW,
+    MICA_HASH,
+    RFS_STEERING,
+    ROUND_ROBIN,
+    SCAN_AVOID,
+    SITA,
+    TOKEN_BASED,
+)
+from repro.policies.thread_policies import FifoThreadPolicy, GetPriorityPolicy
+from repro.policies.token_agent import TokenAgent
+
+__all__ = [
+    "DYNAMIC_ROUND_ROBIN",
+    "FifoThreadPolicy",
+    "GetPriorityPolicy",
+    "HASH_BY_FLOW",
+    "MICA_HASH",
+    "RFS_STEERING",
+    "ROUND_ROBIN",
+    "SCAN_AVOID",
+    "SITA",
+    "TOKEN_BASED",
+    "TokenAgent",
+]

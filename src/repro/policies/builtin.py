@@ -1,0 +1,146 @@
+"""Network-hook policy sources (paper Figure 5 and §3.3-3.4).
+
+Each is a policy file in the safe subset; deploy with::
+
+    app.deploy_policy(ROUND_ROBIN, Hook.SOCKET_SELECT,
+                      constants={"NUM_THREADS": 6})
+
+Compile-time constants (``NUM_THREADS``, ``NUM_EXECUTORS``, ...) are passed
+at deploy time, exactly as the paper notes for its round-robin example.
+Packet layout: u64 request type at offset 8 (right after the UDP header),
+u64 user id at 16, u64 key hash at 24 (see :mod:`repro.net.packet`).
+"""
+
+__all__ = [
+    "DYNAMIC_ROUND_ROBIN",
+    "HASH_BY_FLOW",
+    "MICA_HASH",
+    "RFS_STEERING",
+    "ROUND_ROBIN",
+    "SCAN_AVOID",
+    "SITA",
+    "TOKEN_BASED",
+]
+
+#: §3.3's example: hash the UDP header — the portable policy that can pick
+#: NIC queues, cores, or sockets.  (With few flows this reproduces the
+#: vanilla imbalance; it exists to demonstrate portability and as a
+#: baseline.)  Hashes source+dest port words.
+HASH_BY_FLOW = '''
+def schedule(pkt):
+    if pkt_len(pkt) < 8:
+        return PASS
+    ports = load_u32(pkt, 0)
+    h = (ports * 2654435761) % 4294967296
+    return h % NUM_EXECUTORS
+'''
+
+#: Figure 5a: round robin over sockets.  The non-atomic increment's benign
+#: races are fine (paper: they "do not affect the policy's performance").
+ROUND_ROBIN = '''
+idx = 0
+
+def schedule(pkt):
+    global idx
+    idx += 1
+    return idx % NUM_THREADS
+'''
+
+#: Figure 5c: probe random sockets, avoid any currently serving a SCAN.
+#: The userspace half (Fig. 5b) lives in RocksDbServer(mark_scans=True).
+SCAN_AVOID = '''
+scan_map = syr_map("scan_map", 64)
+
+def schedule(pkt):
+    cur_idx = 0
+    for i in range(NUM_THREADS):
+        cur_idx = get_random() % NUM_THREADS
+        scan = map_lookup(scan_map, cur_idx)
+        # Stop searching when a non-SCAN socket is found.
+        if scan == 0:
+            break
+    return cur_idx
+'''
+
+#: Figure 5d: Size Interval Task Assignment — SCANs to socket 0, GETs
+#: round-robin over the rest.  Peeks at the request type in the payload.
+SITA = '''
+idx = 0
+
+def schedule(pkt):
+    global idx
+    if pkt_len(pkt) < 16:
+        return PASS
+    # First 8 bytes are the UDP header.
+    rtype = load_u64(pkt, 8)
+    if rtype == SCAN_TYPE:
+        return 0
+    idx += 1
+    return (idx % (NUM_THREADS - 1)) + 1
+'''
+
+#: §3.4 / §5.2.2: token-based QoS.  A userspace agent (TokenAgent) refills
+#: the latency-sensitive user's bucket each epoch and gifts leftovers to
+#: the best-effort user; requests without tokens are dropped.  Admitted
+#: requests are spread round-robin.
+TOKEN_BASED = '''
+token_map = syr_map("token_map", 16)
+idx = 0
+
+def schedule(pkt):
+    global idx
+    if pkt_len(pkt) < 24:
+        return PASS
+    user_id = load_u64(pkt, 16)
+    tokens = map_lookup(token_map, user_id)
+    if tokens == 0:
+        return DROP
+    atomic_add(token_map, user_id, -1)
+    idx += 1
+    return idx % NUM_THREADS
+'''
+
+#: §5.2 footnote: "NUM_THREADS is a compile-time parameter, but it can
+#: alternatively be read dynamically from a Map at run time."  This variant
+#: does exactly that — the app updates executor_count_map[0] as it scales
+#: its socket pool up or down, with no redeploy.
+DYNAMIC_ROUND_ROBIN = '''
+executor_count_map = syr_map("executor_count", 1)
+idx = 0
+
+def schedule(pkt):
+    global idx
+    n = map_lookup(executor_count_map, 0)
+    if n == 0:
+        return PASS
+    idx += 1
+    return idx % n
+'''
+
+#: §2.1: Receive Flow Steering at the CPU Redirect hook — keep protocol
+#: processing on the consuming core's hyperthread buddy for cache locality.
+#: The kernel/app half publishes flow->core into rfs_map on every delivery
+#: (EchoServer(rfs=True)); unknown flows PASS to the default (RSS) core.
+RFS_STEERING = '''
+rfs_map = syr_map("rfs_map", 1024)
+
+def schedule(pkt):
+    if pkt_len(pkt) < 4:
+        return PASS
+    key = load_u32(pkt, 0) % 1024
+    core = map_lookup(rfs_map, key)
+    if map_has(rfs_map, key):
+        return core
+    return PASS
+'''
+
+#: §5.4: MICA key-hash steering — the same source deploys at the kernel
+#: AF_XDP hook (executors = AF_XDP sockets) and on the smartNIC
+#: (executors = NIC RX queues): Syrup's portability claim.
+MICA_HASH = '''
+def schedule(pkt):
+    if pkt_len(pkt) < 32:
+        return PASS
+    key_hash = load_u64(pkt, 24)
+    return key_hash % NUM_EXECUTORS
+'''

@@ -1,0 +1,63 @@
+"""Thread-scheduling policies (ghOSt backend, paper §5.3).
+
+These run in userspace inside the agent: plain Python objects exposing
+``schedule(status) -> [(thread, core_index), ...]``.  They read
+application-populated Syrup Maps to make request-aware decisions — the
+cross-layer communication the Map abstraction exists for.
+"""
+
+from repro.workload.requests import GET, SCAN
+
+__all__ = ["FifoThreadPolicy", "GetPriorityPolicy"]
+
+
+class FifoThreadPolicy:
+    """Work-conserving FIFO: place runnable threads onto idle cores."""
+
+    def schedule(self, status):
+        placements = []
+        idle = status.idle_cores()
+        for thread, core in zip(status.runnable, idle):
+            placements.append((thread, core.cid))
+        return placements
+
+
+class GetPriorityPolicy:
+    """Shinjuku-style strict priority for GET-serving threads (§5.3).
+
+    Threads whose pending/current request is a GET (per the app-populated
+    ``type_map``) are placed first and may preempt threads processing
+    SCANs.  SCAN threads run on whatever is left.
+    """
+
+    def __init__(self, type_map):
+        self.type_map = type_map
+
+    def _rtype(self, thread):
+        value = self.type_map.lookup(thread.tid)
+        return 0 if value is None else value
+
+    def schedule(self, status):
+        gets = [t for t in status.runnable if self._rtype(t) == GET]
+        others = [t for t in status.runnable if self._rtype(t) != GET]
+        placements = []
+        idle = status.idle_cores()
+        # 1) idle cores: GETs first, then the rest.
+        queue = gets + others
+        for core in idle:
+            if not queue:
+                break
+            placements.append((queue.pop(0), core.cid))
+        # 2) remaining GETs may preempt cores running SCAN threads.
+        gets_left = [t for t in queue if self._rtype(t) == GET]
+        if gets_left:
+            victims = [
+                core
+                for core in status.cores
+                if core.thread is not None
+                and not core.pending
+                and self._rtype(core.thread) == SCAN
+            ]
+            for thread, core in zip(gets_left, victims):
+                placements.append((thread, core.cid))
+        return placements

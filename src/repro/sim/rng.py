@@ -1,0 +1,44 @@
+"""Named deterministic RNG streams.
+
+Every stochastic component of the simulation (load generator, hash salt,
+service-time draws, policy randomness) pulls from its own named stream so
+that changing one component's consumption pattern never perturbs another's —
+the property that makes A/B policy comparisons paired rather than noisy.
+"""
+
+import hashlib
+import random
+
+__all__ = ["RngStreams"]
+
+
+class RngStreams:
+    """A factory of independently-seeded :class:`random.Random` streams.
+
+    >>> streams = RngStreams(seed=7)
+    >>> a = streams.get("arrivals")
+    >>> b = streams.get("service")
+    >>> streams.get("arrivals") is a
+    True
+    """
+
+    def __init__(self, seed=0):
+        self.seed = seed
+        self._streams = {}
+
+    def get(self, name):
+        """Return the stream for ``name``, creating it on first use."""
+        stream = self._streams.get(name)
+        if stream is None:
+            digest = hashlib.sha256(f"{self.seed}/{name}".encode()).digest()
+            stream = random.Random(int.from_bytes(digest[:8], "big"))
+            self._streams[name] = stream
+        return stream
+
+    def fork(self, name):
+        """Derive a child :class:`RngStreams` with an independent seed space."""
+        digest = hashlib.sha256(f"{self.seed}//{name}".encode()).digest()
+        return RngStreams(int.from_bytes(digest[:8], "big"))
+
+    def names(self):
+        return sorted(self._streams)

@@ -1,0 +1,37 @@
+"""Periodic timers built on the engine."""
+
+__all__ = ["PeriodicTimer"]
+
+
+class PeriodicTimer:
+    """Invoke ``fn()`` every ``period`` microseconds until stopped.
+
+    Used for control-plane loops such as the token-replenishment agent
+    (paper section 3.4: userspace code replenishes tokens each epoch).
+    """
+
+    def __init__(self, engine, period, fn, start_at=None):
+        if period <= 0:
+            raise ValueError("period must be positive")
+        self.engine = engine
+        self.period = period
+        self.fn = fn
+        self.fires = 0
+        self._stopped = False
+        first = engine.now + period if start_at is None else start_at
+        self._event = engine.at(first, self._tick)
+
+    def _tick(self):
+        if self._stopped:
+            return
+        self.fires += 1
+        self.fn()
+        if not self._stopped:
+            self._event = self.engine.schedule(self.period, self._tick)
+
+    def stop(self):
+        """Stop the timer; pending tick (if any) is cancelled."""
+        self._stopped = True
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None

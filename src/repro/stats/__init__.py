@@ -1,0 +1,14 @@
+"""Measurement utilities: latency distributions, counters, result tables."""
+
+from repro.stats.latency import LatencyRecorder
+from repro.stats.meters import Counter, WindowedRate
+from repro.stats.results import Row, Table, format_table
+
+__all__ = [
+    "Counter",
+    "LatencyRecorder",
+    "Row",
+    "Table",
+    "WindowedRate",
+    "format_table",
+]

@@ -1,0 +1,54 @@
+"""Counters and rate meters."""
+
+__all__ = ["Counter", "WindowedRate"]
+
+
+class Counter:
+    """A tag-keyed counter (completions, drops, etc.) with warmup discard."""
+
+    def __init__(self, warmup_until=0.0):
+        self.warmup_until = warmup_until
+        self._counts = {}
+
+    def add(self, now, tag, n=1):
+        if now < self.warmup_until:
+            return
+        self._counts[tag] = self._counts.get(tag, 0) + n
+
+    def get(self, tag):
+        return self._counts.get(tag, 0)
+
+    def total(self):
+        return sum(self._counts.values())
+
+    def as_dict(self):
+        return dict(self._counts)
+
+    def __repr__(self):
+        return f"Counter({self._counts!r})"
+
+
+class WindowedRate:
+    """Converts a counter measured over a time window into a rate.
+
+    >>> rate = WindowedRate(start=1000.0)
+    >>> rate.add(1500.0)
+    >>> rate.add(2000.0)
+    >>> rate.per_second(end=2000.0)  # 2 events over 1000 us
+    2000.0
+    """
+
+    def __init__(self, start=0.0):
+        self.start = start
+        self.count = 0
+
+    def add(self, now, n=1):
+        if now >= self.start:
+            self.count += n
+
+    def per_second(self, end):
+        """Rate in events/second over [start, end] (times in microseconds)."""
+        window_us = end - self.start
+        if window_us <= 0:
+            return 0.0
+        return self.count / (window_us / 1e6)

@@ -1,0 +1,91 @@
+"""ASCII plots for experiment tables.
+
+The paper's figures are load-vs-latency curves; rendering them directly in
+the terminal makes `python -m repro figure6 --plot` self-contained — no
+matplotlib dependency, no files to open.
+"""
+
+import math
+
+__all__ = ["ascii_plot", "plot_table"]
+
+_MARKS = "ox+*#@%&"
+
+
+def _fmt_val(v):
+    if v >= 1_000_000:
+        return f"{v / 1e6:.1f}M"
+    if v >= 1_000:
+        return f"{v / 1e3:.0f}K"
+    return f"{v:.0f}"
+
+
+def ascii_plot(series, width=64, height=16, title="", x_label="",
+               y_label="", log_y=False):
+    """Render named (x, y) series as an ASCII scatter/line chart.
+
+    Args:
+        series: dict name -> list of (x, y) points (NaN ys are skipped).
+        log_y: log-scale the y axis (tail-latency plots need it).
+    """
+    points = {
+        name: [(x, y) for x, y in pts
+               if y is not None and not math.isnan(y) and (not log_y or y > 0)]
+        for name, pts in series.items()
+    }
+    all_pts = [p for pts in points.values() for p in pts]
+    if not all_pts:
+        return f"{title}\n(no data)"
+    xs = [p[0] for p in all_pts]
+    ys = [p[1] for p in all_pts]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if log_y:
+        y_lo, y_hi = math.log10(y_lo), math.log10(y_hi)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for mark, (name, pts) in zip(_MARKS, points.items()):
+        for x, y in pts:
+            if log_y:
+                y = math.log10(y)
+            col = int((x - x_lo) / x_span * (width - 1))
+            row = (height - 1) - int((y - y_lo) / y_span * (height - 1))
+            grid[row][col] = mark
+
+    lines = []
+    if title:
+        lines.append(title)
+    y_top = 10 ** y_hi if log_y else y_hi
+    y_bot = 10 ** y_lo if log_y else y_lo
+    for i, row in enumerate(grid):
+        if i == 0:
+            label = _fmt_val(y_top)
+        elif i == height - 1:
+            label = _fmt_val(y_bot)
+        else:
+            label = ""
+        lines.append(f"{label:>8} |{''.join(row)}")
+    lines.append(" " * 9 + "+" + "-" * width)
+    lines.append(f"{'':9}{_fmt_val(x_lo)}{x_label:^{max(width - 12, 1)}}"
+                 f"{_fmt_val(x_hi)}")
+    legend = "   ".join(
+        f"{mark}={name}" for mark, name in zip(_MARKS, points)
+    )
+    lines.append(f"{'':9}{legend}")
+    if y_label:
+        lines.append(f"{'':9}y: {y_label}" + ("  (log scale)" if log_y else ""))
+    return "\n".join(lines)
+
+
+def plot_table(table, series_col, x_col, y_col, log_y=True, **kwargs):
+    """Plot one Table: one series per distinct ``series_col`` value."""
+    series = {}
+    for row in table:
+        name = str(row.get(series_col))
+        series.setdefault(name, []).append((row.get(x_col), row.get(y_col)))
+    kwargs.setdefault("title", table.title)
+    kwargs.setdefault("x_label", x_col)
+    kwargs.setdefault("y_label", y_col)
+    return ascii_plot(series, log_y=log_y, **kwargs)

@@ -1,0 +1,82 @@
+"""Result tables for experiment harnesses.
+
+Every benchmark prints the same rows/series the paper reports; these helpers
+keep that output consistent and machine-greppable.
+"""
+
+__all__ = ["Row", "Table", "format_table"]
+
+
+class Row:
+    """One row of an experiment table: an ordered mapping of column→value."""
+
+    def __init__(self, **columns):
+        self.columns = dict(columns)
+
+    def __getitem__(self, key):
+        return self.columns[key]
+
+    def get(self, key, default=None):
+        return self.columns.get(key, default)
+
+    def __repr__(self):
+        inner = ", ".join(f"{k}={v!r}" for k, v in self.columns.items())
+        return f"Row({inner})"
+
+
+class Table:
+    """A titled list of :class:`Row` with stable column order."""
+
+    def __init__(self, title, columns):
+        self.title = title
+        self.columns = list(columns)
+        self.rows = []
+
+    def add(self, **values):
+        unknown = set(values) - set(self.columns)
+        if unknown:
+            raise KeyError(f"unknown columns {sorted(unknown)} for {self.title!r}")
+        self.rows.append(Row(**values))
+        return self.rows[-1]
+
+    def column(self, name):
+        """All values of one column, in row order."""
+        return [row.get(name) for row in self.rows]
+
+    def render(self):
+        return format_table(self.title, self.columns, self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __len__(self):
+        return len(self.rows)
+
+
+def _fmt(value):
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_table(title, columns, rows):
+    """Render rows as an aligned ASCII table (paper-style)."""
+    headers = [str(c) for c in columns]
+    body = [[_fmt(row.get(c)) for c in columns] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in body)) if body else len(headers[i])
+        for i in range(len(headers))
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [f"== {title} =="]
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for r in body:
+        lines.append(" | ".join(v.rjust(w) for v, w in zip(r, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,21 @@
+"""Storage backend extension (paper §6.1).
+
+"One natural extension for Syrup's scheduling model is storage; we can use
+Syrup to match IO requests with storage device queues."  This package
+implements that extension: a flash device model with multiple NVMe-style
+queues (executors), IO requests (inputs), an IO scheduling hook with the
+same matching shape as the network hooks, and a ReFlex-style token policy
+for multi-tenant SLO enforcement — the policy the paper's §3.4 example is
+modeled on.
+"""
+
+from repro.storage.device import FlashCosts, IoRequest, NvmeDevice
+from repro.storage.iosched import IoHook, IoTokenPolicy
+
+__all__ = [
+    "FlashCosts",
+    "IoHook",
+    "IoRequest",
+    "IoTokenPolicy",
+    "NvmeDevice",
+]

@@ -1,0 +1,92 @@
+"""syrupctl: operator-facing inspection of a running machine.
+
+The bpftool/`ghostctl` analogue — renders what syrupd knows about a live
+machine: deployed policies (with run counts and costs), pinned maps (with
+contents), hook sites and port rules, executor maps, and scheduler state.
+Used interactively from examples/notebooks and by operators debugging a
+policy that "deployed fine but does nothing".
+"""
+
+from repro.stats.results import Table
+
+__all__ = ["dump_map", "render_deployments", "render_maps", "render_status"]
+
+
+def render_deployments(machine):
+    """One row per deployed policy, bpftool-prog-show style."""
+    table = Table(
+        "deployed policies",
+        ["fd", "app", "hook", "name", "invocations", "insns",
+         "cycle_estimate", "commits", "policy_errors"],
+    )
+    for row in machine.syrupd.status():
+        table.add(**{k: v for k, v in row.items() if k in table.columns})
+    return table.render()
+
+
+def render_maps(machine, max_entries=8):
+    """Every pinned map: path, placement, size, and leading entries."""
+    registry = machine.syrupd.registry
+    lines = ["== pinned maps =="]
+    for path in registry.paths():
+        syrup_map = registry._pinned[path]
+        entries = syrup_map.items()
+        preview = ", ".join(f"{k}:{v}" for k, v in entries[:max_entries])
+        if len(entries) > max_entries:
+            preview += ", ..."
+        lines.append(
+            f"{path}  [{syrup_map.bpf_map.kind}, "
+            f"{len(entries)}/{syrup_map.bpf_map.max_entries}, "
+            f"{syrup_map.placement}]  {{{preview}}}"
+        )
+    if len(lines) == 1:
+        lines.append("(none)")
+    return "\n".join(lines)
+
+
+def dump_map(machine, app_name, map_name):
+    """Full contents of one app's pinned map, as a dict."""
+    registry = machine.syrupd.registry
+    path = registry.pin_path(app_name, map_name)
+    syrup_map = registry.open(path, app_name)
+    return dict(syrup_map.items())
+
+
+def _hook_lines(machine):
+    lines = ["== hook sites =="]
+    sites = machine.syrupd._sites
+    if not sites:
+        lines.append("(none provisioned)")
+    for hook, site in sorted(sites.items()):
+        ports = sorted(site._port_rules)
+        lines.append(
+            f"{hook}: ports={ports} pass={site.pass_decisions} "
+            f"drop={site.drop_decisions}"
+        )
+    return lines
+
+
+def _core_lines(machine):
+    lines = ["== cores =="]
+    now = machine.now or 1.0
+    for core in machine.cores:
+        who = core.thread.name if core.thread else "idle"
+        tag = " [ghOSt agent]" if core is machine.agent_core else ""
+        lines.append(
+            f"core {core.cid}: {who}  util={core.busy_us / now:.1%}{tag}"
+        )
+    return lines
+
+
+def render_status(machine):
+    """The full picture: deployments, maps, hooks, cores, drops."""
+    sections = [
+        f"machine {machine.config.name!r} t={machine.now:.0f}us "
+        f"sched={machine.scheduler_kind}",
+        render_deployments(machine),
+        render_maps(machine),
+        "\n".join(_hook_lines(machine)),
+        "\n".join(_core_lines(machine)),
+        f"== drops == {machine.netstack.drops}",
+    ]
+    return "\n\n".join(sections)

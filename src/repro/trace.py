@@ -1,0 +1,129 @@
+"""Request-lifecycle tracing and per-stage latency breakdown.
+
+Answering "*where* did my tail latency come from?" is half of scheduling
+work.  A :class:`RequestTracer` hooks a machine's existing seams (NIC
+delivery, socket enqueue, request start/complete) without modifying them —
+it wraps the callbacks — and attributes each completed request's latency to
+stages:
+
+- ``wire+nic``: client send -> softirq submission
+- ``stack``: softirq queueing + protocol processing -> socket enqueue
+- ``socket_wait``: socket enqueue -> service start (the HOL-blocking home)
+- ``service``: service start -> completion
+
+Stage percentiles make policy effects legible: SCAN Avoid collapses the
+``socket_wait`` tail and leaves everything else untouched.
+"""
+
+from repro.stats.latency import LatencyRecorder
+
+__all__ = ["RequestTracer"]
+
+STAGES = ("wire_nic", "stack", "socket_wait", "service", "total")
+
+
+class _Timestamps:
+    __slots__ = ("sent", "nic", "enqueued", "started", "completed")
+
+    def __init__(self, sent):
+        self.sent = sent
+        self.nic = None
+        self.enqueued = None
+        self.started = None
+        self.completed = None
+
+
+class RequestTracer:
+    """Attach to a machine + server to collect per-stage latencies."""
+
+    def __init__(self, machine, server, warmup_us=0.0, sample_every=1):
+        self.machine = machine
+        self.server = server
+        self.sample_every = max(1, sample_every)
+        self.stages = {
+            stage: LatencyRecorder(warmup_until=warmup_us) for stage in STAGES
+        }
+        self._live = {}
+        self._counter = 0
+        self._wrap_nic()
+        self._wrap_sockets()
+        self._wrap_server()
+
+    # ------------------------------------------------------------------
+    def _should_sample(self):
+        self._counter += 1
+        return self._counter % self.sample_every == 0
+
+    def _wrap_nic(self):
+        inner = self.machine.nic.receive
+
+        def receive(packet):
+            request = packet.request
+            if request is not None and self._should_sample():
+                ts = _Timestamps(request.sent_at)
+                ts.nic = self.machine.engine.now
+                self._live[request.rid] = ts
+            inner(packet)
+
+        self.machine.nic.receive = receive
+
+    def _wrap_sockets(self):
+        # chain the sockets' on_enqueue callbacks (fires on successful
+        # delivery only, which is exactly the event we want)
+        for socket in self.server.sockets:
+            inner = socket.on_enqueue
+
+            def on_enqueue(packet, _inner=inner):
+                if packet.request is not None:
+                    ts = self._live.get(packet.request.rid)
+                    if ts is not None:
+                        ts.enqueued = self.machine.engine.now
+                if _inner is not None:
+                    _inner(packet)
+
+            socket.on_enqueue = on_enqueue
+
+    def _wrap_server(self):
+        inner_start = self.server.on_request_start
+        inner_complete = self.server.on_request_complete
+
+        def on_start(thread_index, request):
+            ts = self._live.get(request.rid)
+            if ts is not None:
+                ts.started = self.machine.engine.now
+            inner_start(thread_index, request)
+
+        def on_complete(thread_index, request):
+            ts = self._live.pop(request.rid, None)
+            if ts is not None:
+                ts.completed = self.machine.engine.now
+                self._record(ts)
+            inner_complete(thread_index, request)
+
+        self.server.on_request_start = on_start
+        self.server.on_request_complete = on_complete
+
+    # ------------------------------------------------------------------
+    def _record(self, ts):
+        if None in (ts.nic, ts.enqueued, ts.started, ts.completed):
+            return
+        at = ts.sent
+        self.stages["wire_nic"].record(at, ts.nic - ts.sent)
+        self.stages["stack"].record(at, ts.enqueued - ts.nic)
+        self.stages["socket_wait"].record(at, ts.started - ts.enqueued)
+        self.stages["service"].record(at, ts.completed - ts.started)
+        self.stages["total"].record(at, ts.completed - ts.sent)
+
+    # ------------------------------------------------------------------
+    def breakdown(self, q=99.0):
+        """Percentile-q latency per stage, in microseconds."""
+        return {
+            stage: recorder.percentile(q)
+            for stage, recorder in self.stages.items()
+        }
+
+    def render(self, q=99.0):
+        lines = [f"stage breakdown (p{q:g}):"]
+        for stage in STAGES:
+            lines.append(f"  {stage:>12}: {self.stages[stage].percentile(q):9.1f} us")
+        return "\n".join(lines)

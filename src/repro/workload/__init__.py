@@ -1,0 +1,27 @@
+"""Workloads: request types, mixes, and open-loop load generation."""
+
+from repro.workload.generator import OpenLoopGenerator
+from repro.workload.mixes import (
+    GET_ONLY,
+    GET_SCAN_50_50,
+    GET_SCAN_995_005,
+    MICA_50_50,
+    MICA_95_5,
+    RequestMix,
+)
+from repro.workload.requests import GET, PUT, SCAN, Request, type_name
+
+__all__ = [
+    "GET",
+    "GET_ONLY",
+    "GET_SCAN_50_50",
+    "GET_SCAN_995_005",
+    "MICA_50_50",
+    "MICA_95_5",
+    "OpenLoopGenerator",
+    "PUT",
+    "Request",
+    "RequestMix",
+    "SCAN",
+    "type_name",
+]

@@ -1,0 +1,87 @@
+"""Request mixes matching the paper's workload scenarios.
+
+Service times are the calibration targets from §5.1.2/§5.2: GETs take
+10-12 us, SCANs "around 700 us" (we draw uniform(650, 750)).  MICA requests
+carry no service time here — the MICA server derives per-request CPU costs
+from its own cost model (data movement is what Figure 9 measures).
+"""
+
+from repro.workload.requests import GET, PUT, SCAN
+
+__all__ = [
+    "GET_ONLY",
+    "GET_SCAN_50_50",
+    "GET_SCAN_995_005",
+    "MICA_50_50",
+    "MICA_95_5",
+    "RequestMix",
+]
+
+
+class RequestMix:
+    """Weighted request types with per-type uniform service distributions.
+
+    ``components`` is a list of ``(rtype, weight, (low_us, high_us))``.
+    """
+
+    def __init__(self, name, components):
+        if not components:
+            raise ValueError("mix needs at least one component")
+        total = sum(w for _, w, _ in components)
+        if total <= 0:
+            raise ValueError("mix weights must sum to a positive value")
+        self.name = name
+        self.components = [
+            (rtype, weight / total, dist) for rtype, weight, dist in components
+        ]
+
+    def sample(self, rng):
+        """Draw (rtype, service_us)."""
+        roll = rng.random()
+        acc = 0.0
+        rtype, _w, dist = self.components[-1]
+        for candidate, weight, cdist in self.components:
+            acc += weight
+            if roll < acc:
+                rtype, dist = candidate, cdist
+                break
+        low, high = dist
+        return rtype, rng.uniform(low, high)
+
+    def mean_service_us(self):
+        return sum(
+            w * (dist[0] + dist[1]) / 2.0 for _, w, dist in self.components
+        )
+
+    def __repr__(self):
+        parts = ", ".join(
+            f"{rtype}:{weight:.3f}" for rtype, weight, _ in self.components
+        )
+        return f"<RequestMix {self.name} {parts}>"
+
+
+GET_SERVICE = (10.0, 12.0)
+SCAN_SERVICE = (650.0, 750.0)
+
+#: §2.1 / Figure 2: homogeneous GETs.
+GET_ONLY = RequestMix("get-only", [(GET, 1.0, GET_SERVICE)])
+
+#: §5.2 / Figure 6 (Shinjuku-style): 99.5% GET, 0.5% SCAN.
+GET_SCAN_995_005 = RequestMix(
+    "get-scan-99.5-0.5",
+    [(GET, 0.995, GET_SERVICE), (SCAN, 0.005, SCAN_SERVICE)],
+)
+
+#: §5.3 / Figure 8: 50% GET, 50% SCAN.
+GET_SCAN_50_50 = RequestMix(
+    "get-scan-50-50",
+    [(GET, 0.5, GET_SERVICE), (SCAN, 0.5, SCAN_SERVICE)],
+)
+
+#: §5.4 / Figure 9: MICA mixes (service costs come from the MICA model).
+MICA_50_50 = RequestMix(
+    "mica-50-50", [(GET, 0.5, (0.0, 0.0)), (PUT, 0.5, (0.0, 0.0))]
+)
+MICA_95_5 = RequestMix(
+    "mica-95-5", [(GET, 0.95, (0.0, 0.0)), (PUT, 0.05, (0.0, 0.0))]
+)

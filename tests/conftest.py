@@ -1,0 +1,98 @@
+"""Shared test helpers: random policy-program and packet generators.
+
+Used by the hypothesis property suites (toolchain equivalence, optimizer
+equivalence).  Programs are random ASTs in the safe subset, so these also
+fuzz the compiler and verifier.
+"""
+
+import random
+
+from repro.net.packet import FiveTuple, Packet
+
+GEN_FLOW = FiveTuple(0x0A000002, 40001, 0x0A000001, 8080, 17)
+
+_LOCALS = ["a", "b", "c"]
+_GLOBALS = ["g0", "g1"]
+_CMPS = ["==", "!=", "<", "<=", ">", ">="]
+_BINOPS = ["+", "-", "*", "//", "%", "&", "|", "^"]
+
+
+def _expr(rng, depth, names):
+    roll = rng.random()
+    if depth <= 0 or roll < 0.35:
+        if names and rng.random() < 0.5:
+            return rng.choice(names)
+        return str(rng.randrange(0, 2**20))
+    if roll < 0.75:
+        op = rng.choice(_BINOPS)
+        return (
+            f"({_expr(rng, depth - 1, names)} {op} "
+            f"{_expr(rng, depth - 1, names)})"
+        )
+    if roll < 0.85:
+        op = rng.choice(_CMPS)
+        return (
+            f"(1 if {_expr(rng, depth - 1, names)} {op} "
+            f"{_expr(rng, depth - 1, names)} else 0)"
+        )
+    if roll < 0.93:
+        return f"(pkt_len(pkt) % {rng.randrange(1, 64)})"
+    return f"map_lookup(m, {_expr(rng, depth - 1, names)})"
+
+
+def _stmts(rng, depth, indent, names):
+    lines = []
+    pad = "    " * indent
+    for _ in range(rng.randrange(1, 4)):
+        roll = rng.random()
+        if roll < 0.4:
+            name = rng.choice(_LOCALS)
+            lines.append(f"{pad}{name} = {_expr(rng, depth, names)}")
+            if name not in names:
+                names = names + [name]
+        elif roll < 0.55 and depth > 0:
+            lines.append(f"{pad}if {_expr(rng, depth - 1, names)}:")
+            body, _names2 = _stmts(rng, depth - 1, indent + 1, names)
+            lines.extend(body)
+            if rng.random() < 0.5:
+                lines.append(f"{pad}else:")
+                body, _ = _stmts(rng, depth - 1, indent + 1, names)
+                lines.extend(body)
+        elif roll < 0.7 and depth > 0:
+            n = rng.randrange(1, 5)
+            lines.append(f"{pad}for i in range({n}):")
+            body, _ = _stmts(rng, depth - 1, indent + 1, names + ["i"])
+            lines.extend(body)
+        elif roll < 0.8:
+            lines.append(
+                f"{pad}map_update(m, {_expr(rng, 0, names)}, "
+                f"{_expr(rng, 0, names)})"
+            )
+        elif roll < 0.9:
+            gname = rng.choice(_GLOBALS)
+            lines.append(f"{pad}{gname} = {_expr(rng, depth, names)}")
+        else:
+            lines.append(f"{pad}return {_expr(rng, depth, names)}")
+    return lines, names
+
+
+def random_policy_source(seed):
+    """A random, always-compilable policy in the safe subset."""
+    rng = random.Random(seed)
+    lines = ['m = syr_map("m", 64)']
+    for gname in _GLOBALS:
+        lines.append(f"{gname} = {rng.randrange(100)}")
+    lines.append("")
+    lines.append("def schedule(pkt):")
+    lines.append(f"    global {', '.join(_GLOBALS)}")
+    body, names = _stmts(rng, 2, 1, list(_GLOBALS))
+    lines.extend(body)
+    lines.append(f"    return {_expr(rng, 1, names)}")
+    return "\n".join(lines) + "\n"
+
+
+def random_packet(seed):
+    """A packet with random payload bytes and random (possibly tiny) size."""
+    rng = random.Random(seed)
+    payload = bytes(rng.getrandbits(8) for _ in range(rng.randrange(0, 64)))
+    return Packet(GEN_FLOW, payload)

@@ -1,0 +1,193 @@
+"""Tests for the KV engine, RocksDB server, and MICA server."""
+
+import pytest
+
+from repro import Hook, Machine, set_a, set_b
+from repro.apps.kvstore import KVStore
+from repro.apps.mica import MicaServer
+from repro.apps.rocksdb import RocksDbServer
+from repro.workload.generator import OpenLoopGenerator
+from repro.workload.mixes import GET_ONLY, GET_SCAN_50_50, MICA_50_50
+from repro.workload.requests import GET, PUT, SCAN, Request
+
+
+# ----------------------------------------------------------------------
+# KVStore
+# ----------------------------------------------------------------------
+def test_kvstore_put_get_delete():
+    kv = KVStore()
+    kv.put("k", "v")
+    assert kv.get("k") == "v"
+    assert kv.get("missing") is None
+    assert kv.delete("k") is True
+    assert kv.delete("k") is False
+    assert "k" not in kv
+
+
+def test_kvstore_scan_ordered():
+    kv = KVStore()
+    for k in (5, 1, 3, 2, 4):
+        kv.put(k, k * 10)
+    assert kv.scan(2, 3) == [(2, 20), (3, 30), (4, 40)]
+    assert kv.scan(10, 5) == []
+
+
+def test_kvstore_scan_sees_updates():
+    kv = KVStore()
+    kv.put(1, "a")
+    assert kv.scan(0, 10) == [(1, "a")]
+    kv.put(0, "z")
+    assert kv.scan(0, 10) == [(0, "z"), (1, "a")]
+    kv.delete(1)
+    assert kv.scan(0, 10) == [(0, "z")]
+
+
+def test_kvstore_preload_and_counters():
+    kv = KVStore().preload(10)
+    assert len(kv) == 10
+    kv.get(3)
+    kv.scan(0, 2)
+    assert kv.gets == 1 and kv.scans == 1 and kv.puts == 10
+
+
+# ----------------------------------------------------------------------
+# RocksDB server
+# ----------------------------------------------------------------------
+def drive_rocksdb(mark_scans=False, mark_types=False, mix=GET_ONLY,
+                  rate=50_000, duration=20_000):
+    machine = Machine(set_a(), seed=3)
+    app = machine.register_app("rocksdb", ports=[8080])
+    server = RocksDbServer(machine, app, 8080, 6,
+                           mark_scans=mark_scans, mark_types=mark_types)
+    gen = OpenLoopGenerator(machine, 8080, rate, mix, duration_us=duration)
+    server.response_sink = gen.deliver_response
+    gen.start()
+    machine.run()
+    return machine, server, gen
+
+
+def test_rocksdb_serves_all_requests():
+    machine, server, gen = drive_rocksdb()
+    assert gen.completed_in_window() == gen.sent_in_window()
+    assert server.stats.completed.total() == gen.sent_in_window()
+    assert server.store.gets > 0
+
+
+def test_rocksdb_executors_registered():
+    machine = Machine(set_a())
+    app = machine.register_app("rocksdb", ports=[8080])
+    server = RocksDbServer(machine, app, 8080, 6)
+    em = app.executor_map(Hook.SOCKET_SELECT)
+    assert len(em) == 6
+    assert em.resolve(3) is server.sockets[3]
+
+
+def test_rocksdb_scan_marking_clears_after():
+    machine, server, gen = drive_rocksdb(mark_scans=True, mix=GET_SCAN_50_50,
+                                         rate=5_000, duration=50_000)
+    assert server.store.scans > 0
+    # quiescent at the end: no thread is mid-SCAN
+    values = [server.scan_map.bpf_map.lookup(i) for i in range(6)]
+    assert all(v == 0 for v in values)
+
+
+def test_rocksdb_type_marking_during_run():
+    machine = Machine(set_a(), seed=3)
+    app = machine.register_app("rocksdb", ports=[8080])
+    server = RocksDbServer(machine, app, 8080, 2, mark_types=True)
+    marked = []
+    request = Request(1, SCAN, 100.0, key=5)
+    server.on_request_start(0, request)
+    assert server.type_map.bpf_map.lookup(0) == SCAN
+    server.on_request_complete(0, request)
+    assert server.type_map.bpf_map.lookup(0) == 0
+
+
+def test_rocksdb_responds_through_sink():
+    seen = []
+    machine = Machine(set_a())
+    app = machine.register_app("rocksdb", ports=[8080])
+    server = RocksDbServer(machine, app, 8080, 1)
+    server.response_sink = seen.append
+    request = Request(1, GET, 10.0, key=1)
+    server.on_request_complete(0, request)
+    assert seen == [request]
+
+
+# ----------------------------------------------------------------------
+# MICA server
+# ----------------------------------------------------------------------
+def drive_mica(mode, rate=500_000, duration=10_000, mix=MICA_50_50):
+    machine = Machine(set_b(8), seed=4)
+    app = machine.register_app("mica", ports=[9090])
+    server = MicaServer(machine, app, 9090, num_threads=8, mode=mode)
+    server.deploy_policy()
+    gen = OpenLoopGenerator(machine, 9090, rate, mix, duration_us=duration,
+                            num_flows=64)
+    server.response_sink = gen.deliver_response
+    gen.start()
+    machine.run()
+    return machine, server, gen
+
+
+def test_mica_rejects_unknown_mode():
+    machine = Machine(set_b(8))
+    app = machine.register_app("mica", ports=[9090])
+    with pytest.raises(ValueError):
+        MicaServer(machine, app, 9090, mode="bogus")
+
+
+def test_mica_partitions_hold_home_keys_only():
+    machine = Machine(set_b(8))
+    app = machine.register_app("mica", ports=[9090])
+    server = MicaServer(machine, app, 9090, num_threads=8, preload_keys=100)
+    for key in range(100):
+        home = server._home_for_key(key)
+        assert server.partitions[home].get(key) is not None
+        for other in range(8):
+            if other != home:
+                assert key not in server.partitions[other]
+
+
+@pytest.mark.parametrize("mode", ["sw_redirect", "syrup_sw", "syrup_hw"])
+def test_mica_modes_complete_all_requests(mode):
+    machine, server, gen = drive_mica(mode)
+    assert gen.completed_in_window() == gen.sent_in_window()
+
+
+def test_mica_syrup_modes_have_no_misroutes():
+    for mode in ("syrup_sw", "syrup_hw"):
+        _m, server, _g = drive_mica(mode)
+        assert server.misroutes == 0
+
+
+def test_mica_baseline_does_handoffs_syrup_does_not():
+    _m, baseline, _ = drive_mica("sw_redirect")
+    _m2, syrup, _ = drive_mica("syrup_sw")
+    assert baseline.handoffs > 0
+    assert syrup.handoffs == 0
+
+
+def test_mica_handoff_fraction_is_about_seven_eighths():
+    _m, server, gen = drive_mica("sw_redirect", rate=300_000, duration=20_000)
+    frac = server.handoffs / gen.sent_in_window()
+    assert 0.8 < frac < 0.95
+
+
+def test_mica_puts_hit_the_store():
+    _m, server, _g = drive_mica("syrup_hw", mix=MICA_50_50)
+    assert sum(p.puts for p in server.partitions) > 800  # 100 preload * 8
+
+
+def test_mica_policy_portability_same_source_two_hooks():
+    """The identical policy source deploys at XDP_SKB and XDP_OFFLOAD."""
+    from repro.policies.builtin import MICA_HASH
+
+    for mode, expected_hook in (("syrup_sw", Hook.XDP_SKB),
+                                ("syrup_hw", Hook.XDP_OFFLOAD)):
+        machine = Machine(set_b(8))
+        app = machine.register_app("mica", ports=[9090])
+        server = MicaServer(machine, app, 9090, mode=mode)
+        deployed = server.deploy_policy()
+        assert deployed.hook == expected_hook
+        assert deployed.program.program.source == MICA_HASH

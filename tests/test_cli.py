@@ -1,0 +1,41 @@
+"""CLI tests."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_cli_table2_runs(capsys):
+    assert main(["table2", "--quick"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 2" in out
+    assert "round_robin" in out
+
+
+def test_cli_table3_runs(capsys):
+    assert main(["table3", "--quick"]) == 0
+    out = capsys.readouterr().out
+    assert "Offload" in out
+
+
+def test_cli_figure_with_overrides(capsys, tmp_path):
+    out_file = tmp_path / "fig2.txt"
+    code = main([
+        "figure2", "--loads", "100000", "--duration-ms", "60",
+        "--seed", "7", "--out", str(out_file),
+    ])
+    assert code == 0
+    text = out_file.read_text()
+    assert "Figure 2" in text
+    assert "100,000" in text or "100000" in text
+
+
+def test_cli_rejects_unknown_experiment():
+    with pytest.raises(SystemExit):
+        main(["figure42"])
+
+
+def test_cli_figure7_loads_map_to_ls_loads(capsys):
+    assert main(["figure7", "--loads", "200000", "--duration-ms", "60"]) == 0
+    out = capsys.readouterr().out
+    assert "token_based" in out

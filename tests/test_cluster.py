@@ -1,0 +1,170 @@
+"""Tests for the rack-scale extension (§6.1)."""
+
+import pytest
+
+from repro.cluster import (
+    Cluster,
+    HashFlowPolicy,
+    LeastOutstandingPolicy,
+    ProgramPolicy,
+    ProgrammableSwitch,
+    RoundRobinPolicy,
+)
+from repro.constants import DROP
+from repro.ebpf.compiler import compile_policy
+from repro.ebpf.program import load_program
+from repro.net.packet import FiveTuple, Packet, build_payload
+from repro.policies.builtin import ROUND_ROBIN
+from repro.sim.engine import Engine
+from repro.workload.mixes import GET_ONLY, GET_SCAN_995_005
+from repro.workload.requests import GET, Request
+
+
+class FakeMachine:
+    def __init__(self):
+        self.received = []
+        self.nic = self
+
+    def receive(self, packet):
+        self.received.append(packet)
+
+
+def make_switch(n=4):
+    engine = Engine()
+    machines = [FakeMachine() for _ in range(n)]
+    switch = ProgrammableSwitch(engine, machines, forward_us=1.0, wire_us=2.0)
+    return engine, machines, switch
+
+
+def make_packet(port=8080, src_port=40000, rid=1):
+    flow = FiveTuple(0x0A000002, src_port, 0x0A0000FF, port, 17)
+    request = Request(rid, GET, 10.0)
+    return Packet(flow, build_payload(GET, 0, 0, rid), request=request)
+
+
+# ----------------------------------------------------------------------
+# Switch unit tests
+# ----------------------------------------------------------------------
+def test_default_hash_has_flow_affinity():
+    engine, machines, switch = make_switch()
+    for rid in range(5):
+        switch.receive(make_packet(rid=rid))
+    engine.run()
+    hits = [len(m.received) for m in machines]
+    assert max(hits) == 5  # same flow, same server
+
+
+def test_round_robin_spreads():
+    engine, machines, switch = make_switch()
+    switch.install(8080, RoundRobinPolicy())
+    for rid in range(8):
+        switch.receive(make_packet(rid=rid))
+    engine.run()
+    assert [len(m.received) for m in machines] == [2, 2, 2, 2]
+
+
+def test_least_outstanding_avoids_loaded_servers():
+    import random
+
+    engine, machines, switch = make_switch()
+    switch.install(8080, LeastOutstandingPolicy(random.Random(1), d=4))
+    switch.outstanding = [10, 10, 0, 10]
+    switch.receive(make_packet())
+    engine.run()
+    assert len(machines[2].received) == 1
+
+
+def test_outstanding_tracks_responses():
+    engine, machines, switch = make_switch()
+    pkt = make_packet()
+    switch.receive(pkt)
+    assert sum(switch.outstanding) == 1
+    switch.response_passed(pkt.request)
+    assert sum(switch.outstanding) == 0
+    # unknown request: harmless
+    switch.response_passed(Request(99, GET, 1.0))
+
+
+def test_per_port_rules_isolate_tenants():
+    engine, machines, switch = make_switch()
+    switch.install(8080, RoundRobinPolicy(), owner="alice")
+    with pytest.raises(PermissionError):
+        switch.install(8080, RoundRobinPolicy(), owner="bob")
+    switch.install(9090, RoundRobinPolicy(), owner="bob")  # fine
+
+
+def test_verified_program_runs_at_switch():
+    """Portability across the whole stack: the same RR source that picks
+    sockets picks servers."""
+    engine, machines, switch = make_switch()
+    loaded = load_program(compile_policy(ROUND_ROBIN,
+                                         constants={"NUM_THREADS": 4}))
+    switch.install(8080, ProgramPolicy(loaded))
+    for rid in range(8):
+        switch.receive(make_packet(rid=rid))
+    engine.run()
+    assert [len(m.received) for m in machines] == [2, 2, 2, 2]
+
+
+def test_program_policy_drop():
+    engine, machines, switch = make_switch()
+    loaded = load_program(compile_policy("def schedule(pkt):\n    return DROP\n"))
+    switch.install(8080, ProgramPolicy(loaded))
+    switch.receive(make_packet())
+    engine.run()
+    assert switch.dropped == 1
+    assert all(not m.received for m in machines)
+
+
+def test_program_policy_pass_falls_to_default():
+    engine, machines, switch = make_switch()
+    loaded = load_program(compile_policy("def schedule(pkt):\n    return PASS\n"))
+    switch.install(8080, ProgramPolicy(loaded))
+    pkt = make_packet()
+    switch.receive(pkt)
+    engine.run()
+    assert sum(len(m.received) for m in machines) == 1
+
+
+# ----------------------------------------------------------------------
+# Full-rack integration
+# ----------------------------------------------------------------------
+def run_rack(policy_factory, rate=600_000, duration=60_000):
+    cluster = Cluster(num_servers=4, seed=5)
+    cluster.install_policy(policy_factory(cluster))
+    gen = cluster.drive(rate, GET_ONLY, duration_us=duration,
+                        warmup_us=duration / 4).start()
+    cluster.run()
+    return cluster, gen
+
+
+def test_rack_serves_load_end_to_end():
+    cluster, gen = run_rack(lambda c: RoundRobinPolicy())
+    assert gen.drop_fraction() == 0.0
+    assert sum(gen.per_server_completed) == gen.completed.total()
+    # all four servers did real work
+    assert all(n > 0 for n in gen.per_server_completed)
+    # rack latency includes the extra switch hop both ways
+    assert gen.latency.p50() > 4 * cluster.switch.wire_us
+
+
+def test_rack_outstanding_drains():
+    cluster, gen = run_rack(
+        lambda c: LeastOutstandingPolicy(c.streams.get("sw"), d=2)
+    )
+    assert all(o == 0 for o in cluster.switch.outstanding)
+
+
+def test_least_outstanding_beats_hash_on_variable_service():
+    results = {}
+    for name, factory in (
+        ("hash", lambda c: HashFlowPolicy()),
+        ("p2c", lambda c: LeastOutstandingPolicy(c.streams.get("sw"), d=2)),
+    ):
+        cluster = Cluster(num_servers=4, seed=6)
+        cluster.install_policy(factory(cluster))
+        gen = cluster.drive(800_000, GET_SCAN_995_005, duration_us=80_000,
+                            warmup_us=20_000).start()
+        cluster.run()
+        results[name] = gen.latency.p99()
+    assert results["p2c"] < results["hash"] / 1.5

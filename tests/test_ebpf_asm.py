@@ -1,0 +1,109 @@
+"""Assembler tests: parsing, round-trip with the disassembler, execution."""
+
+import pytest
+
+from conftest import random_policy_source
+from hypothesis import given, settings, strategies as st
+
+from repro.ebpf.asm import AsmError, assemble
+from repro.ebpf.compiler import compile_policy
+from repro.ebpf.disasm import disassemble
+from repro.ebpf.program import load_program
+from repro.ebpf.verifier import verify
+
+
+def test_assemble_minimal():
+    program = assemble("CONST 7\nRET\n")
+    verify(program)
+    assert load_program(program).run(None) == 7
+
+
+def test_assemble_with_pc_prefixes_and_comments():
+    text = """
+; program demo: hand-written
+; a plain comment
+     0: CONST 5      ; push five
+     1: CONST 2
+     2: ADD
+L    3: RET
+"""
+    program = assemble(text)
+    assert program.name == "demo"
+    assert load_program(program).run(None) == 7
+
+
+def test_assemble_metadata_directives():
+    text = """
+; globals: idx, total
+; map[0] scan_map max_entries=64
+LOADG 0
+CONST 1
+ADD
+STOREG 0
+LOADG 0
+MAPLOOKUP 0
+RET
+"""
+    program = assemble(text)
+    assert program.global_names == ["idx", "total"]
+    assert program.map_names == ["scan_map"]
+    assert program.map_sizes == [64]
+    loaded = load_program(program)
+    loaded.maps[0].update(1, 42)
+    assert loaded.run(None) == 42
+    assert loaded.globals[0] == 1
+
+
+def test_assembled_programs_are_interpreter_only():
+    loaded = load_program(assemble("CONST 1\nRET\n"))
+    with pytest.raises(RuntimeError):
+        loaded.run_jit(None)
+    # run() transparently uses the interpreter forever
+    assert all(loaded.run(None) == 1 for _ in range(100))
+
+
+@pytest.mark.parametrize(
+    "text, fragment",
+    [
+        ("", "no instructions"),
+        ("FROB 1\nRET", "unknown opcode"),
+        ("CONST\nRET", "immediate"),
+        ("CONST 1 2\nRET", "immediate"),
+        ("!!!\n", "cannot parse"),
+        ("; map[1] m max_entries=4\nCONST 0\nRET", "contiguous"),
+    ],
+)
+def test_assemble_rejections(text, fragment):
+    with pytest.raises(AsmError) as err:
+        assemble(text)
+    assert fragment in str(err.value)
+
+
+def test_round_trip_fixed_policy():
+    src = """
+m = syr_map("m", 16)
+idx = 0
+
+def schedule(pkt):
+    global idx
+    if pkt_len(pkt) < 8:
+        return PASS
+    idx += 1
+    map_update(m, idx % 4, idx)
+    return idx % 3
+"""
+    program = compile_policy(src)
+    rebuilt = assemble(disassemble(program))
+    assert rebuilt.insns == program.insns
+    assert rebuilt.global_names == program.global_names
+    assert rebuilt.map_names == program.map_names
+    assert rebuilt.map_sizes == program.map_sizes
+
+
+@settings(max_examples=60, deadline=None)
+@given(prog_seed=st.integers(0, 10**9))
+def test_round_trip_random_programs(prog_seed):
+    program = compile_policy(random_policy_source(prog_seed))
+    rebuilt = assemble(disassemble(program))
+    assert rebuilt.insns == program.insns
+    assert rebuilt.n_locals >= program.n_locals or program.n_locals == 0

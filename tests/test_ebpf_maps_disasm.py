@@ -1,0 +1,101 @@
+"""Tests for low-level BPF maps and the disassembler."""
+
+import pytest
+
+from repro.ebpf.compiler import compile_policy
+from repro.ebpf.disasm import disassemble
+from repro.ebpf.maps import ArrayMap, HashMap, MapFullError, ProgArrayMap
+
+
+def test_array_map_basics():
+    m = ArrayMap("a", 4)
+    assert m.lookup(0) == 0          # zero-initialized
+    m.update(2, 99)
+    assert m.lookup(2) == 99
+    assert m.lookup(7) is None       # out of range reads miss
+    assert len(m) == 4
+    assert m.items()[2] == (2, 99)
+
+
+def test_array_map_update_out_of_range():
+    m = ArrayMap("a", 4)
+    with pytest.raises(KeyError):
+        m.update(4, 1)
+
+
+def test_array_map_delete_invalid():
+    m = ArrayMap("a", 4)
+    with pytest.raises(KeyError):
+        m.delete(0)
+
+
+def test_array_map_values_masked_to_u64():
+    m = ArrayMap("a", 1)
+    m.update(0, -1)
+    assert m.lookup(0) == (1 << 64) - 1
+
+
+def test_hash_map_basics():
+    m = HashMap("h", 4)
+    assert m.lookup(5) is None
+    m.update(5, 1)
+    assert m.has(5)
+    assert m.delete(5) is True
+    assert m.delete(5) is False
+    assert len(m) == 0
+
+
+def test_hash_map_max_entries():
+    m = HashMap("h", 2)
+    m.update(1, 1)
+    m.update(2, 2)
+    with pytest.raises(MapFullError):
+        m.update(3, 3)
+    m.update(1, 10)  # overwriting existing key is fine
+    assert m.lookup(1) == 10
+
+
+def test_atomic_add_semantics():
+    m = HashMap("h", 4)
+    assert m.atomic_add(1, 5) == 5   # missing key reads as 0
+    assert m.atomic_add(1, -2) == 3
+    # wraps at u64
+    m.update(2, (1 << 64) - 1)
+    assert m.atomic_add(2, 1) == 0
+
+
+def test_prog_array():
+    m = ProgArrayMap("p", 4)
+    prog = object()
+    m.update(1, prog)
+    assert m.lookup(1) is prog
+    assert m.lookup(0) is None
+    assert m.delete(1) is True
+    with pytest.raises(KeyError):
+        m.update(9, prog)
+
+
+def test_map_rejects_nonpositive_size():
+    with pytest.raises(ValueError):
+        HashMap("h", 0)
+
+
+def test_disassemble_lists_everything():
+    src = """
+counter = 3
+m = syr_map("mname", 16)
+
+def schedule(pkt):
+    global counter
+    if pkt_len(pkt) < 8:
+        return PASS
+    counter += 1
+    return map_lookup(m, counter)
+"""
+    prog = compile_policy(src)
+    text = disassemble(prog)
+    assert "mname" in text
+    assert "counter" in text
+    assert "JZ" in text
+    assert "MAPLOOKUP" in text
+    assert f"{len(prog.insns)} insns" in text

@@ -1,0 +1,135 @@
+"""Optimizer tests: size reduction + semantic equivalence (incl. hypothesis)."""
+
+import random
+
+from conftest import random_packet, random_policy_source
+from hypothesis import given, settings, strategies as st
+
+from repro.ebpf.compiler import compile_policy
+from repro.ebpf.optimizer import optimize
+from repro.ebpf.program import load_program
+from repro.ebpf.verifier import verify
+from repro.net.packet import FiveTuple, Packet, build_payload
+
+FLOW = FiveTuple(0x0A000002, 40000, 0x0A000001, 8080, 17)
+
+
+def pkt(rtype=1):
+    return Packet(FLOW, build_payload(rtype))
+
+
+def both_values(program, packet, runs=3):
+    base = load_program(program, rng=random.Random(5))
+    opt_prog = optimize(program)
+    verify(opt_prog)  # optimized output must still verify
+    opt = load_program(opt_prog, rng=random.Random(5))
+    for _ in range(runs):
+        assert base.run_interp(packet).value == opt.run_interp(packet).value
+    assert base.globals == opt.globals
+    for m1, m2 in zip(base.maps, opt.maps):
+        assert m1.items() == m2.items()
+    return program, opt_prog
+
+
+def test_constant_expression_collapses():
+    src = "def schedule(pkt):\n    return (3 * 4 + 2) // 2\n"
+    program = compile_policy(src)
+    opt = optimize(program)
+    assert opt.n_insns < program.n_insns
+    assert load_program(opt).run_interp(None).value == 7
+
+
+def test_constant_branch_folds_and_dead_code_drops():
+    src = """
+def schedule(pkt):
+    if 1 < 2:
+        return 10
+    return 20
+"""
+    program = compile_policy(src)
+    opt = optimize(program)
+    assert opt.n_insns < program.n_insns
+    assert load_program(opt).run_interp(None).value == 10
+
+
+def test_branchy_program_survives():
+    src = """
+def schedule(pkt):
+    if pkt_len(pkt) < 16:
+        return PASS
+    x = load_u64(pkt, 8)
+    if x == 2:
+        return 0
+    return x % 5 + 1
+"""
+    program = compile_policy(src)
+    both_values(program, pkt(rtype=2))
+    both_values(program, pkt(rtype=7))
+
+
+def test_unrolled_loop_with_breaks_survives():
+    src = """
+def schedule(pkt):
+    total = 0
+    for i in range(8):
+        if i == 5:
+            break
+        total += i * (2 + 3)
+    return total
+"""
+    program = compile_policy(src)
+    _, opt = both_values(program, None)
+    # the constant (2+3) folded everywhere it was duplicated by unrolling
+    assert opt.n_insns < program.n_insns
+
+
+def test_globals_and_maps_survive():
+    src = """
+m = syr_map("m", 32)
+counter = 0
+
+def schedule(pkt):
+    global counter
+    counter += 1 * 1
+    map_update(m, counter % 4, counter)
+    return counter
+"""
+    both_values(compile_policy(src), None, runs=5)
+
+
+def test_ternary_join_not_misfolded():
+    # the regression the jump-target guard exists for: a branch lands
+    # between two constants that look foldable in layout order
+    src = """
+def schedule(pkt):
+    c = pkt_len(pkt) % 2
+    return (1 if c == 0 else 2) + 3
+"""
+    program = compile_policy(src)
+    both_values(program, pkt())
+    both_values(program, Packet(FLOW, b"xxx"))
+
+
+@settings(max_examples=120, deadline=None)
+@given(prog_seed=st.integers(0, 10**9), pkt_seed=st.integers(0, 10**9))
+def test_optimized_equals_original_on_random_programs(prog_seed, pkt_seed):
+    source = random_policy_source(prog_seed)
+    program = compile_policy(source)
+    opt_prog = optimize(program)
+    verify(opt_prog)
+    packet = random_packet(pkt_seed)
+    base = load_program(program, rng=random.Random(1))
+    opt = load_program(opt_prog, rng=random.Random(1))
+    for _ in range(3):
+        a = base.run_interp(packet).value
+        b = opt.run_interp(packet).value
+        assert a == b, f"\n{source}\nbase={a} optimized={b}"
+    assert base.globals == opt.globals
+    assert base.maps[0].items() == opt.maps[0].items()
+
+
+@settings(max_examples=60, deadline=None)
+@given(prog_seed=st.integers(0, 10**9))
+def test_optimizer_never_grows_programs(prog_seed):
+    program = compile_policy(random_policy_source(prog_seed))
+    assert optimize(program).n_insns <= program.n_insns

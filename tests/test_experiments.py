@@ -1,0 +1,103 @@
+"""Miniature runs of every experiment harness: structure + key shape checks.
+
+These keep runtimes small (short windows, few load points); the full
+paper-scale sweeps live in benchmarks/.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments import (
+    run_figure2,
+    run_figure6,
+    run_figure7,
+    run_figure8,
+    run_figure9,
+    run_table2,
+    run_table3,
+)
+
+
+def rows_by(table, **filters):
+    out = []
+    for row in table:
+        if all(row.get(k) == v for k, v in filters.items()):
+            out.append(row)
+    return out
+
+
+def test_figure2_shape():
+    table = run_figure2(loads=[150_000, 450_000], duration_us=120_000,
+                        warmup_us=30_000)
+    assert len(table) == 4
+    vanilla_hi = rows_by(table, policy="vanilla", load_rps=450_000)[0]
+    rr_hi = rows_by(table, policy="round_robin", load_rps=450_000)[0]
+    assert vanilla_hi["drop_pct"] > 1.0
+    assert rr_hi["drop_pct"] == pytest.approx(0.0)
+    assert rr_hi["p99_us"] < vanilla_hi["p99_us"]
+
+
+def test_figure6_shape():
+    table = run_figure6(loads=[120_000], duration_us=120_000,
+                        warmup_us=30_000)
+    p99 = {row["policy"]: row["p99_us"] for row in table}
+    # SCAN Avoid and SITA below RR and vanilla; SITA lowest overall
+    assert p99["scan_avoid"] < p99["round_robin"]
+    assert p99["sita"] < p99["round_robin"]
+    assert p99["sita"] < 150.0
+    assert p99["round_robin"] > 500.0
+
+
+def test_figure7_shape():
+    table = run_figure7(ls_loads=[100_000], duration_us=100_000,
+                        warmup_us=25_000)
+    rr = rows_by(table, policy="round_robin")[0]
+    tok = rows_by(table, policy="token_based")[0]
+    # token policy protects the LS user's tail at some BE-throughput cost
+    assert tok["ls_p99_us"] < rr["ls_p99_us"] / 3
+    assert tok["be_goodput_rps"] < rr["be_goodput_rps"]
+    assert tok["be_goodput_rps"] > 100_000  # leftovers really are gifted
+
+
+def test_figure8_shape():
+    table = run_figure8(loads=[8_000], duration_us=300_000,
+                        warmup_us=75_000)
+    get_p99 = {row["variant"]: row["get_p99_us"] for row in table}
+    # at mid load the combined policy clearly beats either single layer
+    assert get_p99["both"] < get_p99["scan_avoid"] / 2
+    assert get_p99["both"] < get_p99["thread_sched"] / 5
+    assert get_p99["thread_sched"] > 300.0  # socket HOL stays
+
+
+def test_figure9_shape():
+    table = run_figure9(loads=[2_000_000], duration_us=15_000,
+                        warmup_us=4_000, mixes=["50get-50put"])
+    p999 = {row["mode"]: row["p999_us"] for row in table}
+    assert p999["syrup_hw"] <= p999["syrup_sw"] * 1.5
+    assert p999["syrup_sw"] < p999["sw_redirect"] / 2
+    mis = {row["mode"]: row["misroutes"] for row in table}
+    assert mis["syrup_sw"] == 0 and mis["syrup_hw"] == 0
+
+
+def test_table2_shape():
+    table = run_table2(samples=64)
+    rows = {row["policy"]: row for row in table}
+    assert set(rows) == {"round_robin", "scan_avoid", "sita", "token_based"}
+    for row in rows.values():
+        assert 0 < row["loc"] < 50
+        assert row["total_cycles"] < 2000.0  # the paper's headline bound
+    # SCAN Avoid's unrolled loop gives it the largest static program
+    assert rows["scan_avoid"]["ir_insns"] > rows["round_robin"]["ir_insns"]
+    assert rows["scan_avoid"]["ir_insns"] > rows["sita"]["ir_insns"]
+
+
+def test_table3_shape():
+    table = run_table3(n_ops=200)
+    means = {(row["backend"], row["op"]): row["mean_us"] for row in table}
+    assert means[("Host", "get")] == pytest.approx(1.0, abs=0.1)
+    assert means[("Offload", "get")] == pytest.approx(24.0, abs=1.5)
+    # offload ~25x host, contention barely matters (paper Table 3)
+    ratio = means[("Offload", "update")] / means[("Host", "update")]
+    assert 15 < ratio < 35
+    assert means[("Host Contended", "get")] < 1.5

@@ -1,0 +1,140 @@
+"""Failure-injection tests: buggy policies hurt only their owners.
+
+Paper §3.2: "A bad-performing or buggy policy will only affect the
+application that deployed it."  These tests inject the failure modes an
+untrusted policy can actually produce and check the blast radius.
+"""
+
+import pytest
+
+from repro import Hook, Machine, set_a
+from repro.apps.rocksdb import RocksDbServer
+from repro.policies.builtin import ROUND_ROBIN
+from repro.workload.generator import OpenLoopGenerator
+from repro.workload.mixes import GET_ONLY
+
+
+class CrashingThreadPolicy:
+    def __init__(self):
+        self.calls = 0
+
+    def schedule(self, status):
+        self.calls += 1
+        raise RuntimeError("policy bug")
+
+
+class ForeignSchedulingPolicy:
+    """Tries to schedule a thread from outside its enclave."""
+
+    def __init__(self, foreign_thread):
+        self.foreign_thread = foreign_thread
+
+    def schedule(self, status):
+        idle = status.idle_cores()
+        if idle:
+            return [(self.foreign_thread, idle[0].cid)]
+        return []
+
+
+def test_crashing_thread_policy_is_contained():
+    machine = Machine(set_a(), seed=31, scheduler="ghost")
+    app = machine.register_app("victim-of-self", ports=[8080])
+    server = RocksDbServer(machine, app, 8080, 6)
+    policy = CrashingThreadPolicy()
+    deployed = app.deploy_policy(policy, Hook.THREAD_SCHED)
+    gen = OpenLoopGenerator(machine, 8080, 10_000, GET_ONLY,
+                            duration_us=10_000)
+    server.response_sink = gen.deliver_response
+    gen.start()
+    machine.run(until=50_000)
+    # the policy crashed (repeatedly) but the simulation survived;
+    # only this app's requests are starved
+    assert deployed.agent.policy_errors > 0
+    assert policy.calls == deployed.agent.policy_errors
+    assert gen.completed_in_window() == 0
+
+
+def test_enclave_blocks_foreign_scheduling():
+    machine = Machine(set_a(), seed=32, scheduler="ghost")
+    attacker = machine.register_app("attacker", ports=[8080])
+    RocksDbServer(machine, attacker, 8080, 2)
+    # a thread belonging to nobody's enclave (another app's)
+    from repro.kernel.threads import KThread
+
+    foreign = KThread(tid=999, app="other-app")
+    policy = ForeignSchedulingPolicy(foreign)
+    deployed = app_deploy = attacker.deploy_policy(policy, Hook.THREAD_SCHED)
+    foreign.state = "runnable"
+    # force a decision cycle
+    gen = OpenLoopGenerator(machine, 8080, 5_000, GET_ONLY, duration_us=5_000)
+    gen.start()
+    machine.run(until=20_000)
+    # the EnclaveViolation is swallowed as a policy error, not executed
+    assert deployed.agent.policy_errors > 0
+    assert foreign.state == "runnable"  # never dispatched
+
+
+def test_drop_everything_policy_starves_only_owner():
+    machine = Machine(set_a(), seed=33)
+    bad = machine.register_app("bad", ports=[8080])
+    good = machine.register_app("good", ports=[9090])
+    bad_server = RocksDbServer(machine, bad, 8080, 3)
+    good_server = RocksDbServer(machine, good, 9090, 3)
+    bad.deploy_policy("def schedule(pkt):\n    return DROP\n",
+                      Hook.SOCKET_SELECT)
+    good.deploy_policy(ROUND_ROBIN, Hook.SOCKET_SELECT,
+                       constants={"NUM_THREADS": 3})
+    gens = []
+    for port, server, stream in ((8080, bad_server, "bad"),
+                                 (9090, good_server, "good")):
+        gen = OpenLoopGenerator(machine, port, 30_000, GET_ONLY,
+                                duration_us=20_000, stream=stream)
+        server.response_sink = gen.deliver_response
+        gens.append(gen.start())
+    machine.run()
+    assert gens[0].completed_in_window() == 0
+    assert gens[1].drop_fraction() == 0.0
+
+
+def test_infinite_index_policy_degrades_to_default_not_crash():
+    """A policy returning garbage indices degrades to PASS (fallback)."""
+    machine = Machine(set_a(), seed=34)
+    app = machine.register_app("garbage", ports=[8080])
+    server = RocksDbServer(machine, app, 8080, 3)
+    app.deploy_policy(
+        "idx = 0\n\ndef schedule(pkt):\n    global idx\n    idx += 7\n"
+        "    return idx * 1000\n",
+        Hook.SOCKET_SELECT,
+    )
+    gen = OpenLoopGenerator(machine, 8080, 30_000, GET_ONLY,
+                            duration_us=20_000)
+    server.response_sink = gen.deliver_response
+    gen.start()
+    machine.run()
+    assert gen.drop_fraction() == 0.0
+    site = machine.netstack.socket_select_hook
+    assert site.pass_decisions > 0
+
+
+def test_live_policy_update_takes_effect():
+    """Paper §3.1: apps can update policies while running."""
+    machine = Machine(set_a(), seed=35)
+    app = machine.register_app("updater", ports=[8080])
+    server = RocksDbServer(machine, app, 8080, 4)
+    # start with everything pinned to socket 0
+    app.deploy_policy("def schedule(pkt):\n    return 0\n",
+                      Hook.SOCKET_SELECT)
+    gen = OpenLoopGenerator(machine, 8080, 40_000, GET_ONLY,
+                            duration_us=60_000)
+    server.response_sink = gen.deliver_response
+    gen.start()
+    machine.run(until=30_000)
+    first_phase = [s.enqueued for s in server.sockets]
+    assert first_phase[0] > 0 and sum(first_phase[1:]) == 0
+    # live-update to round robin
+    app.deploy_policy(ROUND_ROBIN, Hook.SOCKET_SELECT,
+                      constants={"NUM_THREADS": 4})
+    machine.run()
+    second_phase = [s.enqueued - f for s, f in zip(server.sockets, first_phase)]
+    assert all(count > 0 for count in second_phase)
+    assert gen.drop_fraction() == 0.0

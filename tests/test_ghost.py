@@ -1,0 +1,188 @@
+"""Tests for the ghOSt substrate: messages, enclaves, agent, scheduler."""
+
+from collections import deque
+
+import pytest
+
+from repro.config import CostModel
+from repro.ghost.agent import GhostAgent, SchedStatus
+from repro.ghost.enclave import Enclave, EnclaveViolation
+from repro.ghost.messages import Message, MessageKind
+from repro.ghost.sched import GhostScheduler
+from repro.kernel.cpu import Core
+from repro.kernel.threads import BLOCKED, KThread, RUNNABLE
+from repro.sim.engine import Engine
+
+
+class ListSource:
+    def __init__(self, engine, items=()):
+        self.engine = engine
+        self.items = deque(items)
+        self.completed = []
+
+    def pull(self):
+        return self.items.popleft() if self.items else None
+
+    def complete(self, token):
+        self.completed.append((token, self.engine.now))
+
+
+class FifoPolicy:
+    def schedule(self, status):
+        return [
+            (t, c.cid)
+            for t, c in zip(status.runnable, status.idle_cores())
+        ]
+
+
+def make_ghost(n_cores=2, policy=None, app="app"):
+    eng = Engine()
+    cores = [Core(i) for i in range(n_cores)]
+    costs = CostModel(ctx_switch_us=1.0, ghost_msg_us=0.5,
+                      ghost_commit_us=1.0, ghost_ipi_us=2.0)
+    sched = GhostScheduler(eng, cores, costs)
+    enclave = Enclave(app)
+    agent = GhostAgent(eng, sched, enclave, policy or FifoPolicy(), costs)
+    return eng, cores, sched, enclave, agent
+
+
+def add_thread(eng, sched, enclave, items, tid, app="app"):
+    thread = KThread(tid=tid, app=app)
+    thread.source = ListSource(eng, items)
+    enclave.register(thread)
+    sched.attach(thread)
+    return thread
+
+
+# ----------------------------------------------------------------------
+# Messages / enclave
+# ----------------------------------------------------------------------
+def test_message_kinds_validated():
+    thread = KThread(tid=1)
+    with pytest.raises(ValueError):
+        Message("bogus", thread)
+    assert Message(MessageKind.THREAD_WAKEUP, thread).kind == "thread_wakeup"
+
+
+def test_enclave_rejects_foreign_threads():
+    enclave = Enclave("a")
+    foreign = KThread(tid=1, app="b")
+    with pytest.raises(EnclaveViolation):
+        enclave.register(foreign)
+    with pytest.raises(EnclaveViolation):
+        enclave.check(foreign)
+
+
+def test_enclave_membership():
+    enclave = Enclave("a")
+    mine = KThread(tid=1, app="a")
+    enclave.register(mine)
+    assert mine in enclave
+    assert len(enclave) == 1
+    enclave.remove(mine)
+    assert mine not in enclave
+
+
+# ----------------------------------------------------------------------
+# Agent + scheduler end-to-end
+# ----------------------------------------------------------------------
+def test_agent_schedules_woken_thread():
+    eng, cores, sched, enclave, agent = make_ghost()
+    thread = add_thread(eng, sched, enclave, [(10.0, "a")], tid=1)
+    thread.wake()
+    eng.run()
+    assert thread.source.completed and thread.source.completed[0][0] == "a"
+    assert agent.commits == 1
+    # dispatch latency: 2 msgs (created + wakeup) + commit + ipi + ctx + work
+    done_at = thread.source.completed[0][1]
+    assert done_at == pytest.approx(2 * 0.5 + 1.0 + 2.0 + 1.0 + 10.0)
+
+
+def test_agent_ignores_foreign_app_messages():
+    eng, cores, sched, enclave, agent = make_ghost()
+    foreign = KThread(tid=99, app="other")
+    foreign.source = ListSource(eng, [(5.0, "f")])
+    sched.attach(foreign)  # attached to ghost but NOT in the enclave
+    foreign.wake()
+    eng.run()
+    assert agent.commits == 0
+    assert foreign.source.completed == []  # invisible => never scheduled
+
+
+def test_agent_fills_multiple_cores():
+    eng, cores, sched, enclave, agent = make_ghost(n_cores=3)
+    threads = [
+        add_thread(eng, sched, enclave, [(10.0, f"t{i}")], tid=i)
+        for i in range(3)
+    ]
+    for t in threads:
+        t.wake()
+    eng.run()
+    assert all(t.source.completed for t in threads)
+    assert agent.commits == 3
+
+
+def test_more_threads_than_cores_queue_up():
+    eng, cores, sched, enclave, agent = make_ghost(n_cores=1)
+    t0 = add_thread(eng, sched, enclave, [(10.0, "a")], tid=0)
+    t1 = add_thread(eng, sched, enclave, [(10.0, "b")], tid=1)
+    t0.wake()
+    t1.wake()
+    eng.run()
+    assert t0.source.completed and t1.source.completed
+    finish = sorted([t0.source.completed[0][1], t1.source.completed[0][1]])
+    assert finish[1] > finish[0] + 9.0  # serialized on the single core
+
+
+def test_thread_keeps_core_between_requests():
+    eng, cores, sched, enclave, agent = make_ghost(n_cores=1)
+    thread = add_thread(eng, sched, enclave, [(5.0, "a"), (5.0, "b")], tid=0)
+    thread.wake()
+    eng.run()
+    assert agent.commits == 1  # one placement covers both items
+    assert [t for t, _ in thread.source.completed] == ["a", "b"]
+
+
+class PreemptPolicy:
+    """Always place the highest-tid runnable, preempting if needed."""
+
+    def schedule(self, status):
+        if not status.runnable:
+            return []
+        thread = max(status.runnable, key=lambda t: t.tid)
+        idle = status.idle_cores()
+        if idle:
+            return [(thread, idle[0].cid)]
+        victims = [c for c in status.cores if c.thread and not c.pending]
+        if victims:
+            return [(thread, victims[0].cid)]
+        return []
+
+
+def test_agent_preemption_generates_message_and_requeues():
+    eng, cores, sched, enclave, agent = make_ghost(
+        n_cores=1, policy=PreemptPolicy()
+    )
+    low = add_thread(eng, sched, enclave, [(100.0, "low")], tid=1)
+    high = add_thread(eng, sched, enclave, [(10.0, "high")], tid=2)
+    low.wake()
+    eng.run(until=20.0)
+    assert low.state.__eq__("running") or cores[0].thread is low
+    high.wake()
+    eng.run()
+    assert agent.preemptions >= 1
+    # both eventually complete; high finishes first
+    assert high.source.completed[0][1] < low.source.completed[0][1]
+
+
+def test_failed_commit_counted_not_fatal():
+    eng, cores, sched, enclave, agent = make_ghost()
+    thread = add_thread(eng, sched, enclave, [(5.0, "a")], tid=1)
+    # commit a thread that was never woken (not runnable) -> abort
+    assert sched.commit(thread, cores[0]) is False
+
+
+def test_status_snapshot_shapes():
+    status = SchedStatus(5.0, [], [])
+    assert status.idle_cores() == []
+    assert "runnable=0" in repr(status)

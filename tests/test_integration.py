@@ -1,0 +1,187 @@
+"""End-to-end integration tests reproducing the paper's claims in miniature."""
+
+import pytest
+
+from repro import DROP, Hook, Machine, PASS, set_a, set_b
+from repro.apps.mica import MicaServer
+from repro.apps.rocksdb import RocksDbServer
+from repro.policies.builtin import ROUND_ROBIN, SCAN_AVOID, SITA, TOKEN_BASED
+from repro.policies.thread_policies import GetPriorityPolicy
+from repro.policies.token_agent import TokenAgent
+from repro.workload.generator import OpenLoopGenerator
+from repro.workload.mixes import GET_ONLY, GET_SCAN_50_50, GET_SCAN_995_005, MICA_50_50
+from repro.workload.requests import GET, SCAN
+
+
+def rocksdb_run(policy=None, constants=None, mix=GET_ONLY, rate=300_000,
+                duration=60_000, seed=11, num_threads=6, mark_scans=False):
+    machine = Machine(set_a(), seed=seed)
+    app = machine.register_app("rocksdb", ports=[8080])
+    server = RocksDbServer(machine, app, 8080, num_threads,
+                           mark_scans=mark_scans)
+    if policy is not None:
+        app.deploy_policy(policy, Hook.SOCKET_SELECT, constants=constants)
+    gen = OpenLoopGenerator(machine, 8080, rate, mix, duration_us=duration,
+                            warmup_us=duration / 4)
+    server.response_sink = gen.deliver_response
+    gen.start()
+    machine.run()
+    return machine, server, gen
+
+
+# ----------------------------------------------------------------------
+# Headline claims
+# ----------------------------------------------------------------------
+def test_round_robin_beats_vanilla_at_high_load():
+    _m, _s, vanilla = rocksdb_run(policy=None, rate=440_000, duration=100_000)
+    _m2, _s2, rr = rocksdb_run(policy=ROUND_ROBIN,
+                               constants={"NUM_THREADS": 6}, rate=440_000,
+                               duration=100_000)
+    assert rr.latency.p99() < vanilla.latency.p99() / 3
+    assert rr.drop_fraction() == 0.0
+    assert vanilla.drop_fraction() > 0.01
+
+
+def test_round_robin_spreads_exactly():
+    _m, server, gen = rocksdb_run(policy=ROUND_ROBIN,
+                                  constants={"NUM_THREADS": 6}, rate=60_000,
+                                  duration=30_000)
+    counts = [s.enqueued for s in server.sockets]
+    assert max(counts) - min(counts) <= 1
+
+
+def test_scan_avoid_beats_round_robin_on_mixed_load():
+    mix = GET_SCAN_995_005
+    _m, _s, rr = rocksdb_run(policy=ROUND_ROBIN,
+                             constants={"NUM_THREADS": 6},
+                             mix=mix, rate=120_000, duration=120_000)
+    _m2, _s2, sa = rocksdb_run(policy=SCAN_AVOID,
+                               constants={"NUM_THREADS": 6},
+                               mix=mix, rate=120_000, duration=120_000,
+                               mark_scans=True)
+    assert sa.latency.p99(tag=GET) < rr.latency.p99(tag=GET) / 3
+
+
+def test_sita_isolates_scans_to_socket_zero():
+    _m, server, gen = rocksdb_run(
+        policy=SITA, constants={"NUM_THREADS": 6, "SCAN_TYPE": SCAN},
+        mix=GET_SCAN_50_50, rate=5_000, duration=60_000,
+    )
+    assert server.stats.completed.get(SCAN) > 0
+    # all SCAN service happened on thread 0
+    assert server.threads[0].items_completed >= server.stats.completed.get(SCAN)
+
+
+def test_token_policy_enforces_admission():
+    machine = Machine(set_a(), seed=12)
+    app = machine.register_app("rocksdb", ports=[8080])
+    server = RocksDbServer(machine, app, 8080, 6)
+    app.deploy_policy(TOKEN_BASED, Hook.SOCKET_SELECT,
+                      constants={"NUM_THREADS": 6})
+    token_map = app.map_open(app.map_path("token_map"))
+    agent = TokenAgent(machine, token_map, ls_user=1, be_user=2,
+                       rate_per_sec=100_000, epoch_us=100.0)
+    gen = OpenLoopGenerator(machine, 8080, 300_000, GET_ONLY,
+                            duration_us=50_000, user_id=1)
+    server.response_sink = gen.deliver_response
+    gen.start()
+    machine.run(until=80_000)
+    agent.stop()
+    machine.run()
+    # offered 300K, admitted ~100K: ~2/3 dropped
+    assert 0.5 < gen.drop_fraction() < 0.8
+    # goodput close to the token rate
+    assert gen.goodput_rps(50_000) < 130_000
+
+
+# ----------------------------------------------------------------------
+# Multi-tenancy
+# ----------------------------------------------------------------------
+def test_two_apps_isolated_policies():
+    """Each app's policy only sees its own traffic (paper §4.3)."""
+    machine = Machine(set_a(), seed=13)
+    alice = machine.register_app("alice", ports=[8080])
+    bob = machine.register_app("bob", ports=[9090])
+    a_server = RocksDbServer(machine, alice, 8080, 3)
+    b_server = RocksDbServer(machine, bob, 9090, 3)
+    alice.deploy_policy(ROUND_ROBIN, Hook.SOCKET_SELECT,
+                        constants={"NUM_THREADS": 3})
+    # bob deploys a DROP-everything policy; it must not affect alice
+    bob.deploy_policy("def schedule(pkt):\n    return DROP\n",
+                      Hook.SOCKET_SELECT)
+    a_gen = OpenLoopGenerator(machine, 8080, 50_000, GET_ONLY,
+                              duration_us=30_000, stream="a")
+    b_gen = OpenLoopGenerator(machine, 9090, 50_000, GET_ONLY,
+                              duration_us=30_000, stream="b")
+    a_server.response_sink = a_gen.deliver_response
+    b_server.response_sink = b_gen.deliver_response
+    a_gen.start()
+    b_gen.start()
+    machine.run()
+    assert a_gen.drop_fraction() == 0.0
+    assert b_gen.completed_in_window() == 0
+    assert machine.netstack.drops["select_drop"] == b_gen.sent_in_window()
+
+
+def test_buggy_policy_only_hurts_its_owner():
+    """An out-of-range executor index degrades to PASS for that app only."""
+    machine = Machine(set_a(), seed=14)
+    alice = machine.register_app("alice", ports=[8080])
+    a_server = RocksDbServer(machine, alice, 8080, 3)
+    alice.deploy_policy("def schedule(pkt):\n    return 999\n",
+                        Hook.SOCKET_SELECT)
+    gen = OpenLoopGenerator(machine, 8080, 20_000, GET_ONLY,
+                            duration_us=20_000)
+    a_server.response_sink = gen.deliver_response
+    gen.start()
+    machine.run()
+    # falls back to the default policy; traffic still served
+    assert gen.drop_fraction() == 0.0
+
+
+# ----------------------------------------------------------------------
+# Cross-layer
+# ----------------------------------------------------------------------
+def test_cross_layer_get_priority_preempts_scans():
+    machine = Machine(set_a(), seed=15, scheduler="ghost")
+    app = machine.register_app("rocksdb", ports=[8080])
+    server = RocksDbServer(machine, app, 8080, 12, mark_scans=True,
+                           mark_types=True)
+    app.deploy_policy(SCAN_AVOID, Hook.SOCKET_SELECT,
+                      constants={"NUM_THREADS": 12})
+    deployed = app.deploy_policy(GetPriorityPolicy(server.type_map),
+                                 Hook.THREAD_SCHED)
+    gen = OpenLoopGenerator(machine, 8080, 6_000, GET_SCAN_50_50,
+                            duration_us=200_000, warmup_us=50_000)
+    server.response_sink = gen.deliver_response
+    gen.start()
+    machine.run()
+    assert gen.latency.p99(tag=GET) < 200.0
+    assert deployed.agent.commits > 0
+
+
+def test_ghost_agent_core_reserved():
+    machine = Machine(set_a(), seed=15, scheduler="ghost")
+    assert machine.agent_core is not None
+    assert len(machine.scheduler.cores) == machine.config.num_app_cores - 1
+
+
+# ----------------------------------------------------------------------
+# MICA portability end-to-end
+# ----------------------------------------------------------------------
+def test_mica_hw_beats_sw_beats_baseline_at_high_load():
+    results = {}
+    for mode in ("sw_redirect", "syrup_sw", "syrup_hw"):
+        machine = Machine(set_b(8), seed=16)
+        app = machine.register_app("mica", ports=[9090])
+        server = MicaServer(machine, app, 9090, num_threads=8, mode=mode)
+        server.deploy_policy()
+        gen = OpenLoopGenerator(machine, 9090, 2_200_000, MICA_50_50,
+                                duration_us=20_000, warmup_us=5_000,
+                                num_flows=64)
+        server.response_sink = gen.deliver_response
+        gen.start()
+        machine.run()
+        results[mode] = gen.latency.p999()
+    assert results["syrup_hw"] < results["syrup_sw"]
+    assert results["syrup_sw"] < results["sw_redirect"] / 3

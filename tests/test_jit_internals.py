@@ -1,0 +1,126 @@
+"""JIT internals: generated-source inspection and semantic corners."""
+
+import random
+
+import pytest
+
+from repro.constants import PASS
+from repro.ebpf.compiler import compile_policy
+from repro.ebpf.jit import jit_compile
+from repro.ebpf.program import load_program
+
+
+def source_of(policy_src, constants=None):
+    program = compile_policy(policy_src, constants=constants)
+    fn = jit_compile(program)
+    return fn.jit_source, program
+
+
+def test_jit_masks_wrapping_arithmetic():
+    src, _ = source_of("def schedule(pkt):\n    x = 1\n    return x + 2\n")
+    assert str((1 << 64) - 1) in src
+
+
+def test_jit_uses_helpers_for_division():
+    src, _ = source_of("def schedule(pkt):\n    x = 9\n    return x // 3 + x % 2\n")
+    assert "_div(" in src and "_mod(" in src
+
+
+def test_jit_maps_globals_to_slots():
+    src, _ = source_of(
+        "g = 5\n\ndef schedule(pkt):\n    global g\n    g += 1\n    return g\n"
+    )
+    assert "G[0]" in src
+    assert "u_g" not in src
+
+
+def test_jit_locals_are_prefixed():
+    src, _ = source_of("def schedule(pkt):\n    value = 3\n    return value\n")
+    assert "u_value" in src
+
+
+def test_jit_packet_ops():
+    src, _ = source_of("""
+def schedule(pkt):
+    if pkt_len(pkt) < 8:
+        return PASS
+    return load_u32(pkt, 4)
+""")
+    assert "u_pkt.length" in src
+    assert "u_pkt.load(4, 4)" in src
+
+
+def test_jit_loop_values_are_masked_literals():
+    src, _ = source_of("""
+def schedule(pkt):
+    t = 0
+    for i in range(-2, 2):
+        t += i
+    return t
+""")
+    mask = (1 << 64)
+    assert str(mask - 2) in src  # -2 masked
+    # and the semantics match the interpreter exactly
+    program = compile_policy("""
+def schedule(pkt):
+    t = 0
+    for i in range(-2, 2):
+        t += i
+    return t
+""")
+    loaded = load_program(program)
+    assert loaded.run_interp(None).value == loaded.run_jit(None)
+
+
+def test_jit_empty_loop_body_is_valid_python():
+    loaded = load_program(compile_policy("""
+def schedule(pkt):
+    for i in range(0):
+        pass
+    return 7
+"""))
+    assert loaded.run_jit(None) == 7
+
+
+def test_jit_shift_masking():
+    program = compile_policy("""
+def schedule(pkt):
+    a = 1
+    b = 200
+    return (a << b) + (a >> b)
+""")
+    loaded = load_program(program)
+    # shift amounts masked to 6 bits: 200 & 63 == 8
+    expected = (1 << 8) + 0
+    assert loaded.run_interp(None).value == expected
+    assert loaded.run_jit(None) == expected
+
+
+def test_jit_name_collisions_with_runtime_are_impossible():
+    # user variables named like the JIT runtime's internals must not clash
+    src = """
+def schedule(pkt):
+    G = 1
+    M = 2
+    _rng = 3
+    _div = 4
+    return G + M + _rng + _div
+"""
+    loaded = load_program(compile_policy(src))
+    assert loaded.run_jit(None) == 10
+    assert loaded.run_interp(None).value == 10
+
+
+def test_jit_rng_stream_matches_interpreter():
+    program = compile_policy(
+        "def schedule(pkt):\n    return get_random() + get_random()\n"
+    )
+    a = load_program(program, rng=random.Random(77))
+    b = load_program(program, rng=random.Random(77))
+    assert a.run_interp(None).value == b.run_jit(None)
+
+
+def test_jit_source_is_attached_for_debugging():
+    program = compile_policy("def schedule(pkt):\n    return 1\n")
+    fn = jit_compile(program)
+    assert fn.jit_source.startswith("def _policy(")

@@ -1,0 +1,246 @@
+"""Tests for sockets, reuseport groups, and the netstack RX pipeline."""
+
+import pytest
+
+from repro.config import MachineConfig, NicSpec
+from repro.kernel.netstack import NetStack
+from repro.kernel.sockets import ReuseportGroup, SocketTable, UdpSocket
+from repro.net.packet import FiveTuple, Packet
+from repro.sim.engine import Engine
+
+FLOW = FiveTuple(0x0A000002, 40000, 0x0A000001, 8080, 17)
+
+
+def make_packet(src_port=40000, dst_port=8080, payload=b"x" * 32):
+    return Packet(FLOW._replace(src_port=src_port, dst_port=dst_port), payload)
+
+
+# ----------------------------------------------------------------------
+# Sockets
+# ----------------------------------------------------------------------
+def test_socket_enqueue_pop_fifo():
+    sock = UdpSocket(8080)
+    p1, p2 = make_packet(1), make_packet(2)
+    assert sock.enqueue(p1) and sock.enqueue(p2)
+    assert sock.pop() is p1
+    assert sock.pop() is p2
+    assert sock.pop() is None
+
+
+def test_socket_backlog_overflow_drops():
+    sock = UdpSocket(8080, backlog=2)
+    assert sock.enqueue(make_packet())
+    assert sock.enqueue(make_packet())
+    assert not sock.enqueue(make_packet())
+    assert sock.drops == 1
+    assert sock.enqueued == 2
+
+
+def test_socket_wakes_thread():
+    class FakeThread:
+        def __init__(self):
+            self.wakes = 0
+
+        def wake(self):
+            self.wakes += 1
+
+    sock = UdpSocket(8080)
+    sock.thread = FakeThread()
+    sock.enqueue(make_packet())
+    assert sock.thread.wakes == 1
+
+
+def test_socket_on_enqueue_callback():
+    seen = []
+    sock = UdpSocket(8080)
+    sock.on_enqueue = seen.append
+    pkt = make_packet()
+    sock.enqueue(pkt)
+    assert seen == [pkt]
+
+
+def test_reuseport_group_port_check():
+    group = ReuseportGroup(8080)
+    with pytest.raises(ValueError):
+        group.add(UdpSocket(9090))
+
+
+def test_reuseport_default_select_stable_and_in_range():
+    group = ReuseportGroup(8080)
+    for _ in range(6):
+        group.add(UdpSocket(8080))
+    pkt = make_packet()
+    first = group.default_select(pkt)
+    assert 0 <= first < 6
+    assert all(group.default_select(pkt) == first for _ in range(5))
+
+
+def test_socket_table_groups_by_port():
+    table = SocketTable()
+    s1, s2, s3 = UdpSocket(8080), UdpSocket(8080), UdpSocket(9090)
+    g1 = table.bind(s1)
+    g2 = table.bind(s2)
+    g3 = table.bind(s3)
+    assert g1 is g2 and g1 is not g3
+    assert len(g1) == 2
+    assert table.ports() == [8080, 9090]
+    assert table.group(7777) is None
+
+
+# ----------------------------------------------------------------------
+# NetStack pipeline
+# ----------------------------------------------------------------------
+def make_stack(**config_kwargs):
+    eng = Engine()
+    config = MachineConfig(num_softirq_cores=2, nic=NicSpec(num_queues=2),
+                           **config_kwargs)
+    stack = NetStack(eng, config)
+    return eng, stack
+
+
+def test_standard_path_delivers_to_socket():
+    eng, stack = make_stack()
+    sock = UdpSocket(8080)
+    stack.socket_table.bind(sock)
+    stack.deliver_from_nic(0, make_packet())
+    eng.run()
+    assert len(sock) == 1
+    assert stack.delivered == 1
+
+
+def test_no_socket_drop():
+    eng, stack = make_stack()
+    stack.deliver_from_nic(0, make_packet(dst_port=5555))
+    eng.run()
+    assert stack.drops["no_socket"] == 1
+
+
+def test_ring_overflow_drops():
+    eng, stack = make_stack()
+    stack.config.nic.ring_size = 4
+    stack.softirq[0].capacity = 4
+    sock = UdpSocket(8080)
+    stack.socket_table.bind(sock)
+    for _ in range(10):
+        stack.deliver_from_nic(0, make_packet())
+    eng.run()
+    assert stack.drops["ring_overflow"] > 0
+    assert stack.delivered + stack.drops["ring_overflow"] == 10
+
+
+def test_socket_overflow_counted():
+    eng, stack = make_stack(socket_backlog=1)
+    sock = UdpSocket(8080, backlog=1)
+    stack.socket_table.bind(sock)
+    for _ in range(3):
+        stack.deliver_from_nic(0, make_packet())
+    eng.run()
+    assert stack.drops["socket_overflow"] == 2
+
+
+class _Hook:
+    def __init__(self, decision, cost=0.5, hook="socket_select"):
+        self.decision = decision
+        self.cost = cost
+        self.hook = hook
+        self.calls = 0
+
+    def decide(self, packet):
+        self.calls += 1
+        return self.decision
+
+    def cost_us(self, packet):
+        return self.cost
+
+
+def test_socket_select_hook_target():
+    eng, stack = make_stack()
+    a, b = UdpSocket(8080), UdpSocket(8080)
+    stack.socket_table.bind(a)
+    stack.socket_table.bind(b)
+    stack.socket_select_hook = _Hook(("target", b))
+    stack.deliver_from_nic(0, make_packet())
+    eng.run()
+    assert len(b) == 1 and len(a) == 0
+
+
+def test_socket_select_hook_drop():
+    eng, stack = make_stack()
+    sock = UdpSocket(8080)
+    stack.socket_table.bind(sock)
+    stack.socket_select_hook = _Hook(("drop", None))
+    stack.deliver_from_nic(0, make_packet())
+    eng.run()
+    assert stack.drops["select_drop"] == 1
+    assert len(sock) == 0
+
+
+def test_socket_select_hook_pass_uses_default():
+    eng, stack = make_stack()
+    socks = [UdpSocket(8080) for _ in range(3)]
+    group = None
+    for s in socks:
+        group = stack.socket_table.bind(s)
+    stack.socket_select_hook = _Hook(("pass", None))
+    pkt = make_packet()
+    stack.deliver_from_nic(0, pkt)
+    eng.run()
+    expected = group[group.default_select(pkt)]
+    assert len(expected) == 1
+
+
+def test_cpu_redirect_hook_moves_processing_core():
+    eng, stack = make_stack()
+    sock = UdpSocket(8080)
+    stack.socket_table.bind(sock)
+    stack.cpu_redirect_hook = _Hook(("target", 1), hook="cpu_redirect")
+    stack.deliver_from_nic(0, make_packet())
+    eng.run()
+    assert stack.softirq[1].served == 1
+    assert stack.softirq[0].served == 0
+
+
+def test_xdp_hook_bypasses_protocol_to_af_xdp_socket():
+    eng, stack = make_stack()
+    af_sock = UdpSocket(8080, is_af_xdp=True)
+    stack.xdp_hook = _Hook(("target", af_sock), hook="xdp_drv")
+    stack.deliver_from_nic(0, make_packet())
+    eng.run()
+    assert len(af_sock) == 1
+    # never reached the socket table path
+    assert stack.drops["no_socket"] == 0
+
+
+def test_xdp_generic_mode_pays_copy_cost():
+    eng_zc, stack_zc = make_stack()
+    eng_copy, stack_copy = make_stack()
+    for stack, hook, eng in (
+        (stack_zc, "xdp_drv", eng_zc),
+        (stack_copy, "xdp_skb", eng_copy),
+    ):
+        sock = UdpSocket(8080, is_af_xdp=True)
+        stack.xdp_hook = _Hook(("target", sock), cost=0.0, hook=hook)
+        stack.deliver_from_nic(0, make_packet())
+        eng.run()
+    assert stack_copy.softirq[0].busy_us > stack_zc.softirq[0].busy_us
+
+
+def test_plain_af_xdp_binding():
+    eng, stack = make_stack()
+    sock = UdpSocket(8080, is_af_xdp=True)
+    stack.bind_af_xdp(1, sock)
+    stack.deliver_from_nic(1, make_packet())
+    stack.deliver_from_nic(0, make_packet(dst_port=5555))  # unbound queue
+    eng.run()
+    assert len(sock) == 1
+    assert stack.drops["no_socket"] == 1
+
+
+def test_xdp_pass_falls_through_to_stack():
+    eng, stack = make_stack()
+    sock = UdpSocket(8080)
+    stack.socket_table.bind(sock)
+    stack.xdp_hook = _Hook(("pass", None), hook="xdp_drv")
+    stack.deliver_from_nic(0, make_packet())
+    eng.run()
+    assert len(sock) == 1

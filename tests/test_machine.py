@@ -1,0 +1,91 @@
+"""Tests for Machine assembly and configuration plumbing."""
+
+import pytest
+
+from repro import Machine, MachineConfig, set_a, set_b
+from repro.config import CostModel, NicSpec, with_costs
+from repro.ghost.sched import GhostScheduler
+from repro.kernel.cfs import CfsScheduler
+from repro.kernel.sched import PinnedScheduler
+
+
+def test_default_machine():
+    machine = Machine()
+    assert len(machine.cores) == 6
+    assert machine.agent_core is None
+    assert isinstance(machine.scheduler, PinnedScheduler)
+    assert machine.now == 0.0
+
+
+def test_scheduler_selection():
+    assert isinstance(Machine(scheduler="cfs").scheduler, CfsScheduler)
+    ghost = Machine(scheduler="ghost")
+    assert isinstance(ghost.scheduler, GhostScheduler)
+    assert ghost.agent_core is ghost.cores[-1]
+    assert len(ghost.scheduler.cores) == 5
+    with pytest.raises(ValueError):
+        Machine(scheduler="fifo")
+
+
+def test_ghost_needs_two_cores():
+    with pytest.raises(ValueError):
+        Machine(MachineConfig(num_app_cores=1), scheduler="ghost")
+
+
+def test_set_a_set_b_profiles():
+    a = set_a()
+    b = set_b()
+    assert a.nic.zero_copy and not a.nic.supports_offload
+    assert b.nic.supports_offload and not b.nic.zero_copy
+    assert a.costs.cpu_ghz == 2.3
+    assert b.costs.cpu_ghz == 2.0
+    assert set_a(4).num_app_cores == 4
+    assert set_b(8).nic.num_queues == 8
+
+
+def test_with_costs_copies():
+    base = set_a()
+    tweaked = with_costs(base, recv_syscall_us=9.0)
+    assert tweaked.costs.recv_syscall_us == 9.0
+    assert base.costs.recv_syscall_us != 9.0  # original untouched
+
+
+def test_cycles_to_us():
+    costs = CostModel(cpu_ghz=2.0)
+    assert costs.cycles_to_us(2000) == pytest.approx(1.0)
+
+
+def test_nic_wired_to_netstack():
+    machine = Machine(set_a())
+    assert machine.nic.deliver == machine.netstack.deliver_from_nic
+
+
+def test_rss_salt_is_seeded():
+    a = Machine(set_a(), seed=1)
+    b = Machine(set_a(), seed=1)
+    c = Machine(set_a(), seed=2)
+    assert a.nic.salt == b.nic.salt
+    assert a.nic.salt != c.nic.salt
+
+
+def test_create_udp_socket_binds_unless_af_xdp():
+    machine = Machine(set_a())
+    app = machine.register_app("a", ports=[8080])
+    normal = machine.create_udp_socket(app, 8080)
+    af = machine.create_udp_socket(app, 8080, is_af_xdp=True)
+    group = machine.netstack.socket_table.group(8080)
+    assert normal in group.sockets
+    assert af not in group.sockets
+    assert normal.backlog == machine.config.socket_backlog
+
+
+def test_run_until():
+    machine = Machine(set_a())
+    machine.run(until=123.0)
+    assert machine.now == 123.0
+
+
+def test_nic_spec_validation_is_dataclass_defaults():
+    spec = NicSpec()
+    assert spec.ring_size > 0
+    assert spec.offload_map_access_us > spec.rx_process_us

@@ -1,0 +1,107 @@
+"""MICA cost-model knobs: the calibration that anchors Figure 9."""
+
+import pytest
+
+from repro import Machine, set_b
+from repro.apps.mica import MicaCosts, MicaServer
+from repro.net.packet import FiveTuple, Packet, build_payload
+from repro.workload.requests import GET, PUT, Request
+
+FLOW = FiveTuple(0x0A000002, 40000, 0x0A000001, 9090, 17)
+
+
+def make_server(mode, costs=None, num_threads=8):
+    machine = Machine(set_b(8), seed=95)
+    app = machine.register_app("mica", ports=[9090])
+    server = MicaServer(machine, app, 9090, num_threads=num_threads,
+                        mode=mode, costs=costs)
+    return machine, server
+
+
+def packet_for(server, key, rid=1, rtype=GET):
+    key_hash = (key * 0x9E3779B97F4A7C15) & ((1 << 64) - 1)
+    request = Request(rid, rtype, 0.0, key=key, key_hash=key_hash)
+    return Packet(FLOW, build_payload(rtype, 0, key_hash, rid),
+                  request=request)
+
+
+def key_with_home(server, home):
+    for key in range(10000):
+        if server._home_for_key(key) == home:
+            return key
+    raise AssertionError("no key found")
+
+
+def test_put_costs_more_than_get():
+    _m, server = make_server("syrup_hw")
+    key = key_with_home(server, 3)
+    get_cost, _ = server.packet_work(3, packet_for(server, key, rtype=GET))
+    put_cost, _ = server.packet_work(3, packet_for(server, key, rtype=PUT))
+    assert put_cost == pytest.approx(get_cost + server.costs.put_extra_us)
+
+
+def test_remote_pull_charged_only_when_queue_differs():
+    _m, server = make_server("syrup_sw")
+    key = key_with_home(server, 2)
+    local = packet_for(server, key)
+    local.rx_queue = 2
+    remote = packet_for(server, key)
+    remote.rx_queue = 5
+    local_cost, _ = server.packet_work(2, local)
+    remote_cost, _ = server.packet_work(2, remote)
+    assert remote_cost == pytest.approx(
+        local_cost + server.costs.remote_pull_us
+    )
+
+
+def test_hw_mode_never_pays_remote_pull():
+    _m, server = make_server("syrup_hw")
+    key = key_with_home(server, 2)
+    pkt = packet_for(server, key)
+    pkt.rx_queue = 5  # even if it somehow arrived on another queue
+    cost, _ = server.packet_work(2, pkt)
+    assert cost == pytest.approx(server.costs.proc_us)
+
+
+def test_sw_redirect_local_vs_forward_costs():
+    costs = MicaCosts()
+    _m, server = make_server("sw_redirect", costs=costs)
+    key = key_with_home(server, 4)
+    local_cost, (kind, _r) = server.packet_work(4, packet_for(server, key))
+    assert kind == "proc"
+    assert local_cost == pytest.approx(costs.parse_us + costs.proc_us)
+    fwd_cost, (kind, _r) = server.packet_work(0, packet_for(server, key))
+    assert kind == "forward"
+    assert fwd_cost == pytest.approx(costs.parse_us + costs.handoff_send_us)
+
+
+def test_handoff_work_cost():
+    costs = MicaCosts()
+    _m, server = make_server("sw_redirect", costs=costs)
+    request = Request(1, GET, 0.0, key=1, key_hash=1)
+    cost, (kind, _r) = server.handoff_work(1, request)
+    assert kind == "proc"
+    assert cost == pytest.approx(costs.handoff_recv_us + costs.proc_us)
+
+
+def test_misroute_counter_increments():
+    _m, server = make_server("syrup_sw")
+    key = key_with_home(server, 7)
+    server.packet_work(0, packet_for(server, key))  # wrong thread
+    assert server.misroutes == 1
+
+
+def test_calibration_matches_paper_saturation_points():
+    """The three Figure-9 saturation loads follow from the cost model."""
+    costs = MicaCosts()
+    cores = 8
+    hw = cores / costs.proc_us * 1e6
+    sw = cores / (costs.proc_us + costs.remote_pull_us * 7 / 8) * 1e6
+    base_per_req = (
+        costs.parse_us + costs.proc_us
+        + (costs.handoff_send_us + costs.handoff_recv_us) * 7 / 8
+    )
+    base = cores / base_per_req * 1e6
+    assert 3.1e6 < hw < 3.4e6       # paper: 3.2-3.3M
+    assert 2.6e6 < sw < 2.9e6       # paper: 2.7-2.8M
+    assert 1.7e6 < base < 2.0e6     # paper: 1.7-1.8M

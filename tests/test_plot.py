@@ -1,0 +1,59 @@
+"""Tests for the ASCII plotting helper."""
+
+import math
+
+from repro.stats.plot import ascii_plot, plot_table
+from repro.stats.results import Table
+
+
+def test_plot_basic_structure():
+    text = ascii_plot(
+        {"a": [(0, 10), (100, 100)], "b": [(0, 20), (100, 50)]},
+        title="demo", x_label="load", y_label="p99",
+    )
+    assert "demo" in text
+    assert "o=a" in text and "x=b" in text
+    assert "load" in text and "p99" in text
+    assert "o" in text and "x" in text
+
+
+def test_plot_log_scale_handles_decades():
+    text = ascii_plot(
+        {"s": [(1, 10), (2, 100), (3, 10_000)]}, log_y=True, height=10
+    )
+    assert "10K" in text       # top label
+    assert "(log scale)" not in text  # only shown when y_label given
+    labeled = ascii_plot({"s": [(1, 10), (2, 10_000)]}, log_y=True,
+                         y_label="us")
+    assert "(log scale)" in labeled
+
+
+def test_plot_skips_nan_and_empty():
+    text = ascii_plot({"s": [(1, float("nan")), (2, 5.0)]})
+    assert "o" in text
+    assert "(no data)" in ascii_plot({"s": []})
+
+
+def test_plot_single_point_no_division_errors():
+    text = ascii_plot({"s": [(5, 7)]})
+    assert "o" in text
+
+
+def test_plot_table_groups_series():
+    table = Table("t", ["policy", "load", "p99"])
+    table.add(policy="a", load=1, p99=10.0)
+    table.add(policy="a", load=2, p99=20.0)
+    table.add(policy="b", load=1, p99=5.0)
+    text = plot_table(table, "policy", "load", "p99")
+    assert "o=a" in text and "x=b" in text
+    assert text.startswith("t")
+
+
+def test_cli_plot_flag(capsys):
+    from repro.cli import main
+
+    assert main(["figure2", "--loads", "100000", "--duration-ms", "40",
+                 "--plot"]) == 0
+    out = capsys.readouterr().out
+    assert "o=vanilla" in out
+    assert "load_rps" in out

@@ -1,0 +1,115 @@
+"""System-level property tests (hypothesis): conservation, bounds, fairness.
+
+These drive the whole machine with randomized workload parameters and check
+invariants that must hold regardless of policy or load:
+
+- conservation: every sent request is either completed or accounted as a
+  drop somewhere in the stack;
+- latency lower bound: nothing completes faster than the physical path;
+- round robin's balance property;
+- isolation: an app's traffic is never handled by another app's sockets.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro import Hook, Machine, set_a
+from repro.apps.rocksdb import RocksDbServer
+from repro.policies.builtin import ROUND_ROBIN
+from repro.workload.generator import OpenLoopGenerator
+from repro.workload.mixes import GET_ONLY, GET_SCAN_995_005
+
+
+def drive(machine, server, gen):
+    server.response_sink = gen.deliver_response
+    gen.start()
+    machine.run()
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    rate=st.integers(20_000, 520_000),
+    seed=st.integers(0, 1000),
+    use_rr=st.booleans(),
+)
+def test_request_conservation(rate, seed, use_rr):
+    machine = Machine(set_a(), seed=seed)
+    app = machine.register_app("app", ports=[8080])
+    server = RocksDbServer(machine, app, 8080, 6)
+    if use_rr:
+        app.deploy_policy(ROUND_ROBIN, Hook.SOCKET_SELECT,
+                          constants={"NUM_THREADS": 6})
+    gen = OpenLoopGenerator(machine, 8080, rate, GET_ONLY,
+                            duration_us=30_000)
+    drive(machine, server, gen)
+    sent = gen.sent_in_window()
+    completed = gen.completed_in_window()
+    stack_drops = machine.netstack.total_drops()
+    assert completed + stack_drops == sent
+    assert server.stats.completed.total() == completed
+
+
+@settings(max_examples=10, deadline=None)
+@given(rate=st.integers(10_000, 300_000), seed=st.integers(0, 1000))
+def test_latency_lower_bound(rate, seed):
+    machine = Machine(set_a(), seed=seed)
+    app = machine.register_app("app", ports=[8080])
+    server = RocksDbServer(machine, app, 8080, 6)
+    gen = OpenLoopGenerator(machine, 8080, rate, GET_SCAN_995_005,
+                            duration_us=25_000)
+    drive(machine, server, gen)
+    costs = machine.costs
+    floor = (
+        2 * costs.wire_us
+        + machine.config.nic.rx_process_us
+        + costs.irq_delay_us
+        + costs.softirq_us
+        + costs.recv_syscall_us
+        + 10.0  # minimum GET service
+    )
+    if gen.latency.count:
+        assert min(gen.latency._samples) >= floor - 1e-6
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    rate=st.integers(30_000, 200_000),
+    threads=st.integers(2, 8),
+    seed=st.integers(0, 100),
+)
+def test_round_robin_balance(rate, threads, seed):
+    machine = Machine(set_a(num_app_cores=max(threads, 2)), seed=seed)
+    app = machine.register_app("app", ports=[8080])
+    server = RocksDbServer(machine, app, 8080, threads)
+    app.deploy_policy(ROUND_ROBIN, Hook.SOCKET_SELECT,
+                      constants={"NUM_THREADS": threads})
+    gen = OpenLoopGenerator(machine, 8080, rate, GET_ONLY,
+                            duration_us=20_000)
+    drive(machine, server, gen)
+    counts = [s.enqueued for s in server.sockets]
+    assert max(counts) - min(counts) <= 1
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(0, 500), rate=st.integers(20_000, 120_000))
+def test_isolation_no_cross_app_delivery(seed, rate):
+    machine = Machine(set_a(), seed=seed)
+    alice = machine.register_app("alice", ports=[8080])
+    bob = machine.register_app("bob", ports=[9090])
+    a_server = RocksDbServer(machine, alice, 8080, 3)
+    b_server = RocksDbServer(machine, bob, 9090, 3)
+    alice.deploy_policy(ROUND_ROBIN, Hook.SOCKET_SELECT,
+                        constants={"NUM_THREADS": 3})
+    a_gen = OpenLoopGenerator(machine, 8080, rate, GET_ONLY,
+                              duration_us=15_000, stream="a")
+    b_gen = OpenLoopGenerator(machine, 9090, rate, GET_ONLY,
+                              duration_us=15_000, stream="b")
+    a_server.response_sink = a_gen.deliver_response
+    b_server.response_sink = b_gen.deliver_response
+    a_gen.start()
+    b_gen.start()
+    machine.run()
+    # every packet landed on a socket of its own app
+    for sock in a_server.sockets:
+        assert sock.app == "alice"
+    assert sum(s.enqueued for s in a_server.sockets) == a_gen.sent_in_window()
+    assert sum(s.enqueued for s in b_server.sockets) == b_gen.sent_in_window()

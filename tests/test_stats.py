@@ -1,0 +1,102 @@
+"""Tests for latency recording, counters, and result tables."""
+
+import math
+
+import pytest
+
+from repro.stats.latency import LatencyRecorder
+from repro.stats.meters import Counter, WindowedRate
+from repro.stats.results import Table, format_table
+
+
+def test_percentiles_exact_on_known_data():
+    rec = LatencyRecorder()
+    for v in range(1, 101):
+        rec.record(10.0, float(v))
+    assert rec.p50() == pytest.approx(50.5)
+    assert rec.p99() == pytest.approx(99.01)
+    assert rec.mean() == pytest.approx(50.5)
+    assert rec.max() == 100.0
+
+
+def test_warmup_discards_samples():
+    rec = LatencyRecorder(warmup_until=100.0)
+    rec.record(50.0, 1.0)
+    rec.record(150.0, 2.0)
+    assert rec.count == 1
+    assert rec.p50() == 2.0
+
+
+def test_tagged_samples():
+    rec = LatencyRecorder()
+    rec.record(0.0, 10.0, tag="get")
+    rec.record(0.0, 700.0, tag="scan")
+    rec.record(0.0, 12.0, tag="get")
+    assert rec.p50(tag="get") == 11.0
+    assert rec.p50(tag="scan") == 700.0
+    assert rec.tags() == ["get", "scan"]
+
+
+def test_empty_recorder_is_nan():
+    rec = LatencyRecorder()
+    assert math.isnan(rec.p99())
+    assert math.isnan(rec.mean())
+    assert math.isnan(rec.p99(tag="missing"))
+
+
+def test_summary_keys():
+    rec = LatencyRecorder()
+    rec.record(0.0, 5.0)
+    summary = rec.summary()
+    assert set(summary) == {"count", "mean", "p50", "p99", "p999", "max"}
+    assert summary["count"] == 1
+
+
+def test_counter_warmup_and_totals():
+    counter = Counter(warmup_until=10.0)
+    counter.add(5.0, "a")
+    counter.add(15.0, "a")
+    counter.add(20.0, "b", n=3)
+    assert counter.get("a") == 1
+    assert counter.get("b") == 3
+    assert counter.total() == 4
+    assert counter.as_dict() == {"a": 1, "b": 3}
+
+
+def test_windowed_rate():
+    rate = WindowedRate(start=1000.0)
+    rate.add(500.0)   # before window
+    rate.add(1500.0)
+    rate.add(2000.0)
+    # 2 events over a 1000 us window = 2000 events/s
+    assert rate.per_second(end=2000.0) == pytest.approx(2000.0)
+    assert WindowedRate(0.0).per_second(0.0) == 0.0
+
+
+def test_table_add_and_columns():
+    table = Table("demo", ["x", "y"])
+    table.add(x=1, y=2.0)
+    table.add(x=3)
+    assert table.column("x") == [1, 3]
+    assert table.column("y") == [2.0, None]
+    assert len(table) == 2
+
+
+def test_table_rejects_unknown_columns():
+    table = Table("demo", ["x"])
+    with pytest.raises(KeyError):
+        table.add(z=1)
+
+
+def test_table_render_contains_values():
+    table = Table("demo", ["policy", "p99_us"])
+    table.add(policy="rr", p99_us=123.456)
+    text = table.render()
+    assert "demo" in text
+    assert "rr" in text
+    assert "123.46" in text
+
+
+def test_format_table_alignment_with_nan():
+    text = format_table("t", ["a"], [type("R", (), {"get": lambda s, c: float("nan")})()])
+    assert "nan" in text

@@ -1,0 +1,73 @@
+"""Tests for the syrupctl inspection tool."""
+
+import pytest
+
+from repro import Hook, Machine, set_a
+from repro.apps.rocksdb import RocksDbServer
+from repro.core.maps import PermissionDenied
+from repro.policies.builtin import SCAN_AVOID
+from repro.syrupctl import dump_map, render_deployments, render_maps, render_status
+from repro.workload.generator import OpenLoopGenerator
+from repro.workload.mixes import GET_SCAN_995_005
+
+
+@pytest.fixture
+def busy_machine():
+    machine = Machine(set_a(), seed=101)
+    app = machine.register_app("rocksdb", ports=[8080])
+    server = RocksDbServer(machine, app, 8080, 6, mark_scans=True)
+    app.deploy_policy(SCAN_AVOID, Hook.SOCKET_SELECT,
+                      constants={"NUM_THREADS": 6})
+    gen = OpenLoopGenerator(machine, 8080, 60_000, GET_SCAN_995_005,
+                            duration_us=20_000)
+    server.response_sink = gen.deliver_response
+    gen.start()
+    machine.run()
+    return machine
+
+
+def test_render_deployments(busy_machine):
+    text = render_deployments(busy_machine)
+    assert "rocksdb" in text
+    assert "socket_select" in text
+    assert "invocations" in text
+
+
+def test_render_maps_shows_pinned_contents(busy_machine):
+    text = render_maps(busy_machine)
+    assert "/sys/fs/bpf/syrup/rocksdb/scan_map" in text
+    assert "array" in text
+    assert "host" in text
+
+
+def test_dump_map(busy_machine):
+    contents = dump_map(busy_machine, "rocksdb", "scan_map")
+    assert len(contents) == 64
+    assert all(v in (0, 1) for v in contents.values())
+
+
+def test_dump_map_respects_permissions(busy_machine):
+    busy_machine.register_app("snoop", ports=[9999])
+    registry = busy_machine.syrupd.registry
+    with pytest.raises(PermissionDenied):
+        registry.open(registry.pin_path("rocksdb", "scan_map"), "snoop")
+
+
+def test_render_status_full_picture(busy_machine):
+    text = render_status(busy_machine)
+    assert "hook sites" in text
+    assert "core 0" in text
+    assert "drops" in text
+    assert "socket_select: ports=[8080]" in text
+
+
+def test_render_status_idle_machine():
+    machine = Machine(set_a(), seed=102)
+    text = render_status(machine)
+    assert "(none provisioned)" in text
+    assert "(none)" in text
+
+
+def test_render_status_shows_ghost_agent_core():
+    machine = Machine(set_a(), seed=103, scheduler="ghost")
+    assert "[ghOSt agent]" in render_status(machine)

@@ -1,0 +1,89 @@
+"""Tests for the request tracer."""
+
+import math
+
+import pytest
+
+from repro import Hook, Machine, set_a
+from repro.apps.rocksdb import RocksDbServer
+from repro.policies.builtin import ROUND_ROBIN, SCAN_AVOID
+from repro.trace import RequestTracer, STAGES
+from repro.workload.generator import OpenLoopGenerator
+from repro.workload.mixes import GET_ONLY, GET_SCAN_995_005
+
+
+def traced_run(policy=None, constants=None, mix=GET_ONLY, rate=60_000,
+               duration=60_000, mark_scans=False, sample_every=1):
+    machine = Machine(set_a(), seed=51)
+    app = machine.register_app("rocksdb", ports=[8080])
+    server = RocksDbServer(machine, app, 8080, 6, mark_scans=mark_scans)
+    if policy is not None:
+        app.deploy_policy(policy, Hook.SOCKET_SELECT, constants=constants)
+    tracer = RequestTracer(machine, server, warmup_us=duration / 4,
+                           sample_every=sample_every)
+    gen = OpenLoopGenerator(machine, 8080, rate, mix, duration_us=duration,
+                            warmup_us=duration / 4)
+    server.response_sink = gen.deliver_response
+    gen.start()
+    machine.run()
+    return machine, server, tracer, gen
+
+
+def test_stages_sum_to_total_within_wire_tail():
+    machine, _s, tracer, gen = traced_run(rate=20_000, duration=30_000)
+    b = tracer.breakdown(q=50.0)
+    # total includes the response wire leg the stage sum does not
+    parts = b["wire_nic"] + b["stack"] + b["socket_wait"] + b["service"]
+    assert b["total"] == pytest.approx(parts + machine.costs.wire_us, rel=0.2)
+
+
+def test_all_stages_populated():
+    _m, _s, tracer, _g = traced_run(rate=20_000, duration=30_000)
+    breakdown = tracer.breakdown()
+    assert set(breakdown) == set(STAGES)
+    assert all(not math.isnan(v) for v in breakdown.values())
+    assert tracer.stages["total"].count > 100
+
+
+def test_sampling_reduces_overhead():
+    _m, _s, sparse, _g = traced_run(sample_every=10)
+    _m2, _s2, dense, _g2 = traced_run(sample_every=1)
+    assert 0 < sparse.stages["total"].count < dense.stages["total"].count
+
+
+def test_tracer_attributes_hol_blocking_to_socket_wait():
+    """SCAN Avoid's whole effect shows up in the socket_wait stage."""
+    _m1, _s1, rr, _g1 = traced_run(
+        policy=ROUND_ROBIN, constants={"NUM_THREADS": 6},
+        mix=GET_SCAN_995_005, rate=120_000, duration=120_000,
+    )
+    _m2, _s2, sa, _g2 = traced_run(
+        policy=SCAN_AVOID, constants={"NUM_THREADS": 6},
+        mix=GET_SCAN_995_005, rate=120_000, duration=120_000,
+        mark_scans=True,
+    )
+    assert sa.breakdown()["socket_wait"] < rr.breakdown()["socket_wait"] / 3
+    # other stages barely move
+    assert sa.breakdown()["stack"] == pytest.approx(
+        rr.breakdown()["stack"], rel=0.5
+    )
+
+
+def test_tracer_does_not_perturb_results():
+    _m1, _s1, _t, traced_gen = traced_run(rate=40_000, duration=30_000)
+    machine = Machine(set_a(), seed=51)
+    app = machine.register_app("rocksdb", ports=[8080])
+    server = RocksDbServer(machine, app, 8080, 6)
+    gen = OpenLoopGenerator(machine, 8080, 40_000, GET_ONLY,
+                            duration_us=30_000, warmup_us=7_500)
+    server.response_sink = gen.deliver_response
+    gen.start()
+    machine.run()
+    assert traced_gen.latency.p99() == pytest.approx(gen.latency.p99())
+
+
+def test_render_contains_all_stages():
+    _m, _s, tracer, _g = traced_run(rate=10_000, duration=20_000)
+    text = tracer.render()
+    for stage in STAGES:
+        assert stage in text

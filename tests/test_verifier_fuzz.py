@@ -1,0 +1,138 @@
+"""Adversarial verifier fuzzing.
+
+The compiler only emits well-formed IR; an attacker loading hand-crafted
+bytecode is the case the verifier exists for.  Property: for *arbitrary*
+instruction sequences, either the verifier rejects, or execution on
+arbitrary packets completes without any fault — no stack underflow, no
+out-of-bounds packet read, no unbounded run.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.ebpf.errors import VerifierError, VmFault
+from repro.ebpf.insn import Insn, OPCODES, Program
+from repro.ebpf.maps import HashMap
+from repro.ebpf.verifier import verify
+from repro.ebpf.vm import execute
+from repro.net.packet import FiveTuple, Packet
+
+FLOW = FiveTuple(0x0A000002, 40002, 0x0A000001, 8080, 17)
+
+_OPS = sorted(OPCODES)
+N_LOCALS = 4
+N_GLOBALS = 2
+N_MAPS = 1
+
+
+def random_insns(rng, length):
+    insns = []
+    for _ in range(length):
+        op = rng.choice(_OPS)
+        arity = OPCODES[op][0]
+        a = b = None
+        if op in ("JMP", "JZ", "JNZ"):
+            a = rng.randrange(0, length + 2)  # may be backward / OOB
+        elif op in ("LOADL", "STOREL"):
+            a = rng.randrange(0, N_LOCALS + 2)
+        elif op in ("LOADG", "STOREG"):
+            a = rng.randrange(0, N_GLOBALS + 2)
+        elif op.startswith("MAP") or op == "ATOMICADD":
+            a = rng.randrange(0, N_MAPS + 2)
+        elif op == "LDPKT":
+            a = rng.randrange(0, 64)
+            b = rng.choice([1, 2, 4, 8])
+        elif op == "CONST":
+            a = rng.randrange(0, 2**32)
+        elif arity >= 1:
+            a = rng.randrange(0, 16)
+        if arity >= 2 and b is None:
+            b = rng.randrange(0, 16)
+        insns.append(Insn(op, a, b))
+    return insns
+
+
+def make_program(insns):
+    return Program(
+        name="fuzz",
+        insns=insns,
+        n_locals=N_LOCALS,
+        global_names=[f"g{i}" for i in range(N_GLOBALS)],
+        globals_init=[0] * N_GLOBALS,
+        map_names=["m"],
+        map_sizes=[16],
+        map_vars=["m"],
+        source="",
+        func_ast=None,
+        loc=0,
+    )
+
+
+@settings(max_examples=400, deadline=None)
+@given(seed=st.integers(0, 10**9), length=st.integers(1, 40),
+       pkt_len=st.integers(0, 80))
+def test_accepted_programs_never_fault(seed, length, pkt_len):
+    rng = random.Random(seed)
+    program = make_program(random_insns(rng, length))
+    try:
+        stats = verify(program)
+    except VerifierError:
+        return  # rejected: exactly what the verifier is for
+    packet = Packet(FLOW, bytes(pkt_len))
+    # Accepted: execution must terminate cleanly within the proven bound.
+    result = execute(program, packet, [HashMap("m", 16)],
+                     [0] * N_GLOBALS, random.Random(1))
+    assert result.insns_executed <= stats.n_insns
+
+
+@settings(max_examples=200, deadline=None)
+@given(seed=st.integers(0, 10**9), length=st.integers(1, 40))
+def test_accepted_programs_safe_without_packet_guards_lying(seed, length):
+    """Same property against the shortest possible packet (length 0):
+    any accepted LDPKT must be guarded, so a 0-length packet can never be
+    read — only PKTLEN-guarded paths run."""
+    rng = random.Random(seed + 7)
+    program = make_program(random_insns(rng, length))
+    try:
+        verify(program)
+    except VerifierError:
+        return
+    empty = Packet(FLOW, b"")
+    result = execute(program, empty, [HashMap("m", 16)],
+                     [0] * N_GLOBALS, random.Random(2))
+    assert result.value >= 0
+
+
+def test_handcrafted_attacks_rejected():
+    attacks = {
+        "infinite loop": [Insn("JMP", 0)],
+        "stack leak at join": [
+            Insn("CONST", 1),
+            Insn("JZ", 3),
+            Insn("CONST", 2),
+            Insn("CONST", 0),
+            Insn("RET"),
+        ],
+        "read past guard": [
+            Insn("PKTLEN"),
+            Insn("CONST", 4),
+            Insn("CMPGE"),
+            Insn("JZ", 6),
+            Insn("LDPKT", 0, 8),   # proved only 4 bytes
+            Insn("RET"),
+            Insn("CONST", 0),
+            Insn("RET"),
+        ],
+        "underflow": [Insn("ADD"), Insn("RET")],
+        "escape via map slot": [
+            Insn("CONST", 0),
+            Insn("MAPLOOKUP", 5),
+            Insn("RET"),
+        ],
+    }
+    import pytest
+
+    for name, insns in attacks.items():
+        with pytest.raises(VerifierError):
+            verify(make_program(insns))

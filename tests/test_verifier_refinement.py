@@ -1,0 +1,212 @@
+"""Fine-grained verifier refinement tests: every comparison direction,
+negation, and the exact boundary conditions of packet-length proofs."""
+
+import pytest
+
+from repro.ebpf.compiler import compile_policy
+from repro.ebpf.errors import VerifierError
+from repro.ebpf.verifier import verify
+
+
+def accepts(src):
+    verify(compile_policy(src))
+
+
+def rejects(src):
+    with pytest.raises(VerifierError):
+        verify(compile_policy(src))
+
+
+# --- every operator, pkt_len on the left ------------------------------
+def test_lt_guard_exact_boundary():
+    accepts("""
+def schedule(pkt):
+    if pkt_len(pkt) < 8:
+        return PASS
+    return load_u64(pkt, 0)
+""")
+    rejects("""
+def schedule(pkt):
+    if pkt_len(pkt) < 7:
+        return PASS
+    return load_u64(pkt, 0)
+""")
+
+
+def test_le_guard():
+    accepts("""
+def schedule(pkt):
+    if pkt_len(pkt) <= 7:
+        return PASS
+    return load_u64(pkt, 0)
+""")
+    rejects("""
+def schedule(pkt):
+    if pkt_len(pkt) <= 6:
+        return PASS
+    return load_u64(pkt, 0)
+""")
+
+
+def test_ge_guard():
+    accepts("""
+def schedule(pkt):
+    if pkt_len(pkt) >= 8:
+        return load_u64(pkt, 0)
+    return PASS
+""")
+    rejects("""
+def schedule(pkt):
+    if pkt_len(pkt) >= 7:
+        return load_u64(pkt, 0)
+    return PASS
+""")
+
+
+def test_gt_guard():
+    accepts("""
+def schedule(pkt):
+    if pkt_len(pkt) > 7:
+        return load_u64(pkt, 0)
+    return PASS
+""")
+    rejects("""
+def schedule(pkt):
+    if pkt_len(pkt) > 6:
+        return load_u64(pkt, 0)
+    return PASS
+""")
+
+
+def test_eq_guard():
+    accepts("""
+def schedule(pkt):
+    if pkt_len(pkt) == 16:
+        return load_u64(pkt, 8)
+    return PASS
+""")
+
+
+def test_ne_guard_refines_else_branch():
+    accepts("""
+def schedule(pkt):
+    if pkt_len(pkt) != 16:
+        return PASS
+    return load_u64(pkt, 8)
+""")
+
+
+# --- reversed operand order -------------------------------------------
+@pytest.mark.parametrize("guard, ok", [
+    ("if 8 <= pkt_len(pkt):", True),
+    ("if 7 < pkt_len(pkt):", True),
+    ("if 7 <= pkt_len(pkt):", False),
+    ("if 8 == pkt_len(pkt):", True),
+])
+def test_reversed_operands(guard, ok):
+    src = f"""
+def schedule(pkt):
+    {guard}
+        return load_u64(pkt, 0)
+    return PASS
+"""
+    if ok:
+        accepts(src)
+    else:
+        rejects(src)
+
+
+# --- negation ----------------------------------------------------------
+def test_not_inverts_refinement():
+    accepts("""
+def schedule(pkt):
+    if not (pkt_len(pkt) >= 8):
+        return PASS
+    return load_u64(pkt, 0)
+""")
+    rejects("""
+def schedule(pkt):
+    if not (pkt_len(pkt) >= 8):
+        return load_u64(pkt, 0)
+    return PASS
+""")
+
+
+def test_double_not_round_trips():
+    accepts("""
+def schedule(pkt):
+    if not (not (pkt_len(pkt) >= 8)):
+        return load_u64(pkt, 0)
+    return PASS
+""")
+
+
+# --- joins and nesting ---------------------------------------------------
+def test_min_over_paths_at_join():
+    # both branches prove >= 8, so the post-join load of 8 bytes is fine
+    accepts("""
+def schedule(pkt):
+    if pkt_len(pkt) >= 16:
+        x = 1
+    elif pkt_len(pkt) >= 8:
+        x = 2
+    else:
+        return PASS
+    return load_u64(pkt, 0) + x
+""")
+    # ...but a 16-byte load is not: the elif path proved only 8
+    rejects("""
+def schedule(pkt):
+    if pkt_len(pkt) >= 16:
+        x = 1
+    elif pkt_len(pkt) >= 8:
+        x = 2
+    else:
+        return PASS
+    return load_u64(pkt, 8) + x
+""")
+
+
+def test_refinement_does_not_leak_backwards():
+    rejects("""
+def schedule(pkt):
+    x = load_u8(pkt, 0)
+    if pkt_len(pkt) < 1:
+        return PASS
+    return x
+""")
+
+
+def test_guard_inside_loop_body_applies_within():
+    accepts("""
+def schedule(pkt):
+    total = 0
+    for i in range(3):
+        if pkt_len(pkt) < 8:
+            return PASS
+        total += load_u64(pkt, 0)
+    return total
+""")
+
+
+def test_and_guard_loses_refinement_at_join():
+    """Documented limitation: compound conditions lose the proof."""
+    rejects("""
+def schedule(pkt):
+    x = 1
+    if x == 1 and pkt_len(pkt) >= 8:
+        return load_u64(pkt, 0)
+    return PASS
+""")
+
+
+def test_unsigned_comparison_semantics_in_guards():
+    # pkt_len compared against a folded negative constant (= huge unsigned):
+    # pkt_len >= 2^64-1 is never true for real packets, so the load is
+    # guarded but dead — and still verifiable.
+    accepts("""
+def schedule(pkt):
+    if pkt_len(pkt) >= 18446744073709551615:
+        return load_u64(pkt, 0)
+    return PASS
+""")
