@@ -9,6 +9,11 @@ Regenerate any of the paper's tables/figures from a shell::
 
 ``--quick`` shrinks load grids and windows for a fast sanity pass; the
 defaults match the benchmark suite's paper-scale sweeps.
+
+``python -m repro stats`` renders the observability demo (per-hook
+metric counters from a Figure-6-style run with metrics enabled); it is
+the same surface as the ``syrupctl stats`` console script — see
+docs/observability.md.
 """
 
 import argparse
@@ -59,8 +64,11 @@ def _build_parser():
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(_RUNNERS) + ["all"],
-        help="which experiment to run ('all' runs every one)",
+        choices=sorted(_RUNNERS) + ["all", "stats"],
+        help=(
+            "which experiment to run ('all' runs every one; 'stats' "
+            "renders the syrupctl observability demo)"
+        ),
     )
     parser.add_argument(
         "--quick", action="store_true",
@@ -113,6 +121,23 @@ _PLOT_AXES = {
 
 def main(argv=None):
     args = _build_parser().parse_args(argv)
+    if args.experiment == "stats":
+        from repro import syrupctl
+
+        kwargs = {}
+        if args.loads is not None:
+            kwargs["load"] = args.loads[0]
+        if args.duration_ms is not None:
+            kwargs["duration_ms"] = args.duration_ms
+        if args.seed is not None:
+            kwargs["seed"] = args.seed
+        machine = syrupctl.run_stats_demo(**kwargs)
+        text = syrupctl.render_stats(machine)
+        print(text)
+        if args.out:
+            with open(args.out, "w") as fh:
+                fh.write(text + "\n")
+        return 0
     names = sorted(_RUNNERS) if args.experiment == "all" else [args.experiment]
     rendered = []
     for name in names:

@@ -1,20 +1,49 @@
-"""Hook sites with per-application dispatch.
+"""Hook sites with per-application dispatch — the datapath's front door.
 
-Implements §4.3's isolation mechanism literally: each hook site holds a
-``PROG_ARRAY`` map of loaded policy programs plus port-matching rules; the
-root dispatcher matches the destination port of each input and tail-calls
-the owning application's program.  A policy therefore only ever sees inputs
-destined to its own application's ports.
+Every scheduling decision in the system flows through one of these
+objects.  A policy deployed by :mod:`repro.core.syrupd` never attaches to
+a hook directly; it is installed behind the hook site's *root dispatcher*,
+which implements §4.3's isolation mechanism literally: the site holds a
+``PROG_ARRAY`` map of loaded policy programs plus port-matching rules, and
+for each input the dispatcher matches the destination port and tail-calls
+the owning application's program.  A policy therefore only ever sees
+inputs destined to its own application's ports.
+
+Dispatch path for one packet (the place to look when a decision seems
+wrong):
+
+1. ``decide(packet)`` looks up the packet's destination port in the port
+   rules.  No rule → ``("none", None)`` and the substrate falls back to
+   its default behavior (a *dispatch miss*, counted per hook).
+2. The matched attachment's program is fetched from the ``PROG_ARRAY``
+   and run (:class:`repro.ebpf.program.LoadedProgram` — interpreter while
+   profiling, JIT after).
+3. The u32 decision is enforced: ``PASS`` defers to the default policy,
+   ``DROP`` discards, and any other value indexes the app's executor map.
+   An index the app never populated (an *index miss*) falls back to PASS,
+   the safest default.
 
 The site exposes the substrate-facing protocol expected by
 :mod:`repro.kernel.netstack` and :mod:`repro.net.nic`:
 ``decide(packet) -> (action, target)`` and ``cost_us(packet)``.
+
+Observability: when the machine runs with ``metrics=True``, every
+attachment carries per-``(app, hook)`` counters — ``schedule_calls``,
+``pass`` / ``drop`` / ``steer`` outcomes, ``index_miss`` — and each
+decision is recorded in the structured event trace (kind ``decision``).
+With observability off these are shared no-op objects
+(:data:`repro.obs.registry.NULL_METRIC`), keeping the per-packet path
+allocation-free.  See docs/observability.md for the full catalogue.
 """
 
 from repro.constants import DROP, PASS
 from repro.ebpf.maps import ProgArrayMap
+from repro.obs import DISABLED
 
 __all__ = ["Hook", "HookSite"]
+
+#: App label for site-level metrics not attributable to one application.
+ROOT_APP = "(root)"
 
 
 class Hook:
@@ -36,26 +65,38 @@ class Hook:
 
 
 class _Attachment:
-    __slots__ = ("app_name", "program", "executors", "prog_index")
+    __slots__ = ("app_name", "program", "executors", "prog_index",
+                 "m_sched", "m_pass", "m_drop", "m_steer", "m_miss")
 
-    def __init__(self, app_name, program, executors, prog_index):
+    def __init__(self, app_name, program, executors, prog_index, registry,
+                 hook):
         self.app_name = app_name
         self.program = program
         self.executors = executors
         self.prog_index = prog_index
+        self.m_sched = registry.counter(app_name, hook, "schedule_calls")
+        self.m_pass = registry.counter(app_name, hook, "pass")
+        self.m_drop = registry.counter(app_name, hook, "drop")
+        self.m_steer = registry.counter(app_name, hook, "steer")
+        self.m_miss = registry.counter(app_name, hook, "index_miss")
 
 
 class HookSite:
     """One hook point's dispatcher (root matcher + PROG_ARRAY)."""
 
-    def __init__(self, hook, costs, max_programs=64):
+    def __init__(self, hook, costs, max_programs=64, obs=None):
         self.hook = hook
         self.costs = costs
+        self.obs = obs if obs is not None else DISABLED
         self.prog_array = ProgArrayMap(f"{hook}:prog_array", max_programs)
         self._port_rules = {}       # dst port -> _Attachment
         self._next_index = 0
         self.pass_decisions = 0
         self.drop_decisions = 0
+        self._events = self.obs.events
+        self._m_dispatch_miss = self.obs.registry.counter(
+            ROOT_APP, hook, "dispatch_miss"
+        )
 
     # ------------------------------------------------------------------
     def install(self, app_name, ports, loaded_program, executors):
@@ -63,7 +104,10 @@ class HookSite:
         index = self._next_index
         self._next_index += 1
         self.prog_array.update(index, loaded_program)
-        attachment = _Attachment(app_name, loaded_program, executors, index)
+        attachment = _Attachment(
+            app_name, loaded_program, executors, index, self.obs.registry,
+            self.hook,
+        )
         for port in ports:
             existing = self._port_rules.get(port)
             if existing is not None and existing.app_name != app_name:
@@ -87,21 +131,43 @@ class HookSite:
     def decide(self, packet):
         attachment = self._port_rules.get(packet.dst_port)
         if attachment is None:
+            self._m_dispatch_miss.inc()
             return ("none", None)
         # root dispatcher tail call
         program = self.prog_array.lookup(attachment.prog_index)
         value = program.run(packet)
+        attachment.m_sched.inc()
+        events = self._events
         if value == PASS:
             self.pass_decisions += 1
+            attachment.m_pass.inc()
+            if events.enabled:
+                events.emit("decision", app=attachment.app_name,
+                            hook=self.hook, port=packet.dst_port,
+                            outcome="pass")
             return ("pass", None)
         if value == DROP:
             self.drop_decisions += 1
+            attachment.m_drop.inc()
+            if events.enabled:
+                events.emit("decision", app=attachment.app_name,
+                            hook=self.hook, port=packet.dst_port,
+                            outcome="drop")
             return ("drop", None)
         executor = attachment.executors.resolve(value)
         if executor is None:
             # index the app never populated: safest is the default policy
             self.pass_decisions += 1
+            attachment.m_miss.inc()
+            if events.enabled:
+                events.emit("decision", app=attachment.app_name,
+                            hook=self.hook, port=packet.dst_port,
+                            outcome="index_miss", value=value)
             return ("pass", None)
+        attachment.m_steer.inc()
+        if events.enabled:
+            events.emit("decision", app=attachment.app_name, hook=self.hook,
+                        port=packet.dst_port, outcome="steer", value=value)
         return ("target", executor)
 
     def cost_us(self, packet):

@@ -1,21 +1,36 @@
 """Late binding for socket selection (paper §6.3).
 
-Early binding (the default): a packet's executor is chosen at arrival time,
-which can strand a short request behind a long one in the chosen socket.
-Late binding buffers inputs centrally and runs the matching function when an
-*executor* becomes available — "when a thread calls recvmsg on a socket" —
-eliminating intra-socket head-of-line blocking at the cost of a central
-queue.
+Why this module exists in the dispatch path: early binding (the default
+:class:`~repro.core.hooks.HookSite` behavior) chooses a packet's executor
+at *arrival* time, which can strand a short request behind a long one in
+the chosen socket — the intra-socket head-of-line blocking Figure 6's
+SCAN-heavy tails come from.  Late binding inverts the decision: inputs
+are buffered centrally and the matching function runs when an *executor*
+becomes available — "when a thread calls recvmsg on a socket" —
+eliminating that blocking at the cost of a central queue.
 
-Implementation: a :class:`LateBinder` installs a hook-site-compatible object
-at the Socket Select slot that steers every datagram into a central buffer
-(a pseudo-socket with a large backlog), and rewires each server thread's
-work source to pull from that buffer when its own socket is empty.  The
-user-supplied ``pick(thread_index, buffered_packets)`` matching function
-chooses *which buffered input* the free executor takes (default: FCFS).
+Implementation, in dispatch order:
+
+1. A :class:`LateBinder` installs a hook-site-compatible shim at the
+   Socket Select slot (it satisfies the same ``decide``/``cost_us``
+   protocol the netstack expects of a :class:`HookSite`), steering every
+   owned-port datagram into a central buffer — a pseudo-socket with a
+   large backlog.
+2. Each server thread's work source is rewired to pull from that buffer
+   when its own socket is empty, so a freed executor immediately runs the
+   user-supplied ``pick(thread_index, buffered_packets)`` matching
+   function to choose *which buffered input* it takes (default: FCFS;
+   :func:`shortest_first_pick` models SITA-style service-time awareness).
+
+Because the shim bypasses the regular hook site, it carries its own
+observability: with machine ``metrics=True`` the binder counts
+``late_bind_buffered`` / ``late_bind_drops`` under the deploying app's
+``socket_select`` scope (docs/observability.md).
 """
 
 from collections import deque
+
+from repro.obs import DISABLED
 
 __all__ = ["LateBinder", "fcfs_pick", "shortest_first_pick"]
 
@@ -106,6 +121,13 @@ class LateBinder:
         self.buffer = deque()
         self.drops = 0
         self.buffered_total = 0
+        registry = (getattr(machine, "obs", None) or DISABLED).registry
+        self._m_buffered = registry.counter(
+            app.name, "socket_select", "late_bind_buffered"
+        )
+        self._m_drops = registry.counter(
+            app.name, "socket_select", "late_bind_drops"
+        )
         shim = _HookSiteShim(self, app.ports)
         if machine.netstack.socket_select_hook is not None:
             raise ValueError(
@@ -120,9 +142,11 @@ class LateBinder:
     def _buffer_packet(self, packet):
         if len(self.buffer) >= self.capacity:
             self.drops += 1
+            self._m_drops.inc()
             return False
         self.buffer.append(packet)
         self.buffered_total += 1
+        self._m_buffered.inc()
         for thread in self.server.threads:
             if thread.state == "blocked":
                 thread.wake()

@@ -14,6 +14,13 @@ and application code in userspace share them.  This module wraps the raw
 
 Atomicity model (paper §4.1): no locks; per-key atomic read-modify-write via
 ``atomic_add``; benign races are expected and tolerated by policies.
+
+Observability: with ``Machine(metrics=True)``, every userspace map
+operation increments per-``(owner, "maps")`` counters
+(``<map>.lookups`` / ``.updates`` / ``.deletes`` / ``.atomic_adds`` plus
+``<map>.contended``) and feeds an ``<map>.op_latency_us`` histogram, so
+map contention and placement cost are visible in ``syrupctl stats``
+without touching Table-3 harness code.
 """
 
 from repro.ebpf.maps import ArrayMap, HashMap
@@ -39,7 +46,7 @@ class SyrupMap:
     """
 
     def __init__(self, bpf_map, owner, path, placement=HOST, costs=None,
-                 nic_spec=None, shared=False):
+                 nic_spec=None, shared=False, metrics=None):
         self.bpf_map = bpf_map
         self.owner = owner
         self.path = path
@@ -49,6 +56,8 @@ class SyrupMap:
         self.shared = shared
         self.userspace_ops = 0
         self.userspace_time_us = 0.0
+        # dict of obs metric objects (see MapRegistry.create), or None
+        self._metrics = metrics
 
     @property
     def name(self):
@@ -64,25 +73,32 @@ class SyrupMap:
             extra = self.costs.host_map_contended_extra_us
         return base + (extra if contended else 0.0)
 
-    def _account(self, contended=False):
+    def _account(self, contended, op):
         self.userspace_ops += 1
-        self.userspace_time_us += self.op_latency_us(contended)
+        latency = self.op_latency_us(contended)
+        self.userspace_time_us += latency
+        metrics = self._metrics
+        if metrics is not None:
+            metrics[op].inc()
+            if contended:
+                metrics["contended"].inc()
+            metrics["op_latency_us"].observe(latency)
 
     # -- userspace API (syr_map_* of Table 1) ---------------------------
     def lookup(self, key, contended=False):
-        self._account(contended)
+        self._account(contended, "lookups")
         return self.bpf_map.lookup(key)
 
     def update(self, key, value, contended=False):
-        self._account(contended)
+        self._account(contended, "updates")
         self.bpf_map.update(key, value)
 
     def delete(self, key, contended=False):
-        self._account(contended)
+        self._account(contended, "deletes")
         return self.bpf_map.delete(key)
 
     def atomic_add(self, key, delta, contended=False):
-        self._account(contended)
+        self._account(contended, "atomic_adds")
         return self.bpf_map.atomic_add(key, delta)
 
     def items(self):
@@ -95,9 +111,10 @@ class SyrupMap:
 class MapRegistry:
     """Pin/open maps by path with owner-based permissions."""
 
-    def __init__(self, costs, nic_spec):
+    def __init__(self, costs, nic_spec, obs=None):
         self.costs = costs
         self.nic_spec = nic_spec
+        self.obs = obs
         self._pinned = {}
 
     @staticmethod
@@ -121,9 +138,21 @@ class MapRegistry:
             raw = HashMap(map_name, size)
         else:
             raise ValueError(f"unknown map kind {kind!r}")
+        metrics = None
+        if self.obs is not None and self.obs.enabled:
+            reg = self.obs.registry
+            metrics = {
+                op: reg.counter(app_name, "maps", f"{map_name}.{op}")
+                for op in ("lookups", "updates", "deletes", "atomic_adds",
+                           "contended")
+            }
+            metrics["op_latency_us"] = reg.histogram(
+                app_name, "maps", f"{map_name}.op_latency_us"
+            )
         syrup_map = SyrupMap(
             raw, owner=app_name, path=path, placement=placement,
             costs=self.costs, nic_spec=self.nic_spec, shared=shared,
+            metrics=metrics,
         )
         self._pinned[path] = syrup_map
         return syrup_map

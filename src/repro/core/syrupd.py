@@ -13,16 +13,24 @@ call standing in for that RPC).  The daemon:
    it only ever handles the owning app's inputs, and
 5. for the Thread Scheduler hook, launches a ghOSt agent restricted to the
    app's enclave.
+
+Control-plane observability (machine ``metrics=True``): deploys,
+undeploys, isolation denials and verifier rejections are counted under
+the ``syrupd`` scope and recorded in the machine's event trace, and
+``status()`` rows carry the live per-``(app, hook)`` metric values that
+``syrupctl stats`` renders.  See docs/observability.md.
 """
 
-from repro.core.hooks import Hook, HookSite
+from repro.core.hooks import ROOT_APP, Hook, HookSite
 from repro.core.maps import HOST, OFFLOAD, MapRegistry
 from repro.ebpf.compiler import compile_policy
+from repro.ebpf.errors import CompileError, VerifierError
 from repro.ebpf.insn import Program
 from repro.ebpf.program import load_program
 from repro.ghost.agent import GhostAgent
 from repro.ghost.enclave import Enclave
 from repro.ghost.sched import GhostScheduler
+from repro.obs import DISABLED
 
 __all__ = ["DeployedPolicy", "IsolationError", "Syrupd"]
 
@@ -51,11 +59,22 @@ class DeployedPolicy:
 class Syrupd:
     def __init__(self, machine):
         self.machine = machine
-        self.registry = MapRegistry(machine.costs, machine.config.nic)
+        self.obs = getattr(machine, "obs", None) or DISABLED
+        self.registry = MapRegistry(
+            machine.costs, machine.config.nic, obs=self.obs
+        )
         self.apps = {}
         self._port_owner = {}
         self._sites = {}
         self.deployed = []
+
+    def _deny(self, detail, app=None):
+        """Count + trace an isolation denial, then raise."""
+        self.obs.registry.counter(
+            ROOT_APP, "syrupd", "isolation_denials"
+        ).inc()
+        self.obs.events.emit("isolation_denial", app=app, detail=detail)
+        raise IsolationError(detail)
 
     # ------------------------------------------------------------------
     # App registration
@@ -68,20 +87,22 @@ class Syrupd:
         for port in ports:
             owner = self._port_owner.get(port)
             if owner is not None:
-                raise IsolationError(
-                    f"port {port} already owned by app {owner!r}"
+                self._deny(
+                    f"port {port} already owned by app {owner!r}", app=name
                 )
         for port in ports:
             self._port_owner[port] = name
         app = App(self, name, ports)
         self.apps[name] = app
+        self.obs.events.emit("app_registered", app=name, ports=list(ports))
         return app
 
     def _check_ports(self, app, ports):
         for port in ports:
             if self._port_owner.get(port) != app.name:
-                raise IsolationError(
-                    f"app {app.name!r} does not own port {port}"
+                self._deny(
+                    f"app {app.name!r} does not own port {port}",
+                    app=app.name,
                 )
 
     # ------------------------------------------------------------------
@@ -91,7 +112,7 @@ class Syrupd:
         site = self._sites.get(hook)
         if site is not None:
             return site
-        site = HookSite(hook, self.machine.costs)
+        site = HookSite(hook, self.machine.costs, obs=self.obs)
         machine = self.machine
         if hook == Hook.SOCKET_SELECT:
             machine.netstack.socket_select_hook = site
@@ -145,27 +166,65 @@ class Syrupd:
         return self._deploy_network_policy(app, policy, hook, constants, ports)
 
     def _deploy_network_policy(self, app, policy, hook, constants, ports):
-        if isinstance(policy, Program):
-            program = policy
-        else:
-            program = compile_policy(policy, constants=constants)
-        placement = OFFLOAD if hook == Hook.XDP_OFFLOAD else HOST
-        maps = {}
-        for map_name, size in zip(program.map_names, program.map_sizes):
-            syrup_map = self.registry.create(
-                app.name, map_name, size=size, placement=placement
+        try:
+            if isinstance(policy, Program):
+                program = policy
+            else:
+                program = compile_policy(policy, constants=constants)
+            placement = OFFLOAD if hook == Hook.XDP_OFFLOAD else HOST
+            maps = {}
+            for map_name, size in zip(program.map_names, program.map_sizes):
+                syrup_map = self.registry.create(
+                    app.name, map_name, size=size, placement=placement
+                )
+                maps[map_name] = syrup_map.bpf_map
+            loaded = load_program(
+                program, maps=maps,
+                rng=self.machine.streams.get(f"policy/{app.name}"),
             )
-            maps[map_name] = syrup_map.bpf_map
-        loaded = load_program(
-            program, maps=maps, rng=self.machine.streams.get(f"policy/{app.name}")
-        )
+        except (CompileError, VerifierError) as exc:
+            self.obs.registry.counter(
+                app.name, "syrupd", "verifier_rejections"
+            ).inc()
+            self.obs.events.emit(
+                "verifier_reject", app=app.name, hook=hook,
+                error=type(exc).__name__, detail=str(exc),
+            )
+            raise
+        self._attach_program_metrics(app.name, hook, loaded)
         executors = app.executor_map(hook)
         self._prepopulate_executors(hook, executors)
         site = self._site(hook)
         site.install(app.name, ports, loaded, executors)
         deployed = DeployedPolicy(app.name, hook, program=loaded)
         self.deployed.append(deployed)
+        self._note_deploy(deployed, ports=ports, name=loaded.name)
         return deployed
+
+    def _attach_program_metrics(self, app_name, hook, loaded):
+        """Wire per-program counters into the VM/JIT dispatch path."""
+        if not self.obs.enabled:
+            return
+        reg = self.obs.registry
+        loaded.metrics = {
+            name: reg.counter(app_name, hook, name)
+            for name in ("invocations", "insns_interp", "cycles_interp",
+                         "jit_runs")
+        }
+        reg.gauge(app_name, hook, "prog_n_insns").set(loaded.program.n_insns)
+        if loaded._jit is not None:
+            reg.gauge(app_name, hook, "jit_code_lines").set(
+                loaded._jit.jit_n_lines
+            )
+
+    def _note_deploy(self, deployed, **fields):
+        self.obs.registry.counter(
+            deployed.app_name, "syrupd", "deploys"
+        ).inc()
+        self.obs.events.emit(
+            "deploy", app=deployed.app_name, hook=deployed.hook,
+            fd=deployed.fd, **fields,
+        )
 
     def _prepopulate_executors(self, hook, executors):
         """Hardware executors are allocated by syrupd, not the app (§4.4)."""
@@ -191,11 +250,21 @@ class Syrupd:
         for thread in app.threads:
             enclave.register(thread)
         app.enclave = enclave
+        metrics = None
+        if self.obs.enabled:
+            reg = self.obs.registry
+            metrics = {
+                name: reg.counter(app.name, Hook.THREAD_SCHED, name)
+                for name in ("messages", "preemptions", "commits",
+                             "failed_commits", "policy_errors")
+            }
         agent = GhostAgent(
-            self.machine.engine, scheduler, enclave, policy, self.machine.costs
+            self.machine.engine, scheduler, enclave, policy,
+            self.machine.costs, metrics=metrics, events=self.obs.events,
         )
         deployed = DeployedPolicy(app.name, Hook.THREAD_SCHED, agent=agent)
         self.deployed.append(deployed)
+        self._note_deploy(deployed, policy=type(policy).__name__)
         return deployed
 
     # ------------------------------------------------------------------
@@ -203,6 +272,8 @@ class Syrupd:
         site = self._sites.get(hook)
         if site is not None:
             site.uninstall(app.name, app.ports)
+            self.obs.registry.counter(app.name, "syrupd", "undeploys").inc()
+            self.obs.events.emit("undeploy", app=app.name, hook=hook)
 
     # ------------------------------------------------------------------
     def status(self):
@@ -230,6 +301,10 @@ class Syrupd:
                     failed_commits=agent.failed_commits,
                     preemptions=agent.preemptions,
                     policy_errors=agent.policy_errors,
+                )
+            if self.obs.enabled:
+                row["metrics"] = self.obs.registry.values_for(
+                    deployed.app_name, deployed.hook
                 )
             rows.append(row)
         return rows

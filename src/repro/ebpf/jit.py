@@ -8,6 +8,20 @@ both route all tricky operations (wrapping division, map helpers) through
 :mod:`repro.ebpf.helpers`, and a hypothesis property test asserts agreement
 on randomized programs and inputs.
 
+Place in the dispatch path: hooks never call this module directly.
+:func:`repro.ebpf.program.load_program` (the ``BPF_PROG_LOAD`` analogue)
+calls :func:`jit_compile` once at load time; per input,
+``LoadedProgram.run`` interprets the first ``profile_runs`` invocations to
+measure real cycle counts (:mod:`repro.ebpf.vm`), then switches to the
+compiled function here for the steady state — so the datapath gets JIT
+speed while the hook charges interpreter-calibrated costs.  Programs
+authored directly as IR (:mod:`repro.ebpf.asm`) carry no AST and skip the
+JIT entirely, like eBPF on a kernel with the JIT disabled.
+
+For observability and debugging, the returned function exposes
+``jit_source`` (the exact generated Python) and ``jit_n_lines`` (code
+size, exported as the ``jit_code_lines`` gauge when metrics are on).
+
 The simulated datapath runs the JIT for speed; the interpreter remains the
 cycle-accounting reference (Table 2).
 """
@@ -55,6 +69,7 @@ def jit_compile(program):
     exec(compile(source, f"<jit:{program.name}>", "exec"), namespace)
     fn = namespace["_policy"]
     fn.jit_source = source
+    fn.jit_n_lines = source.count("\n")
     return fn
 
 

@@ -42,6 +42,10 @@ class LoadedProgram:
         # Pre-profiling fallback: static straight-line estimate.
         self._static_cycles = sum(CYCLE_COSTS[i.op] for i in program.insns)
         self.verifier_stats = None
+        # Optional dict of obs metric objects ("invocations",
+        # "insns_interp", "cycles_interp", "jit_runs"); set by syrupd at
+        # deploy time when the machine runs with metrics enabled.
+        self.metrics = None
 
     @property
     def name(self):
@@ -63,13 +67,21 @@ class LoadedProgram:
     def run(self, packet):
         """Execute the policy on one input; returns the u32 decision."""
         self.invocations += 1
+        metrics = self.metrics
         if self._jit is None or self._profiled_count < self.profile_runs:
             result = execute(
                 self.program, packet, self.maps, self.globals, self.rng
             )
             self._profiled_cycles += result.cycles
             self._profiled_count += 1
+            if metrics is not None:
+                metrics["invocations"].inc()
+                metrics["insns_interp"].inc(result.insns_executed)
+                metrics["cycles_interp"].inc(result.cycles)
             return result.value
+        if metrics is not None:
+            metrics["invocations"].inc()
+            metrics["jit_runs"].inc()
         return self._jit(packet, self.globals, self.maps, self.rng)
 
     def run_interp(self, packet):

@@ -9,6 +9,13 @@ Cycle costs are a calibrated model of JIT-compiled eBPF on the paper's
 helpers, and atomics.  Decision *enforcement* cost (packet redirection etc.)
 is charged separately by the hook (paper §5.5: "most of this time is spent
 on enforcing ... rather than making ... each scheduling decision").
+
+Observability: each interpreted run returns its exact executed
+instruction and cycle counts in :class:`ExecutionResult`;
+:class:`repro.ebpf.program.LoadedProgram` feeds them into the
+per-``(app, hook)`` ``insns_interp`` / ``cycles_interp`` counters when
+the machine runs with metrics enabled (JIT runs, which have no
+per-instruction accounting by construction, are counted as ``jit_runs``).
 """
 
 from repro.ebpf import helpers
@@ -48,6 +55,14 @@ class ExecutionResult:
         self.value = value
         self.cycles = cycles
         self.insns_executed = insns_executed
+
+    def as_dict(self):
+        """JSON-safe form, e.g. for the structured event trace."""
+        return {
+            "value": self.value,
+            "cycles": self.cycles,
+            "insns": self.insns_executed,
+        }
 
     def __repr__(self):
         return (

@@ -28,10 +28,11 @@ class RocksDbTestbed:
         port=8080,
         mark_scans=False,
         mark_types=False,
+        metrics=False,
     ):
         self.machine = Machine(
             config if config is not None else set_a(), seed=seed,
-            scheduler=scheduler,
+            scheduler=scheduler, metrics=metrics,
         )
         self.app = self.machine.register_app("rocksdb", ports=[port])
         self.server = RocksDbServer(

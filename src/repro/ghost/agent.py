@@ -58,7 +58,8 @@ class SchedStatus:
 class GhostAgent:
     """Drives a user thread policy over a :class:`GhostScheduler`."""
 
-    def __init__(self, engine, scheduler, enclave, policy, costs):
+    def __init__(self, engine, scheduler, enclave, policy, costs,
+                 metrics=None, events=None):
         self.engine = engine
         self.scheduler = scheduler
         self.enclave = enclave
@@ -74,6 +75,12 @@ class GhostAgent:
         self.preemptions = 0
         self.policy_errors = 0
         self.last_error = None
+        # Optional dict of obs counters mirroring the attribute counters
+        # above ("messages", "preemptions", "commits", "failed_commits",
+        # "policy_errors"), plus an event trace; set by syrupd at deploy
+        # time when the machine runs with metrics enabled.
+        self.metrics = metrics
+        self.events = events
 
     # ------------------------------------------------------------------
     def notify(self, message):
@@ -89,11 +96,18 @@ class GhostAgent:
         if n == 0:
             self._busy = False
             return
+        preempted = 0
         for message in self.inbox:
             if message.kind == MessageKind.THREAD_PREEMPTED:
-                self.preemptions += 1
+                preempted += 1
         self.inbox.clear()
+        self.preemptions += preempted
         self.messages_processed += n
+        metrics = self.metrics
+        if metrics is not None:
+            metrics["messages"].inc(n)
+            if preempted:
+                metrics["preemptions"].inc(preempted)
         self.engine.schedule(n * self.costs.ghost_msg_us, self._decide)
 
     def _decide(self):
@@ -107,6 +121,7 @@ class GhostAgent:
             # the system is untouched (paper §3.2's reliability argument).
             self.policy_errors += 1
             self.last_error = exc
+            self._note_policy_error(exc)
             placements = []
         delay = 0.0
         for thread, core_id in placements:
@@ -115,6 +130,7 @@ class GhostAgent:
             except Exception as exc:  # EnclaveViolation: contained, counted
                 self.policy_errors += 1
                 self.last_error = exc
+                self._note_policy_error(exc)
                 continue
             core = self.scheduler.cores[core_id]
             if thread.tid in self._pending_threads or core.pending_commit:
@@ -127,12 +143,25 @@ class GhostAgent:
             )
         self.engine.schedule(delay, self._after_work)
 
+    def _note_policy_error(self, exc):
+        if self.metrics is not None:
+            self.metrics["policy_errors"].inc()
+        if self.events is not None and self.events.enabled:
+            self.events.emit(
+                "policy_error", app=self.enclave.app, hook="thread_sched",
+                error=type(exc).__name__, detail=str(exc),
+            )
+
     def _commit_effect(self, thread, core):
         self._pending_threads.discard(thread.tid)
         if self.scheduler.commit(thread, core):
             self.commits += 1
+            if self.metrics is not None:
+                self.metrics["commits"].inc()
         else:
             self.failed_commits += 1
+            if self.metrics is not None:
+                self.metrics["failed_commits"].inc()
             # re-evaluate: the failed target may leave work stranded
             if not self._busy:
                 self._busy = True

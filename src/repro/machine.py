@@ -11,6 +11,7 @@ This is the top-level object experiments build on::
 
 from repro.config import MachineConfig
 from repro.core.syrupd import Syrupd
+from repro.obs import Observability
 from repro.ghost.sched import GhostScheduler
 from repro.kernel.cfs import CfsScheduler
 from repro.kernel.cpu import Core
@@ -33,7 +34,8 @@ _SCHEDULERS = {
 class Machine:
     """One simulated end host."""
 
-    def __init__(self, config=None, seed=0, scheduler="pinned", engine=None):
+    def __init__(self, config=None, seed=0, scheduler="pinned", engine=None,
+                 metrics=False, event_capacity=4096):
         if scheduler not in _SCHEDULERS:
             raise ValueError(
                 f"scheduler must be one of {sorted(_SCHEDULERS)}, "
@@ -44,6 +46,14 @@ class Machine:
         # Pass a shared engine to co-simulate several machines (the
         # rack-scale extension in repro.cluster).
         self.engine = engine if engine is not None else Engine()
+        # Observability is opt-in (metrics=True): per-hook counters and a
+        # decision-event ring (repro.obs), rendered by `syrupctl stats`.
+        # Disabled, the null registry makes instrumentation a no-op and
+        # simulation results stay bit-identical.
+        self.obs = Observability(
+            clock=lambda: self.engine.now, enabled=metrics,
+            event_capacity=event_capacity,
+        )
         self.streams = RngStreams(seed)
         self.cores = [Core(i) for i in range(self.config.num_app_cores)]
         self.scheduler_kind = scheduler

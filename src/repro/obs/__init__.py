@@ -1,0 +1,82 @@
+"""Unified observability: per-hook metrics + structured event tracing.
+
+The reproduction's answer to "what is my policy actually doing?".  Two
+complementary primitives, both stamped with *simulated* time:
+
+- a :class:`~repro.obs.registry.MetricsRegistry` of counters, gauges and
+  histograms keyed by ``(app, scope, metric)`` — schedule() invocations,
+  PASS/DROP/steer outcomes, map operation totals, ghOSt agent churn,
+  verifier rejections — and
+- an :class:`~repro.obs.events.EventTrace`, a bounded ring of structured
+  decision events with a JSON-lines exporter, unified with
+  :class:`repro.trace.RequestTracer`'s per-request stage records.
+
+Both hang off an :class:`Observability` handle created by
+:class:`repro.machine.Machine`.  Observability is **off by default**:
+``Machine(metrics=True)`` swaps the null implementations for live ones.
+Instrumented code paths hold metric/trace objects directly, so the
+disabled mode costs a no-op method call at most and changes no simulation
+behavior — benchmark results are bit-identical with observability off.
+
+Operator surface: ``syrupctl stats`` / :func:`repro.syrupctl.render_stats`
+renders the registry; ``docs/observability.md`` is the metric catalogue
+and event schema.
+"""
+
+from repro.obs.events import NULL_EVENTS, EventTrace, NullEventTrace
+from repro.obs.registry import (
+    NULL_METRIC,
+    NULL_REGISTRY,
+    CardinalityError,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetric,
+    NullRegistry,
+)
+
+__all__ = [
+    "DISABLED",
+    "CardinalityError",
+    "Counter",
+    "EventTrace",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_EVENTS",
+    "NULL_METRIC",
+    "NULL_REGISTRY",
+    "NullEventTrace",
+    "NullMetric",
+    "NullRegistry",
+    "Observability",
+]
+
+
+class Observability:
+    """A machine's metrics registry + event trace, or their null twins."""
+
+    __slots__ = ("enabled", "registry", "events")
+
+    def __init__(self, clock=None, enabled=False, event_capacity=4096,
+                 max_series=4096):
+        self.enabled = enabled
+        if enabled:
+            self.registry = MetricsRegistry(clock=clock, max_series=max_series)
+            self.events = EventTrace(clock=clock, capacity=event_capacity)
+        else:
+            self.registry = NULL_REGISTRY
+            self.events = NULL_EVENTS
+
+    def snapshot(self):
+        """Registry snapshot rows (see MetricsRegistry.snapshot)."""
+        return self.registry.snapshot()
+
+    def __repr__(self):
+        state = "enabled" if self.enabled else "disabled"
+        return f"<Observability {state} series={len(self.registry)}>"
+
+
+#: Shared disabled instance for call sites given no machine-level handle.
+DISABLED = Observability(enabled=False)

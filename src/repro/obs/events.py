@@ -1,0 +1,136 @@
+"""Structured event tracing: a bounded ring of scheduling decisions.
+
+Counters (:mod:`repro.obs.registry`) answer "how many?"; the event trace
+answers "what happened, in order?".  Instrumented layers emit flat,
+JSON-safe records — a *kind*, the owning *app* and *hook/scope* when
+known, the simulated timestamp, and free-form fields — into a fixed-size
+ring buffer (old events are overwritten, never allocated without bound).
+
+Event kinds emitted by the framework (schema in docs/observability.md):
+
+- ``app_registered`` / ``deploy`` / ``undeploy`` — syrupd control plane
+- ``isolation_denial`` / ``verifier_reject`` — rejected requests
+- ``decision`` — one hook-site policy invocation (outcome + value)
+- ``policy_error`` — a thread policy raised / violated its enclave
+- ``request`` — one traced request's per-stage latency breakdown,
+  bridged from :class:`repro.trace.RequestTracer` so request-lifecycle
+  tracing and decision tracing share a single, merge-sorted timeline.
+
+The exporter writes JSON lines (one event per line), the interchange
+format everything downstream — jq, pandas, perfetto-style converters —
+already speaks.
+"""
+
+import json
+from collections import deque
+
+__all__ = ["EventTrace", "NULL_EVENTS", "NullEventTrace"]
+
+
+def _zero_clock():
+    return 0.0
+
+
+class EventTrace:
+    """Bounded ring buffer of structured events with a JSONL exporter."""
+
+    enabled = True
+
+    def __init__(self, clock=None, capacity=4096):
+        self.clock = clock if clock is not None else _zero_clock
+        self.capacity = capacity
+        self._ring = deque(maxlen=capacity)
+        self.emitted = 0
+
+    # ------------------------------------------------------------------
+    def emit(self, kind, app=None, hook=None, **fields):
+        """Record one event stamped with the current simulated time."""
+        self.emitted += 1
+        event = {"ts": self.clock(), "kind": kind}
+        if app is not None:
+            event["app"] = app
+        if hook is not None:
+            event["hook"] = hook
+        if fields:
+            event.update(fields)
+        self._ring.append(event)
+        return event
+
+    @property
+    def dropped(self):
+        """Events overwritten because the ring was full."""
+        return self.emitted - len(self._ring)
+
+    # ------------------------------------------------------------------
+    def events(self, kind=None, app=None):
+        """Buffered events, oldest first, optionally filtered."""
+        out = []
+        for event in self._ring:
+            if kind is not None and event["kind"] != kind:
+                continue
+            if app is not None and event.get("app") != app:
+                continue
+            out.append(event)
+        return out
+
+    def tail(self, n=20):
+        """The most recent ``n`` buffered events, oldest first."""
+        if n <= 0:
+            return []
+        return list(self._ring)[-n:]
+
+    def clear(self):
+        self._ring.clear()
+
+    def __len__(self):
+        return len(self._ring)
+
+    # ------------------------------------------------------------------
+    def to_jsonl(self, destination):
+        """Write buffered events as JSON lines; returns the event count.
+
+        ``destination`` is a path or a file-like object with ``write``.
+        """
+        if hasattr(destination, "write"):
+            return self._write(destination)
+        with open(destination, "w") as fh:
+            return self._write(fh)
+
+    def _write(self, fh):
+        n = 0
+        for event in self._ring:
+            fh.write(json.dumps(event, sort_keys=True))
+            fh.write("\n")
+            n += 1
+        return n
+
+
+class NullEventTrace:
+    """Disabled trace: ``emit`` is a no-op, every view is empty."""
+
+    enabled = False
+    capacity = 0
+    emitted = 0
+    dropped = 0
+
+    def emit(self, kind, app=None, hook=None, **fields):
+        return None
+
+    def events(self, kind=None, app=None):
+        return []
+
+    def tail(self, n=20):
+        return []
+
+    def clear(self):
+        pass
+
+    def to_jsonl(self, destination):
+        return 0
+
+    def __len__(self):
+        return 0
+
+
+#: Shared singleton used whenever observability is disabled.
+NULL_EVENTS = NullEventTrace()

@@ -1,0 +1,333 @@
+"""Metric primitives keyed by ``(app, scope, metric)``.
+
+Scheduler evaluation lives or dies on cheap, always-on per-decision
+counters (RackSched, Eiffel): "is my policy even running?" should be a
+counter read, not a debugger session.  This module provides the three
+classic metric kinds —
+
+- :class:`Counter` — monotonically increasing totals (schedule() calls,
+  PASS/DROP decisions, map operations, verifier rejections),
+- :class:`Gauge` — last-written values (program sizes, JIT code size),
+- :class:`Histogram` — geometric-bucket distributions with approximate
+  percentiles (map op latencies, batch sizes),
+
+all registered in a :class:`MetricsRegistry` under a three-part key:
+the owning **app**, a **scope** (a hook name like ``socket_select``, or a
+subsystem like ``maps`` / ``syrupd`` / ``thread_sched``), and the metric
+**name**.  Every update stamps the metric with the *simulated* clock, so
+"when did this last move?" is answerable in sim time.
+
+Zero-cost-when-disabled contract: instrumented code paths hold metric
+objects obtained from a registry.  When observability is off they get the
+:data:`NULL_METRIC` singleton from :data:`NULL_REGISTRY` instead — every
+mutator is a no-op ``pass`` — so the datapath never branches on an
+"enabled" flag and simulation results are bit-identical either way (no
+RNG draws, no event scheduling, no behavioral change).
+"""
+
+import math
+
+__all__ = [
+    "CardinalityError",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_METRIC",
+    "NULL_REGISTRY",
+    "NullMetric",
+    "NullRegistry",
+]
+
+#: Number of geometric histogram buckets; bucket i covers values in
+#: [2**(i-1), 2**i) with bucket 0 holding everything below 1.0.
+N_BUCKETS = 64
+
+
+def _zero_clock():
+    return 0.0
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    kind = "counter"
+    __slots__ = ("key", "value", "updated_at", "_clock")
+
+    def __init__(self, key, clock):
+        self.key = key
+        self.value = 0
+        self.updated_at = None
+        self._clock = clock
+
+    def inc(self, n=1):
+        self.value += n
+        self.updated_at = self._clock()
+
+    def __repr__(self):
+        return f"<Counter {'/'.join(self.key)}={self.value}>"
+
+
+class Gauge:
+    """A last-written value."""
+
+    kind = "gauge"
+    __slots__ = ("key", "value", "updated_at", "_clock")
+
+    def __init__(self, key, clock):
+        self.key = key
+        self.value = 0
+        self.updated_at = None
+        self._clock = clock
+
+    def set(self, value):
+        self.value = value
+        self.updated_at = self._clock()
+
+    def __repr__(self):
+        return f"<Gauge {'/'.join(self.key)}={self.value}>"
+
+
+class Histogram:
+    """Geometric-bucket distribution (powers of two, 64 buckets).
+
+    Exact count/sum/min/max; percentiles are approximate — the bucket
+    upper edge — which is the standard trade for O(1) observation and a
+    fixed footprint (how Prometheus and HdrHistogram-style recorders
+    behave, coarser).
+    """
+
+    kind = "histogram"
+    __slots__ = ("key", "count", "sum", "vmin", "vmax", "buckets",
+                 "updated_at", "_clock")
+
+    def __init__(self, key, clock):
+        self.key = key
+        self.count = 0
+        self.sum = 0.0
+        self.vmin = None
+        self.vmax = None
+        self.buckets = [0] * N_BUCKETS
+        self.updated_at = None
+        self._clock = clock
+
+    def observe(self, value):
+        self.count += 1
+        self.sum += value
+        if self.vmin is None or value < self.vmin:
+            self.vmin = value
+        if self.vmax is None or value > self.vmax:
+            self.vmax = value
+        if value < 1.0:
+            index = 0
+        else:
+            index = min(N_BUCKETS - 1, int(math.log2(value)) + 1)
+        self.buckets[index] += 1
+        self.updated_at = self._clock()
+
+    def percentile(self, q):
+        """Approximate percentile-q value (bucket upper edge)."""
+        if self.count == 0:
+            return 0.0
+        target = self.count * q / 100.0
+        seen = 0
+        for index, n in enumerate(self.buckets):
+            seen += n
+            if seen >= target:
+                upper = 1.0 if index == 0 else float(2 ** index)
+                # never report beyond the exactly-tracked extremes
+                return min(upper, self.vmax)
+        return self.vmax  # pragma: no cover - seen always reaches count
+
+    @property
+    def mean(self):
+        return self.sum / self.count if self.count else 0.0
+
+    def summary(self):
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.percentile(50.0),
+            "p99": self.percentile(99.0),
+            "min": self.vmin if self.vmin is not None else 0.0,
+            "max": self.vmax if self.vmax is not None else 0.0,
+        }
+
+    def __repr__(self):
+        return f"<Histogram {'/'.join(self.key)} n={self.count}>"
+
+
+class NullMetric:
+    """No-op stand-in for every metric kind (disabled observability)."""
+
+    kind = "null"
+    __slots__ = ()
+    key = ("(null)", "(null)", "(null)")
+    value = 0
+    count = 0
+    updated_at = None
+
+    def inc(self, n=1):
+        pass
+
+    def set(self, value):
+        pass
+
+    def observe(self, value):
+        pass
+
+    def percentile(self, q):
+        return 0.0
+
+    def summary(self):
+        return {}
+
+    def __repr__(self):
+        return "<NullMetric>"
+
+
+#: Shared singleton handed out by :class:`NullRegistry`.
+NULL_METRIC = NullMetric()
+
+
+class CardinalityError(RuntimeError):
+    """The registry refused to create yet another metric series.
+
+    Unbounded label cardinality is the classic way always-on metrics
+    stop being cheap; the cap turns a leak (e.g. a per-request label)
+    into a loud error instead of a slow death.
+    """
+
+
+class MetricsRegistry:
+    """Counters/gauges/histograms keyed by ``(app, scope, metric)``.
+
+    ``clock`` is a zero-argument callable returning the current simulated
+    time in microseconds (``lambda: engine.now``); metric updates are
+    stamped with it.
+    """
+
+    enabled = True
+    _KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+    def __init__(self, clock=None, max_series=4096):
+        self.clock = clock if clock is not None else _zero_clock
+        self.max_series = max_series
+        self._series = {}
+
+    # ------------------------------------------------------------------
+    def _get_or_create(self, kind, app, scope, name):
+        key = (app, scope, name)
+        metric = self._series.get(key)
+        if metric is not None:
+            if metric.kind != kind:
+                raise TypeError(
+                    f"metric {key} already registered as {metric.kind}, "
+                    f"requested {kind}"
+                )
+            return metric
+        if len(self._series) >= self.max_series:
+            raise CardinalityError(
+                f"metric series limit ({self.max_series}) reached "
+                f"registering {key}; a label is probably unbounded"
+            )
+        metric = self._KINDS[kind](key, self.clock)
+        self._series[key] = metric
+        return metric
+
+    def counter(self, app, scope, name):
+        return self._get_or_create("counter", app, scope, name)
+
+    def gauge(self, app, scope, name):
+        return self._get_or_create("gauge", app, scope, name)
+
+    def histogram(self, app, scope, name):
+        return self._get_or_create("histogram", app, scope, name)
+
+    # ------------------------------------------------------------------
+    def get(self, app, scope, name):
+        """The metric at a key, or None (never creates)."""
+        return self._series.get((app, scope, name))
+
+    def value(self, app, scope, name, default=None):
+        """Counter/gauge value (histograms: observation count) at a key."""
+        metric = self._series.get((app, scope, name))
+        if metric is None:
+            return default
+        if metric.kind == "histogram":
+            return metric.count
+        return metric.value
+
+    def values_for(self, app, scope):
+        """``{name: value}`` for every metric under (app, scope)."""
+        out = {}
+        for (m_app, m_scope, name), metric in self._series.items():
+            if m_app == app and m_scope == scope:
+                out[name] = (
+                    metric.summary() if metric.kind == "histogram"
+                    else metric.value
+                )
+        return out
+
+    def series(self):
+        """All registered keys, sorted."""
+        return sorted(self._series)
+
+    def snapshot(self):
+        """One plain-dict row per series, sorted by key (JSON-safe)."""
+        rows = []
+        for key in sorted(self._series):
+            metric = self._series[key]
+            row = {
+                "app": key[0],
+                "scope": key[1],
+                "metric": key[2],
+                "kind": metric.kind,
+                "updated_at": metric.updated_at,
+            }
+            if metric.kind == "histogram":
+                row.update(metric.summary())
+            else:
+                row["value"] = metric.value
+            rows.append(row)
+        return rows
+
+    def __len__(self):
+        return len(self._series)
+
+
+class NullRegistry:
+    """Disabled registry: every accessor returns :data:`NULL_METRIC`."""
+
+    enabled = False
+
+    def counter(self, app, scope, name):
+        return NULL_METRIC
+
+    def gauge(self, app, scope, name):
+        return NULL_METRIC
+
+    def histogram(self, app, scope, name):
+        return NULL_METRIC
+
+    def get(self, app, scope, name):
+        return None
+
+    def value(self, app, scope, name, default=None):
+        return default
+
+    def values_for(self, app, scope):
+        return {}
+
+    def series(self):
+        return []
+
+    def snapshot(self):
+        return []
+
+    def __len__(self):
+        return 0
+
+
+#: Shared singleton used whenever observability is disabled.
+NULL_REGISTRY = NullRegistry()

@@ -2,14 +2,37 @@
 
 The bpftool/`ghostctl` analogue — renders what syrupd knows about a live
 machine: deployed policies (with run counts and costs), pinned maps (with
-contents), hook sites and port rules, executor maps, and scheduler state.
-Used interactively from examples/notebooks and by operators debugging a
-policy that "deployed fine but does nothing".
+contents), hook sites and port rules, executor maps, scheduler state, and
+— on machines running with ``metrics=True`` — the full observability
+layer: per-``(app, hook)`` metric tables (:func:`render_stats`) and the
+structured decision-event trace (:func:`render_events`).  Used
+interactively from examples/notebooks and by operators debugging a policy
+that "deployed fine but does nothing".
+
+Also a CLI (``syrupctl`` console script / ``python -m repro stats``):
+since there is no long-running daemon to attach to in a simulation,
+the CLI drives a canned Figure-6-style RocksDB scenario with metrics
+enabled and renders the requested view — the documented, runnable
+demonstration of the stats surface (docs/observability.md walks through
+the output).
 """
+
+import argparse
+import json
+import sys
 
 from repro.stats.results import Table
 
-__all__ = ["dump_map", "render_deployments", "render_maps", "render_status"]
+__all__ = [
+    "dump_map",
+    "main",
+    "render_deployments",
+    "render_events",
+    "render_maps",
+    "render_stats",
+    "render_status",
+    "run_stats_demo",
+]
 
 
 def render_deployments(machine):
@@ -90,3 +113,144 @@ def render_status(machine):
         f"== drops == {machine.netstack.drops}",
     ]
     return "\n\n".join(sections)
+
+
+# ----------------------------------------------------------------------
+# Observability surface (`syrupctl stats`, docs/observability.md)
+# ----------------------------------------------------------------------
+def _fmt_metric(metric):
+    if metric.kind == "histogram":
+        s = metric.summary()
+        return (
+            f"n={s['count']} mean={s['mean']:.2f} p50={s['p50']:.2f} "
+            f"p99={s['p99']:.2f} max={s['max']:.2f}"
+        )
+    return metric.value
+
+
+def render_stats(machine):
+    """Per-app per-hook metric summary of an observability-enabled machine.
+
+    One row per metric series, grouped by (app, scope) where scope is a
+    hook name or subsystem (``maps`` / ``syrupd`` / ``thread_sched``).
+    """
+    obs = machine.obs
+    if not obs.enabled:
+        return (
+            "observability disabled on this machine "
+            "(construct it with Machine(metrics=True))"
+        )
+    table = Table(
+        f"syrup stats t={machine.now:.0f}us",
+        ["app", "scope", "metric", "value", "updated_us"],
+    )
+    registry = obs.registry
+    for app, scope, name in registry.series():
+        metric = registry.get(app, scope, name)
+        updated = metric.updated_at
+        table.add(
+            app=app, scope=scope, metric=name, value=_fmt_metric(metric),
+            updated_us=None if updated is None else round(updated, 1),
+        )
+    events = obs.events
+    footer = (
+        f"events: {events.emitted} emitted, {len(events)} buffered, "
+        f"{events.dropped} overwritten (capacity {events.capacity})"
+    )
+    return table.render() + "\n" + footer
+
+
+def render_events(machine, last=20, kind=None):
+    """The tail of the structured event trace, one JSON object per line."""
+    obs = machine.obs
+    if not obs.enabled:
+        return (
+            "observability disabled on this machine "
+            "(construct it with Machine(metrics=True))"
+        )
+    events = obs.events.events(kind=kind) if kind else obs.events.tail(last)
+    if kind:
+        events = events[-last:]
+    return "\n".join(json.dumps(event, sort_keys=True) for event in events)
+
+
+def run_stats_demo(load=120_000, duration_ms=100.0, seed=7):
+    """Drive the canned observability demo: one Figure-6-style point.
+
+    A RocksDB server under the 99.5% GET / 0.5% SCAN mix with the SCAN
+    Avoid policy at the Socket Select hook, metrics enabled, and a
+    request tracer bridged into the event trace.  Returns the finished
+    machine for rendering.
+    """
+    from repro.experiments.runner import RocksDbTestbed
+    from repro.policies.builtin import SCAN_AVOID
+    from repro.trace import RequestTracer
+    from repro.workload.mixes import GET_SCAN_995_005
+
+    testbed = RocksDbTestbed(
+        policy=(SCAN_AVOID, "socket_select", {"NUM_THREADS": 6}),
+        mark_scans=True, seed=seed, metrics=True,
+    )
+    duration_us = duration_ms * 1000.0
+    RequestTracer(testbed.machine, testbed.server,
+                  warmup_us=duration_us * 0.25)
+    gen = testbed.drive(load, GET_SCAN_995_005, duration_us,
+                        warmup_us=duration_us * 0.25)
+    gen.start()
+    testbed.machine.run()
+    testbed.machine.demo_generator = gen
+    return testbed.machine
+
+
+def main(argv=None):
+    """CLI: ``syrupctl {stats,status,maps,events} [options]``."""
+    parser = argparse.ArgumentParser(
+        prog="syrupctl",
+        description=(
+            "Inspect a Syrup machine's observability layer.  Runs the "
+            "canned RocksDB demo scenario (metrics enabled) and renders "
+            "the requested view; see docs/observability.md."
+        ),
+    )
+    parser.add_argument(
+        "view", choices=["stats", "status", "maps", "events"],
+        help="which surface to render",
+    )
+    parser.add_argument("--load", type=int, default=120_000,
+                        help="demo offered load (RPS)")
+    parser.add_argument("--duration-ms", type=float, default=100.0,
+                        help="demo run length in milliseconds")
+    parser.add_argument("--seed", type=int, default=7,
+                        help="demo RNG seed")
+    parser.add_argument("--last", type=int, default=20,
+                        help="events: how many trailing events to print")
+    parser.add_argument("--kind", type=str, default=None,
+                        help="events: filter by event kind")
+    parser.add_argument("--json", action="store_true",
+                        help="stats: print the raw snapshot as JSON")
+    parser.add_argument("--export-events", type=str, default=None,
+                        metavar="PATH",
+                        help="also export the full event ring as JSON lines")
+    args = parser.parse_args(argv)
+
+    machine = run_stats_demo(load=args.load, duration_ms=args.duration_ms,
+                             seed=args.seed)
+    if args.view == "stats":
+        if args.json:
+            print(json.dumps(machine.obs.snapshot(), indent=2))
+        else:
+            print(render_stats(machine))
+    elif args.view == "status":
+        print(render_status(machine))
+    elif args.view == "maps":
+        print(render_maps(machine))
+    else:
+        print(render_events(machine, last=args.last, kind=args.kind))
+    if args.export_events:
+        n = machine.obs.events.to_jsonl(args.export_events)
+        print(f"wrote {n} events to {args.export_events}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

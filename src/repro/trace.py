@@ -13,6 +13,15 @@ stages:
 
 Stage percentiles make policy effects legible: SCAN Avoid collapses the
 ``socket_wait`` tail and leaves everything else untouched.
+
+Unification with the observability layer (:mod:`repro.obs`): when the
+machine runs with ``metrics=True``, each fully-traced request is also
+emitted into the machine's structured event trace as a ``request`` event
+(per-stage latencies as fields), interleaved in sim-time order with the
+``decision`` events hooks emit — one JSONL timeline answers both "what
+did the policy decide?" and "what did the request pay?".  Pass
+``events=`` explicitly to bridge into a different
+:class:`~repro.obs.events.EventTrace` (or ``events=False`` to opt out).
 """
 
 from repro.stats.latency import LatencyRecorder
@@ -36,10 +45,16 @@ class _Timestamps:
 class RequestTracer:
     """Attach to a machine + server to collect per-stage latencies."""
 
-    def __init__(self, machine, server, warmup_us=0.0, sample_every=1):
+    def __init__(self, machine, server, warmup_us=0.0, sample_every=1,
+                 events=None):
         self.machine = machine
         self.server = server
         self.sample_every = max(1, sample_every)
+        if events is None:
+            # default: bridge into the machine's event trace when enabled
+            obs = getattr(machine, "obs", None)
+            events = obs.events if obs is not None and obs.enabled else False
+        self.events = events if events is not False else None
         self.stages = {
             stage: LatencyRecorder(warmup_until=warmup_us) for stage in STAGES
         }
@@ -113,6 +128,16 @@ class RequestTracer:
         self.stages["socket_wait"].record(at, ts.started - ts.enqueued)
         self.stages["service"].record(at, ts.completed - ts.started)
         self.stages["total"].record(at, ts.completed - ts.sent)
+        if self.events is not None:
+            self.events.emit(
+                "request",
+                sent_at=ts.sent,
+                wire_nic=ts.nic - ts.sent,
+                stack=ts.enqueued - ts.nic,
+                socket_wait=ts.started - ts.enqueued,
+                service=ts.completed - ts.started,
+                total=ts.completed - ts.sent,
+            )
 
     # ------------------------------------------------------------------
     def breakdown(self, q=99.0):
