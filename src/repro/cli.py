@@ -11,9 +11,10 @@ Regenerate any of the paper's tables/figures from a shell::
 defaults match the benchmark suite's paper-scale sweeps.
 
 ``python -m repro stats`` renders the observability demo (per-hook
-metric counters from a Figure-6-style run with metrics enabled); it is
-the same surface as the ``syrupctl stats`` console script — see
-docs/observability.md.
+metric counters from a Figure-6-style run with metrics enabled) and
+``python -m repro timeline`` the flight-recorder demo (the dynamic
+Figure-8 run with a mid-run policy switch); both are the same surfaces
+as the ``syrupctl`` console script — see docs/observability.md.
 """
 
 import argparse
@@ -64,10 +65,10 @@ def _build_parser():
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(_RUNNERS) + ["all", "stats"],
+        choices=sorted(_RUNNERS) + ["all", "stats", "timeline"],
         help=(
-            "which experiment to run ('all' runs every one; 'stats' "
-            "renders the syrupctl observability demo)"
+            "which experiment to run ('all' runs every one; 'stats' and "
+            "'timeline' render the syrupctl observability demos)"
         ),
     )
     parser.add_argument(
@@ -121,7 +122,7 @@ _PLOT_AXES = {
 
 def main(argv=None):
     args = _build_parser().parse_args(argv)
-    if args.experiment == "stats":
+    if args.experiment in ("stats", "timeline"):
         from repro import syrupctl
 
         kwargs = {}
@@ -131,8 +132,12 @@ def main(argv=None):
             kwargs["duration_ms"] = args.duration_ms
         if args.seed is not None:
             kwargs["seed"] = args.seed
-        machine = syrupctl.run_stats_demo(**kwargs)
-        text = syrupctl.render_stats(machine)
+        if args.experiment == "stats":
+            machine = syrupctl.run_stats_demo(**kwargs)
+            text = syrupctl.render_stats(machine)
+        else:
+            machine = syrupctl.run_timeline_demo(**kwargs)
+            text = syrupctl.render_timeline(machine)
         print(text)
         if args.out:
             with open(args.out, "w") as fh:

@@ -97,6 +97,10 @@ class HookSite:
         self._m_dispatch_miss = self.obs.registry.counter(
             ROOT_APP, hook, "dispatch_miss"
         )
+        # Optional repro.obs.profile.WallClockProfiler; when set, each
+        # decide() is attributed to a "hook_dispatch" section (program
+        # execution nests into its own ebpf_* sections).
+        self.profiler = None
 
     # ------------------------------------------------------------------
     def install(self, app_name, ports, loaded_program, executors):
@@ -129,6 +133,16 @@ class HookSite:
 
     # -- substrate-facing protocol --------------------------------------
     def decide(self, packet):
+        profiler = self.profiler
+        if profiler is None:
+            return self._decide(packet)
+        profiler.push("hook_dispatch")
+        try:
+            return self._decide(packet)
+        finally:
+            profiler.pop()
+
+    def _decide(self, packet):
         attachment = self._port_rules.get(packet.dst_port)
         if attachment is None:
             self._m_dispatch_miss.inc()

@@ -113,6 +113,7 @@ class Syrupd:
         if site is not None:
             return site
         site = HookSite(hook, self.machine.costs, obs=self.obs)
+        site.profiler = self.machine.profiler
         machine = self.machine
         if hook == Hook.SOCKET_SELECT:
             machine.netstack.socket_select_hook = site
@@ -192,6 +193,9 @@ class Syrupd:
             )
             raise
         self._attach_program_metrics(app.name, hook, loaded)
+        # Propagate the machine's wall-clock profiler (if attached) so
+        # mid-run deploys are profiled like boot-time ones.
+        loaded.profiler = self.machine.profiler
         executors = app.executor_map(hook)
         self._prepopulate_executors(hook, executors)
         site = self._site(hook)
@@ -262,6 +266,7 @@ class Syrupd:
             self.machine.engine, scheduler, enclave, policy,
             self.machine.costs, metrics=metrics, events=self.obs.events,
         )
+        agent.profiler = self.machine.profiler
         deployed = DeployedPolicy(app.name, Hook.THREAD_SCHED, agent=agent)
         self.deployed.append(deployed)
         self._note_deploy(deployed, policy=type(policy).__name__)

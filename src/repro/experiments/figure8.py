@@ -20,7 +20,7 @@ from repro.stats.results import Table
 from repro.workload.mixes import GET_SCAN_50_50
 from repro.workload.requests import GET, SCAN
 
-__all__ = ["DEFAULT_LOADS", "run_figure8"]
+__all__ = ["DEFAULT_LOADS", "run_figure8", "run_figure8_dynamic"]
 
 DEFAULT_LOADS = [1_000 * i for i in (1, 2, 4, 6, 8, 10, 12, 14)]
 
@@ -93,3 +93,54 @@ def run_figure8(
                 drop_pct=100.0 * gen.drop_fraction(),
             )
     return table
+
+
+def run_figure8_dynamic(
+    load=6_000,
+    duration_us=600_000.0,
+    warmup_us=0.0,
+    switch_at_us=None,
+    seed=5,
+    metrics=False,
+    timeseries=None,
+    num_threads=NUM_THREADS,
+    run=True,
+):
+    """The dynamic Figure-8 scenario: a policy switch *mid-run*.
+
+    Starts on Vanilla Linux (hash socket selection, CFS threads) under
+    the 50/50 GET/SCAN mix — GET tails pay SCAN head-of-line blocking —
+    then deploys SCAN Avoid at the Socket Select hook at ``switch_at_us``
+    (default: halfway), without pausing the run.  This is the
+    time-dynamics demo: with ``metrics=True, timeseries=<interval_us>``
+    the machine's flight recorder captures ``schedule_calls``/``steer``
+    rates jumping from zero at the switch instant, which
+    ``syrupctl timeline`` renders as sparklines.
+
+    Returns ``(testbed, gen)``.  With ``run=False`` everything is staged
+    (load scheduled, switch armed) but the machine is left unrun, so a
+    harness can time the run itself (``tools/bench.py``).
+    """
+    switch_at = switch_at_us if switch_at_us is not None else duration_us / 2.0
+    testbed = RocksDbTestbed(
+        policy=None,
+        num_threads=num_threads,
+        scheduler="cfs",
+        mark_scans=True,
+        seed=seed,
+        metrics=metrics,
+        timeseries=timeseries,
+    )
+
+    def _switch():
+        testbed.app.deploy_policy(
+            SCAN_AVOID, Hook.SOCKET_SELECT,
+            constants={"NUM_THREADS": num_threads},
+        )
+
+    testbed.machine.engine.at(switch_at, _switch)
+    gen = testbed.drive(load, GET_SCAN_50_50, duration_us, warmup_us)
+    gen.start()
+    if run:
+        testbed.machine.run()
+    return testbed, gen

@@ -29,10 +29,11 @@ class RocksDbTestbed:
         mark_scans=False,
         mark_types=False,
         metrics=False,
+        timeseries=None,
     ):
         self.machine = Machine(
             config if config is not None else set_a(), seed=seed,
-            scheduler=scheduler, metrics=metrics,
+            scheduler=scheduler, metrics=metrics, timeseries=timeseries,
         )
         self.app = self.machine.register_app("rocksdb", ports=[port])
         self.server = RocksDbServer(

@@ -81,6 +81,9 @@ class GhostAgent:
         # time when the machine runs with metrics enabled.
         self.metrics = metrics
         self.events = events
+        # Optional repro.obs.profile.WallClockProfiler; when set, message
+        # draining and policy decisions are attributed to "ghost_agent".
+        self.profiler = None
 
     # ------------------------------------------------------------------
     def notify(self, message):
@@ -92,6 +95,16 @@ class GhostAgent:
             self.engine.call_soon(self._drain)
 
     def _drain(self):
+        profiler = self.profiler
+        if profiler is None:
+            return self._drain_inner()
+        profiler.push("ghost_agent")
+        try:
+            return self._drain_inner()
+        finally:
+            profiler.pop()
+
+    def _drain_inner(self):
         n = len(self.inbox)
         if n == 0:
             self._busy = False
@@ -111,6 +124,16 @@ class GhostAgent:
         self.engine.schedule(n * self.costs.ghost_msg_us, self._decide)
 
     def _decide(self):
+        profiler = self.profiler
+        if profiler is None:
+            return self._decide_inner()
+        profiler.push("ghost_agent")
+        try:
+            return self._decide_inner()
+        finally:
+            profiler.pop()
+
+    def _decide_inner(self):
         status = self._snapshot()
         try:
             placements = self.policy.schedule(status) or []

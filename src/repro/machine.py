@@ -12,6 +12,7 @@ This is the top-level object experiments build on::
 from repro.config import MachineConfig
 from repro.core.syrupd import Syrupd
 from repro.obs import Observability
+from repro.obs.timeseries import FlightRecorder
 from repro.ghost.sched import GhostScheduler
 from repro.kernel.cfs import CfsScheduler
 from repro.kernel.cpu import Core
@@ -35,7 +36,8 @@ class Machine:
     """One simulated end host."""
 
     def __init__(self, config=None, seed=0, scheduler="pinned", engine=None,
-                 metrics=False, event_capacity=4096):
+                 metrics=False, event_capacity=4096, timeseries=None,
+                 timeseries_capacity=1024):
         if scheduler not in _SCHEDULERS:
             raise ValueError(
                 f"scheduler must be one of {sorted(_SCHEDULERS)}, "
@@ -54,6 +56,24 @@ class Machine:
             clock=lambda: self.engine.now, enabled=metrics,
             event_capacity=event_capacity,
         )
+        # Time-series tier: timeseries=True (1 ms sampling) or a sample
+        # interval in simulated us.  The recorder rides the event loop but
+        # only reads the registry, so results stay bit-identical (see
+        # repro.obs.timeseries); run() (re-)arms it.
+        if timeseries:
+            if not metrics:
+                raise ValueError(
+                    "timeseries sampling needs the metrics registry "
+                    "(construct with Machine(metrics=True, timeseries=...))"
+                )
+            interval = 1_000.0 if timeseries is True else float(timeseries)
+            self.obs.recorder = FlightRecorder(
+                self.obs.registry, self.engine, interval_us=interval,
+                capacity=timeseries_capacity,
+            )
+        # Wall-clock self-profiling handle (repro.obs.profile.attach);
+        # syrupd propagates it into policies deployed later.
+        self.profiler = None
         self.streams = RngStreams(seed)
         self.cores = [Core(i) for i in range(self.config.num_app_cores)]
         self.scheduler_kind = scheduler
@@ -99,6 +119,7 @@ class Machine:
 
     def run(self, until=None):
         """Advance the simulation (time in microseconds)."""
+        self.obs.recorder.arm()
         self.engine.run(until=until)
 
     def __repr__(self):

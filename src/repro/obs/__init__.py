@@ -18,12 +18,21 @@ Instrumented code paths hold metric/trace objects directly, so the
 disabled mode costs a no-op method call at most and changes no simulation
 behavior — benchmark results are bit-identical with observability off.
 
+A second tier builds on the registry (all opt-in, same null-singleton
+discipline): :class:`repro.obs.timeseries.FlightRecorder` samples the
+registry over *sim time* into bounded ring-buffered series (the
+``Observability.recorder`` slot; ``Machine(metrics=True,
+timeseries=...)``), :mod:`repro.obs.profile` attributes *wall-clock* time
+to simulator subsystems, and :mod:`repro.obs.export` renders registry
+snapshots as OpenMetrics text.
+
 Operator surface: ``syrupctl stats`` / :func:`repro.syrupctl.render_stats`
-renders the registry; ``docs/observability.md`` is the metric catalogue
-and event schema.
+renders the registry, ``syrupctl timeline`` the recorder;
+``docs/observability.md`` is the metric catalogue and event schema.
 """
 
 from repro.obs.events import NULL_EVENTS, EventTrace, NullEventTrace
+from repro.obs.export import open_destination, to_openmetrics, write_openmetrics
 from repro.obs.registry import (
     NULL_METRIC,
     NULL_REGISTRY,
@@ -35,33 +44,47 @@ from repro.obs.registry import (
     NullMetric,
     NullRegistry,
 )
+from repro.obs.timeseries import NULL_RECORDER, FlightRecorder, NullFlightRecorder
 
 __all__ = [
     "DISABLED",
     "CardinalityError",
     "Counter",
     "EventTrace",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "NULL_EVENTS",
     "NULL_METRIC",
+    "NULL_RECORDER",
     "NULL_REGISTRY",
     "NullEventTrace",
+    "NullFlightRecorder",
     "NullMetric",
     "NullRegistry",
     "Observability",
+    "open_destination",
+    "to_openmetrics",
+    "write_openmetrics",
 ]
 
 
 class Observability:
-    """A machine's metrics registry + event trace, or their null twins."""
+    """A machine's metrics registry + event trace, or their null twins.
 
-    __slots__ = ("enabled", "registry", "events")
+    ``recorder`` holds the time-series tier: :data:`NULL_RECORDER` unless
+    the owner installs a live :class:`FlightRecorder` (see
+    ``Machine(timeseries=...)``); it needs the engine, so construction
+    stays with the machine.
+    """
+
+    __slots__ = ("enabled", "registry", "events", "recorder")
 
     def __init__(self, clock=None, enabled=False, event_capacity=4096,
                  max_series=4096):
         self.enabled = enabled
+        self.recorder = NULL_RECORDER
         if enabled:
             self.registry = MetricsRegistry(clock=clock, max_series=max_series)
             self.events = EventTrace(clock=clock, capacity=event_capacity)

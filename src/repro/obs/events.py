@@ -18,11 +18,15 @@ Event kinds emitted by the framework (schema in docs/observability.md):
 
 The exporter writes JSON lines (one event per line), the interchange
 format everything downstream — jq, pandas, perfetto-style converters —
-already speaks.
+already speaks.  Like every exporter in the tree it takes a *destination*
+— a path or an open file object — via
+:func:`repro.obs.export.open_destination`.
 """
 
 import json
 from collections import deque
+
+from repro.obs.export import open_destination
 
 __all__ = ["EventTrace", "NULL_EVENTS", "NullEventTrace"]
 
@@ -89,20 +93,17 @@ class EventTrace:
     def to_jsonl(self, destination):
         """Write buffered events as JSON lines; returns the event count.
 
-        ``destination`` is a path or a file-like object with ``write``.
+        ``destination`` is a path (opened and closed here) or an open
+        file-like object (written to, left open) — the
+        :func:`repro.obs.export.open_destination` contract.
         """
-        if hasattr(destination, "write"):
-            return self._write(destination)
-        with open(destination, "w") as fh:
-            return self._write(fh)
-
-    def _write(self, fh):
-        n = 0
-        for event in self._ring:
-            fh.write(json.dumps(event, sort_keys=True))
-            fh.write("\n")
-            n += 1
-        return n
+        with open_destination(destination) as fh:
+            n = 0
+            for event in self._ring:
+                fh.write(json.dumps(event, sort_keys=True))
+                fh.write("\n")
+                n += 1
+            return n
 
 
 class NullEventTrace:

@@ -1,0 +1,119 @@
+"""Exporters: registry snapshots in OpenMetrics text, shared file plumbing.
+
+Two things live here:
+
+- :func:`open_destination` — the one way every exporter in the tree
+  accepts output targets.  A *destination* is either a filesystem path
+  (``str`` / ``os.PathLike``; opened, then closed) or an already-open
+  file-like object with ``write`` (used as-is, left open — the caller
+  owns it).  :meth:`repro.obs.events.EventTrace.to_jsonl`, the OpenMetrics
+  exporter below, and ``tools/bench.py`` all route through it.
+- :func:`to_openmetrics` / :func:`write_openmetrics` — a
+  :class:`~repro.obs.registry.MetricsRegistry` snapshot in the
+  OpenMetrics / Prometheus text exposition format, so a registry dump
+  can be thrown straight at ``promtool``, a Pushgateway, or any of the
+  text-format parsers.  Counters become ``syrup_<metric>_total``, gauges
+  ``syrup_<metric>``, histograms the standard ``_bucket``/``_sum``/
+  ``_count`` triplet over the registry's geometric (power-of-two)
+  buckets; the ``(app, scope)`` key becomes ``app``/``scope`` labels.
+"""
+
+import contextlib
+import re
+
+from repro.obs.registry import N_BUCKETS
+
+__all__ = ["open_destination", "to_openmetrics", "write_openmetrics"]
+
+_INVALID = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+@contextlib.contextmanager
+def open_destination(destination, mode="w"):
+    """Yield a writable file handle for a path or file-like destination.
+
+    Paths are opened with ``mode`` and closed on exit; objects with a
+    ``write`` method are yielded unchanged and **not** closed (the caller
+    owns their lifetime).  This is the uniform contract for every
+    exporter (``to_jsonl``, OpenMetrics, bench results).
+    """
+    if hasattr(destination, "write"):
+        yield destination
+    else:
+        with open(destination, mode) as fh:
+            yield fh
+
+
+def _sanitize(name):
+    """A metric name in the OpenMetrics grammar: [a-zA-Z0-9_:]."""
+    name = _INVALID.sub("_", name)
+    if name and name[0].isdigit():
+        name = "_" + name
+    return name
+
+
+def _labels(app, scope):
+    return f'{{app="{app}",scope="{scope}"}}'
+
+
+def _bucket_upper(index):
+    """Upper edge of geometric bucket ``index`` (see registry.N_BUCKETS)."""
+    return 1.0 if index == 0 else float(2 ** index)
+
+
+def to_openmetrics(registry, prefix="syrup"):
+    """The registry in OpenMetrics text format, as a string.
+
+    One ``# TYPE`` line per distinct metric name; series sharing a name
+    across ``(app, scope)`` keys become one family with distinct labels.
+    """
+    families = {}  # sanitized name -> (kind, [lines])
+    for app, scope, name in registry.series():
+        metric = registry.get(app, scope, name)
+        kind = metric.kind
+        base = f"{prefix}_{_sanitize(name)}"
+        labels = _labels(app, scope)
+        if kind == "counter":
+            family = families.setdefault(base, ("counter", []))
+            family[1].append(f"{base}_total{labels} {metric.value}")
+        elif kind == "gauge":
+            family = families.setdefault(base, ("gauge", []))
+            family[1].append(f"{base}{labels} {metric.value}")
+        else:  # histogram: cumulative buckets up to the last occupied one
+            family = families.setdefault(base, ("histogram", []))
+            lines = family[1]
+            cumulative = 0
+            last_occupied = max(
+                (i for i, n in enumerate(metric.buckets) if n), default=-1
+            )
+            for index in range(min(last_occupied + 1, N_BUCKETS)):
+                cumulative += metric.buckets[index]
+                lines.append(
+                    f'{base}_bucket{{app="{app}",scope="{scope}",'
+                    f'le="{_bucket_upper(index)}"}} {cumulative}'
+                )
+            lines.append(
+                f'{base}_bucket{{app="{app}",scope="{scope}",le="+Inf"}} '
+                f"{metric.count}"
+            )
+            lines.append(f"{base}_sum{labels} {metric.sum}")
+            lines.append(f"{base}_count{labels} {metric.count}")
+    out = []
+    for base in sorted(families):
+        kind, lines = families[base]
+        out.append(f"# TYPE {base} {kind}")
+        out.extend(lines)
+    out.append("# EOF")
+    return "\n".join(out) + "\n"
+
+
+def write_openmetrics(registry, destination, prefix="syrup"):
+    """Write :func:`to_openmetrics` output; returns the line count.
+
+    ``destination`` follows the :func:`open_destination` contract
+    (path or open file object).
+    """
+    text = to_openmetrics(registry, prefix=prefix)
+    with open_destination(destination) as fh:
+        fh.write(text)
+    return text.count("\n")

@@ -1,0 +1,229 @@
+"""Wall-clock self-profiling: where does *real* time go?
+
+The ROADMAP's "fast as the hardware allows" goal needs a measurement
+before any optimization PR can prove a speedup.  This module attributes
+``time.perf_counter()`` elapsed time to named simulator subsystems —
+the engine event loop, eBPF interpreter vs JIT, userspace map ops, hook
+dispatch, the ghOSt agent — and reports the throughput that matters for
+a simulator: **simulated microseconds per wall-clock second** and events
+dispatched per second.
+
+Attribution is a section stack with exclusive-time accounting: a
+:class:`WallClockProfiler` section charges its own elapsed time minus the
+time spent in nested sections, so ``engine`` ends up holding exactly the
+loop + un-instrumented subsystem time, not a double count.  Instrumented
+code paths check a ``profiler`` attribute that is ``None`` by default
+(one attribute load + branch — the same nothing-when-disabled discipline
+as :mod:`repro.obs.registry`); wall-clock reads never touch simulation
+state, RNG streams, or the event heap, so profiling cannot change
+results.
+
+Usage::
+
+    from repro.obs.profile import WallClockProfiler, attach, profile_run
+
+    profiler = WallClockProfiler()
+    attach(machine, profiler)          # wire every seam, incl. future deploys
+    stats = profile_run(machine)       # machine.run() under the clock
+    print(stats.render())
+
+``tools/bench.py`` drives this over the canonical scenarios and writes
+``BENCH_results.json``.
+"""
+
+import time
+
+__all__ = ["RunStats", "WallClockProfiler", "attach", "profile_run"]
+
+#: Canonical section names used by the built-in seams.
+SECTION_ENGINE = "engine"
+SECTION_INTERP = "ebpf_interp"
+SECTION_JIT = "ebpf_jit"
+SECTION_HOOKS = "hook_dispatch"
+SECTION_MAPS = "map_ops"
+SECTION_GHOST = "ghost_agent"
+
+
+class WallClockProfiler:
+    """Nested wall-clock sections with exclusive-time attribution.
+
+    ``push(name)`` / ``pop()`` bracket a region; nesting is supported and
+    each section accrues *exclusive* seconds (elapsed minus nested child
+    time) plus inclusive seconds and a call count.  Single-threaded by
+    design, like the simulator.
+    """
+
+    def __init__(self, clock=time.perf_counter):
+        self._clock = clock
+        self._stack = []       # [name, start, child_seconds]
+        self._sections = {}    # name -> [exclusive_s, inclusive_s, calls]
+
+    def push(self, name):
+        self._stack.append([name, self._clock(), 0.0])
+
+    def pop(self):
+        name, start, child = self._stack.pop()
+        elapsed = self._clock() - start
+        record = self._sections.get(name)
+        if record is None:
+            record = self._sections[name] = [0.0, 0.0, 0]
+        record[0] += elapsed - child
+        record[1] += elapsed
+        record[2] += 1
+        if self._stack:
+            self._stack[-1][2] += elapsed
+        return elapsed
+
+    # ------------------------------------------------------------------
+    def section(self, name):
+        """Context manager form of push/pop."""
+        return _Section(self, name)
+
+    def sections(self):
+        """``{name: {"wall_s", "inclusive_s", "calls"}}``, exclusive time."""
+        return {
+            name: {
+                "wall_s": record[0],
+                "inclusive_s": record[1],
+                "calls": record[2],
+            }
+            for name, record in self._sections.items()
+        }
+
+    def total_s(self):
+        """Total exclusive seconds across all sections."""
+        return sum(record[0] for record in self._sections.values())
+
+    def render(self):
+        """ASCII table, widest section first."""
+        total = self.total_s() or 1.0
+        lines = ["== wall-clock profile =="]
+        ordered = sorted(
+            self._sections.items(), key=lambda kv: kv[1][0], reverse=True
+        )
+        lines.append(f"{'section':>14} {'excl_s':>9} {'incl_s':>9} "
+                     f"{'calls':>10} {'pct':>6}")
+        for name, (exclusive, inclusive, calls) in ordered:
+            lines.append(
+                f"{name:>14} {exclusive:9.4f} {inclusive:9.4f} "
+                f"{calls:>10} {100.0 * exclusive / total:5.1f}%"
+            )
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return f"<WallClockProfiler sections={len(self._sections)}>"
+
+
+class _Section:
+    __slots__ = ("_profiler", "_name")
+
+    def __init__(self, profiler, name):
+        self._profiler = profiler
+        self._name = name
+
+    def __enter__(self):
+        self._profiler.push(self._name)
+        return self._profiler
+
+    def __exit__(self, exc_type, exc, tb):
+        self._profiler.pop()
+        return False
+
+
+# ----------------------------------------------------------------------
+# Wiring
+# ----------------------------------------------------------------------
+def attach(machine, profiler):
+    """Wire ``profiler`` into every instrumented seam of ``machine``.
+
+    Covers the engine loop, already-deployed policy programs (interpreter
+    and JIT split), provisioned hook sites, pinned maps, and live ghOSt
+    agents; ``machine.profiler`` is set so syrupd wires the same profiler
+    into anything deployed *after* this call (mid-run policy switches).
+    """
+    machine.profiler = profiler
+    machine.engine.profiler = profiler
+    syrupd = machine.syrupd
+    for site in syrupd._sites.values():
+        site.profiler = profiler
+    for deployed in syrupd.deployed:
+        if deployed.program is not None:
+            deployed.program.profiler = profiler
+        if deployed.agent is not None:
+            deployed.agent.profiler = profiler
+    registry = syrupd.registry
+    registry.profiler = profiler
+    for syrup_map in registry._pinned.values():
+        syrup_map.profiler = profiler
+    return profiler
+
+
+class RunStats:
+    """One profiled run's throughput numbers + section breakdown."""
+
+    def __init__(self, wall_s, sim_us, events, profiler):
+        self.wall_s = wall_s
+        self.sim_us = sim_us
+        self.events = events
+        self.profiler = profiler
+
+    @property
+    def sim_us_per_wall_s(self):
+        """Simulated microseconds advanced per wall-clock second."""
+        return self.sim_us / self.wall_s if self.wall_s > 0 else 0.0
+
+    @property
+    def events_per_s(self):
+        """Engine events dispatched per wall-clock second."""
+        return self.events / self.wall_s if self.wall_s > 0 else 0.0
+
+    def as_dict(self):
+        return {
+            "wall_s": self.wall_s,
+            "sim_us": self.sim_us,
+            "sim_us_per_wall_s": self.sim_us_per_wall_s,
+            "events": self.events,
+            "events_per_s": self.events_per_s,
+            "profile": self.profiler.sections() if self.profiler else {},
+        }
+
+    def render(self):
+        lines = [
+            f"wall {self.wall_s:.3f}s  sim {self.sim_us:,.0f}us  "
+            f"({self.sim_us_per_wall_s:,.0f} sim-us/wall-s)  "
+            f"{self.events:,} events ({self.events_per_s:,.0f}/s)"
+        ]
+        if self.profiler is not None:
+            lines.append(self.profiler.render())
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return (
+            f"<RunStats wall={self.wall_s:.3f}s "
+            f"sim_us_per_wall_s={self.sim_us_per_wall_s:,.0f}>"
+        )
+
+
+def profile_run(machine, profiler=None, until=None, clock=time.perf_counter):
+    """Run ``machine`` to completion under a profiler; returns RunStats.
+
+    Attaches ``profiler`` (a fresh one when None) unless the machine
+    already carries it, then times ``machine.run(until)`` and reports
+    simulated-us-per-wall-second and events-per-second.
+    """
+    if profiler is None:
+        profiler = getattr(machine, "profiler", None) or WallClockProfiler()
+    if getattr(machine, "profiler", None) is not profiler:
+        attach(machine, profiler)
+    engine = machine.engine
+    sim_before = engine.now
+    events_before = engine.events_dispatched
+    wall_before = clock()
+    machine.run(until=until)
+    wall_s = clock() - wall_before
+    return RunStats(
+        wall_s=wall_s,
+        sim_us=engine.now - sim_before,
+        events=engine.events_dispatched - events_before,
+        profiler=profiler,
+    )

@@ -31,7 +31,9 @@ __all__ = [
     "render_maps",
     "render_stats",
     "render_status",
+    "render_timeline",
     "run_stats_demo",
+    "run_timeline_demo",
 ]
 
 
@@ -160,6 +162,99 @@ def render_stats(machine):
     return table.render() + "\n" + footer
 
 
+# ----------------------------------------------------------------------
+# Time-series surface (`syrupctl timeline`, repro.obs.timeseries)
+# ----------------------------------------------------------------------
+#: Sparkline intensity ramp, lowest to highest.
+_SPARK = " .:-=+*#%@"
+
+
+def _sparkline(values, width, pad=0):
+    """One line of ASCII intensity characters for a numeric series.
+
+    ``pad`` left-pads with spaces (series born mid-run stay aligned to
+    the shared time axis).  Non-negative series scale from a zero
+    baseline so "nothing" reads as blank and steady values as solid.
+    """
+    if not values:
+        return " " * (pad + width)
+    if len(values) > width:
+        # resample: mean per column keeps rates honest
+        per_col = len(values) / width
+        resampled = []
+        for col in range(width):
+            lo = int(col * per_col)
+            hi = max(lo + 1, int((col + 1) * per_col))
+            chunk = values[lo:hi]
+            resampled.append(sum(chunk) / len(chunk))
+        values = resampled
+    vmin = min(min(values), 0)
+    vmax = max(values)
+    span = (vmax - vmin) or 1.0
+    top = len(_SPARK) - 1
+    return " " * pad + "".join(
+        _SPARK[int((v - vmin) / span * top)] for v in values
+    )
+
+
+def _series_values(series):
+    """Numeric values for sparklining: counters/gauges as-is, hist p99."""
+    if series.kind == "histogram":
+        return series.values(field="p99")
+    return series.values()
+
+
+def render_timeline(machine, app=None, scope=None, width=60,
+                    include_zero=False):
+    """Recorded time series as labeled sparklines, one row per metric.
+
+    Counters show per-interval deltas, gauges sampled values, histograms
+    the cumulative p99 at each sample.  All-zero series are skipped
+    unless ``include_zero``; filter with ``app``/``scope``.
+    """
+    recorder = machine.obs.recorder
+    if not recorder.enabled:
+        return (
+            "time-series recording disabled on this machine (construct "
+            "it with Machine(metrics=True, timeseries=<interval_us>))"
+        )
+    keys = [
+        key for key in recorder.keys()
+        if (app is None or key[0] == app)
+        and (scope is None or key[1] == scope)
+    ]
+    if not keys:
+        return "(no recorded series)"
+    # span from the longest series (ones born mid-run start later)
+    longest = max((recorder.series(*key) for key in keys), key=len)
+    times = longest.times()
+    header = (
+        f"== syrup timeline ==  interval={recorder.interval_us:g}us  "
+        f"samples={len(times)}  span=[{times[0]:.0f}, {times[-1]:.0f}]us"
+        if times else "== syrup timeline ==  (no samples yet)"
+    )
+    lines = [header]
+    label_width = max(len("/".join(key)) for key in keys)
+    n_cols = min(len(times), width) or 1
+    for key in keys:
+        series = recorder.series(*key)
+        values = _series_values(series)
+        if not include_zero and not any(values):
+            continue
+        suffix = ".p99" if series.kind == "histogram" else ""
+        label = "/".join(key) + suffix
+        peak = max(values) if values else 0
+        # align to the shared axis: late-born series are left-padded
+        pad = round(n_cols * (1 - len(series) / len(times))) if times else 0
+        lines.append(
+            f"{label:<{label_width + 4}} max={peak:>10.6g} "
+            f"|{_sparkline(values, n_cols - pad, pad=pad)}|"
+        )
+    if len(lines) == 1:
+        lines.append("(all series zero; pass include_zero=True to see them)")
+    return "\n".join(lines)
+
+
 def render_events(machine, last=20, kind=None):
     """The tail of the structured event trace, one JSON object per line."""
     obs = machine.obs
@@ -202,53 +297,109 @@ def run_stats_demo(load=120_000, duration_ms=100.0, seed=7):
     return testbed.machine
 
 
+def run_timeline_demo(load=6_000, duration_ms=600.0, seed=5,
+                      interval_ms=10.0):
+    """Drive the canned time-series demo: the dynamic Figure-8 scenario.
+
+    50/50 GET/SCAN on Vanilla Linux with SCAN Avoid deployed *mid-run*
+    (:func:`repro.experiments.figure8.run_figure8_dynamic`), metrics and
+    the flight recorder enabled — the policy switch shows up as hook
+    decision rates jumping from zero halfway through the timeline.
+    Returns the finished machine for rendering.
+    """
+    from repro.experiments.figure8 import run_figure8_dynamic
+
+    testbed, gen = run_figure8_dynamic(
+        load=load, duration_us=duration_ms * 1000.0, seed=seed,
+        metrics=True, timeseries=interval_ms * 1000.0,
+    )
+    testbed.machine.demo_generator = gen
+    return testbed.machine
+
+
 def main(argv=None):
-    """CLI: ``syrupctl {stats,status,maps,events} [options]``."""
+    """CLI: ``syrupctl {stats,status,maps,events,timeline} [options]``."""
     parser = argparse.ArgumentParser(
         prog="syrupctl",
         description=(
-            "Inspect a Syrup machine's observability layer.  Runs the "
+            "Inspect a Syrup machine's observability layer.  Runs a "
             "canned RocksDB demo scenario (metrics enabled) and renders "
-            "the requested view; see docs/observability.md."
+            "the requested view — the steady Figure-6-style point for "
+            "stats/status/maps/events, the dynamic Figure-8 policy "
+            "switch for timeline; see docs/observability.md."
         ),
     )
     parser.add_argument(
-        "view", choices=["stats", "status", "maps", "events"],
+        "view", choices=["stats", "status", "maps", "events", "timeline"],
         help="which surface to render",
     )
-    parser.add_argument("--load", type=int, default=120_000,
+    parser.add_argument("--load", type=int, default=None,
                         help="demo offered load (RPS)")
-    parser.add_argument("--duration-ms", type=float, default=100.0,
+    parser.add_argument("--duration-ms", type=float, default=None,
                         help="demo run length in milliseconds")
-    parser.add_argument("--seed", type=int, default=7,
+    parser.add_argument("--seed", type=int, default=None,
                         help="demo RNG seed")
     parser.add_argument("--last", type=int, default=20,
                         help="events: how many trailing events to print")
     parser.add_argument("--kind", type=str, default=None,
                         help="events: filter by event kind")
     parser.add_argument("--json", action="store_true",
-                        help="stats: print the raw snapshot as JSON")
+                        help="stats/timeline: print the raw snapshot as JSON")
+    parser.add_argument("--interval-ms", type=float, default=10.0,
+                        help="timeline: flight-recorder sample interval")
+    parser.add_argument("--app", type=str, default=None,
+                        help="timeline: only series owned by this app")
+    parser.add_argument("--scope", type=str, default=None,
+                        help="timeline: only series under this hook/scope")
     parser.add_argument("--export-events", type=str, default=None,
                         metavar="PATH",
                         help="also export the full event ring as JSON lines")
+    parser.add_argument("--openmetrics", type=str, default=None,
+                        metavar="PATH",
+                        help=("also export the metrics registry in "
+                              "OpenMetrics text format"))
     args = parser.parse_args(argv)
 
-    machine = run_stats_demo(load=args.load, duration_ms=args.duration_ms,
-                             seed=args.seed)
-    if args.view == "stats":
+    if args.view == "timeline":
+        kwargs = {"interval_ms": args.interval_ms}
+        if args.load is not None:
+            kwargs["load"] = args.load
+        if args.duration_ms is not None:
+            kwargs["duration_ms"] = args.duration_ms
+        if args.seed is not None:
+            kwargs["seed"] = args.seed
+        machine = run_timeline_demo(**kwargs)
         if args.json:
-            print(json.dumps(machine.obs.snapshot(), indent=2))
+            print(json.dumps(machine.obs.recorder.snapshot(), indent=2))
         else:
-            print(render_stats(machine))
-    elif args.view == "status":
-        print(render_status(machine))
-    elif args.view == "maps":
-        print(render_maps(machine))
+            print(render_timeline(machine, app=args.app, scope=args.scope))
     else:
-        print(render_events(machine, last=args.last, kind=args.kind))
+        machine = run_stats_demo(
+            load=args.load if args.load is not None else 120_000,
+            duration_ms=(args.duration_ms
+                         if args.duration_ms is not None else 100.0),
+            seed=args.seed if args.seed is not None else 7,
+        )
+        if args.view == "stats":
+            if args.json:
+                print(json.dumps(machine.obs.snapshot(), indent=2))
+            else:
+                print(render_stats(machine))
+        elif args.view == "status":
+            print(render_status(machine))
+        elif args.view == "maps":
+            print(render_maps(machine))
+        else:
+            print(render_events(machine, last=args.last, kind=args.kind))
     if args.export_events:
         n = machine.obs.events.to_jsonl(args.export_events)
         print(f"wrote {n} events to {args.export_events}", file=sys.stderr)
+    if args.openmetrics:
+        from repro.obs.export import write_openmetrics
+
+        n = write_openmetrics(machine.obs.registry, args.openmetrics)
+        print(f"wrote {n} OpenMetrics lines to {args.openmetrics}",
+              file=sys.stderr)
     return 0
 
 

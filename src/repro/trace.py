@@ -58,6 +58,16 @@ class RequestTracer:
         self.stages = {
             stage: LatencyRecorder(warmup_until=warmup_us) for stage in STAGES
         }
+        #: completed requests dropped because a stage timestamp never fired
+        #: (e.g. a socket enqueue that raced the sampling window) — silently
+        #: losing these would bias the stage percentiles toward clean paths.
+        self.incomplete_traces = 0
+        obs = getattr(machine, "obs", None)
+        registry = obs.registry if obs is not None else None
+        self._m_incomplete = (
+            registry.counter(server.app.name, "tracer", "incomplete_traces")
+            if registry is not None else None
+        )
         self._live = {}
         self._counter = 0
         self._wrap_nic()
@@ -121,6 +131,9 @@ class RequestTracer:
     # ------------------------------------------------------------------
     def _record(self, ts):
         if None in (ts.nic, ts.enqueued, ts.started, ts.completed):
+            self.incomplete_traces += 1
+            if self._m_incomplete is not None:
+                self._m_incomplete.inc()
             return
         at = ts.sent
         self.stages["wire_nic"].record(at, ts.nic - ts.sent)
@@ -141,14 +154,18 @@ class RequestTracer:
 
     # ------------------------------------------------------------------
     def breakdown(self, q=99.0):
-        """Percentile-q latency per stage, in microseconds."""
-        return {
+        """Percentile-q latency per stage (us), plus ``incomplete_traces``."""
+        result = {
             stage: recorder.percentile(q)
             for stage, recorder in self.stages.items()
         }
+        result["incomplete_traces"] = self.incomplete_traces
+        return result
 
     def render(self, q=99.0):
         lines = [f"stage breakdown (p{q:g}):"]
         for stage in STAGES:
             lines.append(f"  {stage:>12}: {self.stages[stage].percentile(q):9.1f} us")
+        if self.incomplete_traces:
+            lines.append(f"  ({self.incomplete_traces} incomplete traces discarded)")
         return "\n".join(lines)

@@ -95,6 +95,54 @@ def test_cardinality_cap():
         reg.counter("app", "hook", "m3")
 
 
+def test_cardinality_cap_error_is_diagnosable():
+    reg = MetricsRegistry(max_series=2)
+    reg.counter("app", "hook", "ok")
+    reg.histogram("app", "maps", "lat")
+    with pytest.raises(CardinalityError) as excinfo:
+        reg.gauge("app", "hook", "overflow")
+    # the error names the limit and the offending key
+    message = str(excinfo.value)
+    assert "2" in message and "overflow" in message
+    # the registry stays usable: existing series unharmed, no partial entry
+    assert len(reg) == 2
+    assert reg.get("app", "hook", "overflow") is None
+    reg.counter("app", "hook", "ok").inc()
+    assert reg.value("app", "hook", "ok") == 1
+    # CardinalityError is a RuntimeError, catchable generically
+    assert issubclass(CardinalityError, RuntimeError)
+
+
+def test_histogram_percentile_empty():
+    h = MetricsRegistry().histogram("app", "maps", "lat")
+    assert h.count == 0
+    for q in (0.0, 50.0, 99.0, 100.0):
+        assert h.percentile(q) == 0.0
+    assert h.mean == 0.0
+    summary = h.summary()
+    assert summary["min"] == 0.0 and summary["max"] == 0.0
+
+
+def test_histogram_percentile_single_sample():
+    h = MetricsRegistry().histogram("app", "maps", "lat")
+    h.observe(37.0)
+    # one sample: every percentile is that sample (bucket edge capped at max)
+    for q in (1.0, 50.0, 99.0, 100.0):
+        assert h.percentile(q) == 37.0
+    assert h.vmin == h.vmax == 37.0
+
+
+def test_histogram_bucket_zero_values():
+    h = MetricsRegistry().histogram("app", "maps", "lat")
+    for v in (0.0, 0.1, 0.5, 0.999):
+        h.observe(v)
+    assert h.buckets[0] == 4
+    # bucket-0 upper edge is 1.0, but percentiles never exceed the true max
+    assert h.percentile(99.0) == pytest.approx(0.999)
+    assert h.percentile(1.0) <= 1.0
+    assert h.vmin == 0.0
+
+
 def test_snapshot_rows_are_json_safe_and_sorted():
     reg = MetricsRegistry(clock=lambda: 1.5)
     reg.counter("b", "s", "n").inc()
@@ -383,6 +431,100 @@ def test_repro_cli_stats_subcommand(capsys):
     rc = cli_main(["stats", "--loads", "40000", "--duration-ms", "10"])
     assert rc == 0
     assert "schedule_calls" in capsys.readouterr().out
+
+
+def test_openmetrics_export_format():
+    from repro.obs.export import to_openmetrics
+
+    reg = MetricsRegistry()
+    reg.counter("rocksdb", "socket_select", "schedule_calls").inc(7)
+    reg.gauge("rocksdb", "syrupd", "prog_n_insns").set(42)
+    h = reg.histogram("rocksdb", "maps", "op-latency")  # '-' needs sanitizing
+    h.observe(0.5)
+    h.observe(3.0)
+    text = to_openmetrics(reg)
+    lines = text.splitlines()
+    assert lines[-1] == "# EOF"
+    assert ("syrup_schedule_calls_total"
+            '{app="rocksdb",scope="socket_select"} 7') in lines
+    assert 'syrup_prog_n_insns{app="rocksdb",scope="syrupd"} 42' in lines
+    # metric names are sanitized into the OpenMetrics grammar
+    assert "# TYPE syrup_op_latency histogram" in lines
+    assert ('syrup_op_latency_bucket{app="rocksdb",scope="maps",le="1.0"} 1'
+            in lines)
+    assert ('syrup_op_latency_bucket{app="rocksdb",scope="maps",le="+Inf"} 2'
+            in lines)
+    assert 'syrup_op_latency_count{app="rocksdb",scope="maps"} 2' in lines
+    assert 'syrup_op_latency_sum{app="rocksdb",scope="maps"} 3.5' in lines
+    # every exposition line belongs to a # TYPE'd family
+    assert lines[0].startswith("# TYPE ")
+
+
+def test_openmetrics_histogram_buckets_are_cumulative():
+    from repro.obs.export import to_openmetrics
+
+    reg = MetricsRegistry()
+    h = reg.histogram("a", "s", "lat")
+    for v in (1.5, 3.0, 3.5, 40.0):
+        h.observe(v)
+    text = to_openmetrics(reg)
+    counts = [
+        int(line.rsplit(" ", 1)[1])
+        for line in text.splitlines()
+        if line.startswith("syrup_lat_bucket")
+    ]
+    assert counts == sorted(counts)  # cumulative => monotone
+    assert counts[-1] == 4  # +Inf bucket holds everything
+
+
+def test_write_openmetrics_accepts_path_and_file(tmp_path):
+    import io
+
+    from repro.obs.export import write_openmetrics
+
+    reg = MetricsRegistry()
+    reg.counter("a", "s", "n").inc()
+    path = tmp_path / "metrics.prom"
+    n_lines = write_openmetrics(reg, path)
+    text = path.read_text()
+    assert text.endswith("# EOF\n")
+    assert n_lines == text.count("\n")
+    # same contract with an open file object: written to, left open
+    buf = io.StringIO()
+    write_openmetrics(reg, buf)
+    assert buf.getvalue() == text
+
+
+def test_to_jsonl_accepts_path_and_file(tmp_path):
+    """S2: every exporter takes a path or an open file object."""
+    import io
+
+    trace = EventTrace(clock=lambda: 1.0)
+    trace.emit("decision", verdict="PASS")
+    path = tmp_path / "events.jsonl"
+    assert trace.to_jsonl(path) == 1
+    from_path = path.read_text()
+    buf = io.StringIO()
+    assert trace.to_jsonl(buf) == 1
+    assert buf.getvalue() == from_path
+    assert json.loads(from_path)["kind"] == "decision"
+
+
+def test_open_destination_contract(tmp_path):
+    import io
+
+    from repro.obs.export import open_destination
+
+    path = tmp_path / "out.txt"
+    with open_destination(path) as fh:
+        fh.write("via path\n")
+    assert path.read_text() == "via path\n"
+    buf = io.StringIO()
+    with open_destination(buf) as fh:
+        assert fh is buf
+        fh.write("via file\n")
+    buf.write("still open\n")  # caller keeps ownership; not closed
+    assert buf.getvalue() == "via file\nstill open\n"
 
 
 def test_observability_handle_repr():

@@ -1,0 +1,189 @@
+"""Tests for the wall-clock profiler (repro.obs.profile).
+
+Exclusive-time accounting is checked with a fake deterministic clock;
+the machine wiring (attach / profile_run, syrupd propagation into
+mid-run deploys) against real runs.
+"""
+
+import pytest
+
+from repro.experiments.figure8 import run_figure8_dynamic
+from repro.experiments.runner import RocksDbTestbed
+from repro.obs.profile import RunStats, WallClockProfiler, attach, profile_run
+from repro.workload.mixes import GET_SCAN_995_005
+from repro.workload.requests import GET
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+# ----------------------------------------------------------------------
+# Exclusive-time accounting (deterministic clock)
+# ----------------------------------------------------------------------
+def test_flat_section_accounting():
+    clock = FakeClock()
+    p = WallClockProfiler(clock=clock)
+    p.push("a")
+    clock.t = 2.0
+    assert p.pop() == 2.0
+    sections = p.sections()
+    assert sections["a"] == {"wall_s": 2.0, "inclusive_s": 2.0, "calls": 1}
+
+
+def test_nested_sections_charge_exclusive_time_to_each_level():
+    clock = FakeClock()
+    p = WallClockProfiler(clock=clock)
+    p.push("engine")        # t=0
+    clock.t = 1.0
+    p.push("hook_dispatch")  # t=1
+    clock.t = 2.0
+    p.push("ebpf_jit")      # t=2
+    clock.t = 5.0
+    p.pop()                 # jit: 3s exclusive
+    clock.t = 6.0
+    p.pop()                 # hook: (6-1) - 3 = 2s exclusive, 5s inclusive
+    clock.t = 10.0
+    p.pop()                 # engine: (10-0) - 5 = 5s exclusive
+    s = p.sections()
+    assert s["ebpf_jit"] == {"wall_s": 3.0, "inclusive_s": 3.0, "calls": 1}
+    assert s["hook_dispatch"] == {"wall_s": 2.0, "inclusive_s": 5.0,
+                                  "calls": 1}
+    assert s["engine"] == {"wall_s": 5.0, "inclusive_s": 10.0, "calls": 1}
+    # exclusive times partition the run: they sum to total elapsed
+    assert p.total_s() == 10.0
+
+
+def test_sibling_sections_both_subtract_from_parent():
+    clock = FakeClock()
+    p = WallClockProfiler(clock=clock)
+    p.push("engine")
+    for _ in range(2):
+        p.push("map_ops")
+        clock.t += 1.0
+        p.pop()
+        clock.t += 1.0
+    p.pop()
+    s = p.sections()
+    assert s["map_ops"] == {"wall_s": 2.0, "inclusive_s": 2.0, "calls": 2}
+    assert s["engine"]["wall_s"] == 2.0  # 4 total - 2 in children
+
+
+def test_section_context_manager():
+    clock = FakeClock()
+    p = WallClockProfiler(clock=clock)
+    with p.section("a"):
+        clock.t = 1.5
+    assert p.sections()["a"]["wall_s"] == 1.5
+    # pops on exception too
+    with pytest.raises(RuntimeError):
+        with p.section("b"):
+            raise RuntimeError("boom")
+    assert p.sections()["b"]["calls"] == 1
+    assert p._stack == []
+
+
+def test_render_lists_sections_by_exclusive_time():
+    clock = FakeClock()
+    p = WallClockProfiler(clock=clock)
+    with p.section("small"):
+        clock.t += 1.0
+    with p.section("big"):
+        clock.t += 9.0
+    text = p.render()
+    assert text.index("big") < text.index("small")
+    assert "90.0%" in text
+
+
+def test_run_stats_throughput_numbers():
+    stats = RunStats(wall_s=2.0, sim_us=1_000_000.0, events=500_000,
+                     profiler=None)
+    assert stats.sim_us_per_wall_s == 500_000.0
+    assert stats.events_per_s == 250_000.0
+    d = stats.as_dict()
+    assert d["profile"] == {}
+    assert d["events"] == 500_000
+    assert "sim-us/wall-s" in stats.render()
+    # degenerate zero-wall case divides safely
+    zero = RunStats(wall_s=0.0, sim_us=0.0, events=0, profiler=None)
+    assert zero.sim_us_per_wall_s == 0.0 and zero.events_per_s == 0.0
+
+
+# ----------------------------------------------------------------------
+# Machine wiring
+# ----------------------------------------------------------------------
+def run_profiled(policy=True, **kwargs):
+    from repro.core.hooks import Hook
+    from repro.policies.builtin import SCAN_AVOID
+
+    testbed = RocksDbTestbed(
+        policy=(
+            (SCAN_AVOID, Hook.SOCKET_SELECT, {"NUM_THREADS": 6})
+            if policy else None
+        ),
+        mark_scans=policy, num_threads=6, seed=11, **kwargs,
+    )
+    gen = testbed.drive(40_000, GET_SCAN_995_005, 30_000.0, 7_500.0)
+    gen.start()
+    profiler = WallClockProfiler()
+    stats = profile_run(testbed.machine, profiler=profiler)
+    return testbed, gen, profiler, stats
+
+
+def test_profile_run_covers_the_subsystems():
+    _tb, _gen, profiler, stats = run_profiled()
+    sections = profiler.sections()
+    # the canonical seams all fire in a policy-bearing run
+    for name in ("engine", "hook_dispatch", "map_ops"):
+        assert sections[name]["calls"] > 0, name
+    # programs run interpreted for the profile window, then JIT
+    assert sections["ebpf_interp"]["calls"] > 0
+    assert sections["ebpf_jit"]["calls"] > 0
+    assert stats.wall_s > 0 and stats.sim_us > 0 and stats.events > 0
+    assert stats.sim_us_per_wall_s > 0
+    # engine inclusive time dominates: it brackets the whole loop
+    assert sections["engine"]["inclusive_s"] >= max(
+        s["inclusive_s"] for s in sections.values()
+    )
+
+
+def test_profiler_attaches_to_mid_run_deploys():
+    testbed, _gen = run_figure8_dynamic(
+        load=3_000, duration_us=40_000.0, seed=5, run=False,
+    )
+    profiler = WallClockProfiler()
+    attach(testbed.machine, profiler)
+    testbed.machine.run()
+    sections = profiler.sections()
+    # the SCAN_AVOID program only exists after the t=20ms switch, yet
+    # its execution still lands in the profile
+    assert sections["hook_dispatch"]["calls"] > 0
+    assert (sections["ebpf_interp"]["calls"]
+            + sections["ebpf_jit"]["calls"]) > 0
+
+
+def test_profiling_does_not_change_results():
+    _tb, profiled_gen, _p, _s = run_profiled()
+
+    from repro.core.hooks import Hook
+    from repro.policies.builtin import SCAN_AVOID
+
+    testbed = RocksDbTestbed(
+        policy=(SCAN_AVOID, Hook.SOCKET_SELECT, {"NUM_THREADS": 6}),
+        mark_scans=True, num_threads=6, seed=11,
+    )
+    gen = testbed.drive(40_000, GET_SCAN_995_005, 30_000.0, 7_500.0)
+    gen.start()
+    testbed.machine.run()
+    assert profiled_gen.latency.p99() == gen.latency.p99()
+    assert profiled_gen.latency.p99(tag=GET) == gen.latency.p99(tag=GET)
+    assert profiled_gen.completed.as_dict() == gen.completed.as_dict()
+
+
+def test_profiler_stack_is_balanced_after_run():
+    _tb, _gen, profiler, _stats = run_profiled()
+    assert profiler._stack == []

@@ -40,7 +40,7 @@ def test_stages_sum_to_total_within_wire_tail():
 def test_all_stages_populated():
     _m, _s, tracer, _g = traced_run(rate=20_000, duration=30_000)
     breakdown = tracer.breakdown()
-    assert set(breakdown) == set(STAGES)
+    assert set(breakdown) == set(STAGES) | {"incomplete_traces"}
     assert all(not math.isnan(v) for v in breakdown.values())
     assert tracer.stages["total"].count > 100
 
@@ -87,3 +87,30 @@ def test_render_contains_all_stages():
     text = tracer.render()
     for stage in STAGES:
         assert stage in text
+
+
+def test_incomplete_traces_counted_not_silently_dropped():
+    machine = Machine(set_a(), seed=51, metrics=True)
+    app = machine.register_app("rocksdb", ports=[8080])
+    server = RocksDbServer(machine, app, 8080, 6)
+    tracer = RequestTracer(machine, server)
+    gen = OpenLoopGenerator(machine, 8080, 20_000, GET_ONLY,
+                            duration_us=20_000, warmup_us=5_000)
+    server.response_sink = gen.deliver_response
+    gen.start()
+    machine.run()
+    assert tracer.incomplete_traces == 0
+
+    # simulate a trace whose socket-enqueue timestamp never fired
+    from repro.trace import _Timestamps
+    ts = _Timestamps(sent=0.0)
+    ts.nic, ts.started, ts.completed = 1.0, 2.0, 3.0  # enqueued stays None
+    before = tracer.stages["total"].count
+    tracer._record(ts)
+    assert tracer.incomplete_traces == 1
+    assert tracer.breakdown()["incomplete_traces"] == 1
+    assert tracer.stages["total"].count == before
+    # surfaced through the metrics registry too
+    assert machine.obs.registry.value("rocksdb", "tracer",
+                                      "incomplete_traces") == 1
+    assert "1 incomplete traces discarded" in tracer.render()

@@ -1,0 +1,298 @@
+#!/usr/bin/env python
+"""Perf benchmark harness: canonical scenarios under the wall-clock profiler.
+
+The ROADMAP's "fast as the hardware allows" goal needs a trajectory:
+every optimization PR must be able to prove a speedup against numbers a
+previous PR recorded.  This harness runs the canonical simulation
+scenarios — a Figure-6 steady-state point, the dynamic Figure-8 mid-run
+policy switch, and a Figure-2 hash-imbalance point — each under
+:mod:`repro.obs.profile`, and writes ``BENCH_results.json``:
+
+    {
+      "schema_version": 1,
+      "mode": "full" | "smoke",
+      "scenarios": {
+        "<name>": {
+          "wall_s": ...,             # wall-clock seconds for machine.run()
+          "sim_us": ...,             # simulated microseconds advanced
+          "sim_us_per_wall_s": ...,  # the headline throughput number
+          "events": ...,             # engine events dispatched
+          "events_per_s": ...,
+          "profile": {"<section>": {"wall_s", "inclusive_s", "calls"}},
+          "sim_metrics": {...}       # p99s / drops — a correctness anchor
+        }, ...
+      }
+    }
+
+Wall-clock fields vary run to run; ``sim_metrics`` are seeded and exact,
+so a perf regression and a behavior regression are distinguishable from
+the same file.  Validate any results document with
+:func:`validate_results` (the tier-1 smoke test does).
+
+Usage::
+
+    python tools/bench.py                  # full scenarios
+    python tools/bench.py --smoke          # seconds-fast variant (CI)
+    python tools/bench.py --scenario figure6_steady --out -   # stdout
+"""
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_SRC = os.path.join(REPO_ROOT, "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.obs.export import open_destination          # noqa: E402
+from repro.obs.profile import WallClockProfiler, attach, profile_run  # noqa: E402
+
+__all__ = [
+    "DEFAULT_OUT",
+    "SCENARIOS",
+    "SCHEMA_VERSION",
+    "BenchSchemaError",
+    "main",
+    "run_benchmarks",
+    "validate_results",
+]
+
+SCHEMA_VERSION = 1
+DEFAULT_OUT = os.path.join(REPO_ROOT, "BENCH_results.json")
+
+
+# ----------------------------------------------------------------------
+# Scenarios: each builder stages a machine (load scheduled, nothing run)
+# and returns (machine, collect) where collect() reads the sim metrics
+# after the run.  The harness owns timing, so builders must not run.
+# ----------------------------------------------------------------------
+def _figure6_steady(smoke):
+    """Figure 6 steady state: SCAN Avoid under 99.5% GET / 0.5% SCAN."""
+    from repro.core.hooks import Hook
+    from repro.experiments.runner import RocksDbTestbed
+    from repro.policies.builtin import SCAN_AVOID
+    from repro.workload.mixes import GET_SCAN_995_005
+
+    load = 60_000 if smoke else 150_000
+    duration_us = 40_000.0 if smoke else 300_000.0
+    warmup_us = duration_us * 0.2
+    testbed = RocksDbTestbed(
+        policy=(SCAN_AVOID, Hook.SOCKET_SELECT, {"NUM_THREADS": 6}),
+        mark_scans=True, num_threads=6, seed=3,
+    )
+    gen = testbed.drive(load, GET_SCAN_995_005, duration_us, warmup_us)
+    gen.start()
+
+    def collect():
+        return {
+            "load_rps": load,
+            "p99_us": gen.latency.p99(),
+            "drop_pct": 100.0 * gen.drop_fraction(),
+            "goodput_rps": gen.goodput_rps(duration_us),
+        }
+
+    return testbed.machine, collect
+
+
+def _figure8_dynamic(smoke):
+    """Figure 8 dynamics: Vanilla -> SCAN Avoid deployed mid-run."""
+    from repro.experiments.figure8 import run_figure8_dynamic
+    from repro.workload.requests import GET, SCAN
+
+    load = 3_000 if smoke else 6_000
+    duration_us = 60_000.0 if smoke else 600_000.0
+    testbed, gen = run_figure8_dynamic(
+        load=load, duration_us=duration_us, seed=5, run=False,
+    )
+
+    def collect():
+        return {
+            "load_rps": load,
+            "get_p99_us": gen.latency.p99(tag=GET),
+            "scan_p99_us": gen.latency.p99(tag=SCAN),
+            "drop_pct": 100.0 * gen.drop_fraction(),
+            "goodput_rps": gen.goodput_rps(duration_us),
+        }
+
+    return testbed.machine, collect
+
+
+def _figure2_imbalance(smoke):
+    """Figure 2 imbalance: Vanilla hash selection in the drop regime."""
+    from repro.experiments.runner import RocksDbTestbed
+    from repro.workload.mixes import GET_ONLY
+
+    load = 150_000 if smoke else 360_000
+    duration_us = 40_000.0 if smoke else 200_000.0
+    warmup_us = duration_us * 0.2
+    testbed = RocksDbTestbed(policy=None, num_threads=6, seed=2)
+    gen = testbed.drive(load, GET_ONLY, duration_us, warmup_us)
+    gen.start()
+
+    def collect():
+        return {
+            "load_rps": load,
+            "p99_us": gen.latency.p99(),
+            "drop_pct": 100.0 * gen.drop_fraction(),
+            "goodput_rps": gen.goodput_rps(duration_us),
+        }
+
+    return testbed.machine, collect
+
+
+SCENARIOS = {
+    "figure6_steady": _figure6_steady,
+    "figure8_dynamic": _figure8_dynamic,
+    "figure2_imbalance": _figure2_imbalance,
+}
+
+
+# ----------------------------------------------------------------------
+# Harness
+# ----------------------------------------------------------------------
+def run_benchmarks(names=None, smoke=False, echo=print):
+    """Run scenarios under the profiler; returns the results document."""
+    names = list(names) if names else sorted(SCENARIOS)
+    scenarios = {}
+    for name in names:
+        builder = SCENARIOS[name]
+        machine, collect = builder(smoke)
+        profiler = WallClockProfiler()
+        attach(machine, profiler)
+        stats = profile_run(machine, profiler=profiler)
+        row = stats.as_dict()
+        row["sim_metrics"] = collect()
+        scenarios[name] = row
+        echo(
+            f"{name}: wall {row['wall_s']:.3f}s, "
+            f"{row['sim_us_per_wall_s']:,.0f} sim-us/wall-s, "
+            f"{row['events_per_s']:,.0f} events/s"
+        )
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "mode": "smoke" if smoke else "full",
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "created_unix": time.time(),
+        "scenarios": scenarios,
+    }
+
+
+# ----------------------------------------------------------------------
+# Schema validation (no external jsonschema dependency)
+# ----------------------------------------------------------------------
+class BenchSchemaError(ValueError):
+    """A BENCH_results.json document violates the expected schema."""
+
+
+_TOP_FIELDS = {
+    "schema_version": int,
+    "mode": str,
+    "python": str,
+    "platform": str,
+    "created_unix": (int, float),
+    "scenarios": dict,
+}
+_SCENARIO_FIELDS = {
+    "wall_s": (int, float),
+    "sim_us": (int, float),
+    "sim_us_per_wall_s": (int, float),
+    "events": int,
+    "events_per_s": (int, float),
+    "profile": dict,
+    "sim_metrics": dict,
+}
+_PROFILE_FIELDS = {
+    "wall_s": (int, float),
+    "inclusive_s": (int, float),
+    "calls": int,
+}
+
+
+def _require(doc, fields, origin):
+    for field, kind in fields.items():
+        if field not in doc:
+            raise BenchSchemaError(f"{origin}: missing field {field!r}")
+        if not isinstance(doc[field], kind):
+            raise BenchSchemaError(
+                f"{origin}.{field}: expected {kind}, "
+                f"got {type(doc[field]).__name__}"
+            )
+
+
+def validate_results(doc):
+    """Validate a results document; raises BenchSchemaError, returns doc."""
+    if not isinstance(doc, dict):
+        raise BenchSchemaError(f"document must be a dict, got {type(doc).__name__}")
+    _require(doc, _TOP_FIELDS, "results")
+    if doc["schema_version"] != SCHEMA_VERSION:
+        raise BenchSchemaError(
+            f"schema_version {doc['schema_version']} != {SCHEMA_VERSION}"
+        )
+    if doc["mode"] not in ("full", "smoke"):
+        raise BenchSchemaError(f"mode must be full|smoke, got {doc['mode']!r}")
+    if not doc["scenarios"]:
+        raise BenchSchemaError("scenarios must be non-empty")
+    for name, row in doc["scenarios"].items():
+        origin = f"scenarios[{name!r}]"
+        if not isinstance(row, dict):
+            raise BenchSchemaError(f"{origin}: expected dict")
+        _require(row, _SCENARIO_FIELDS, origin)
+        if row["wall_s"] <= 0 or row["sim_us"] <= 0 or row["events"] <= 0:
+            raise BenchSchemaError(
+                f"{origin}: wall_s/sim_us/events must be positive"
+            )
+        for section, record in row["profile"].items():
+            _require(record, _PROFILE_FIELDS, f"{origin}.profile[{section!r}]")
+        for metric, value in row["sim_metrics"].items():
+            if not isinstance(value, (int, float)):
+                raise BenchSchemaError(
+                    f"{origin}.sim_metrics[{metric!r}]: expected a number, "
+                    f"got {type(value).__name__}"
+                )
+    return doc
+
+
+# ----------------------------------------------------------------------
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="bench",
+        description=(
+            "Run the canonical Syrup simulation scenarios under the "
+            "wall-clock profiler and write BENCH_results.json."
+        ),
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="seconds-fast variant of every scenario (CI smoke test)",
+    )
+    parser.add_argument(
+        "--scenario", action="append", choices=sorted(SCENARIOS),
+        default=None, help="run only this scenario (repeatable)",
+    )
+    parser.add_argument(
+        "--out", type=str, default=DEFAULT_OUT,
+        help="output path for the results JSON ('-' for stdout)",
+    )
+    args = parser.parse_args(argv)
+
+    results = run_benchmarks(
+        names=args.scenario, smoke=args.smoke,
+        echo=lambda msg: print(msg, file=sys.stderr),
+    )
+    validate_results(results)
+    destination = sys.stdout if args.out == "-" else args.out
+    with open_destination(destination) as fh:
+        json.dump(results, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    if args.out != "-":
+        print(f"wrote {args.out}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
