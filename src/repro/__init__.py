@@ -25,8 +25,10 @@ results.
 from repro.config import CostModel, MachineConfig, NicSpec, set_a, set_b
 from repro.constants import DROP, PASS
 from repro.core.api import App
+from repro.core.health import HealthPolicy
 from repro.core.hooks import Hook
 from repro.core.syrupd import IsolationError, Syrupd
+from repro.faults import FaultKind, FaultPlan
 from repro.machine import Machine
 
 __version__ = "1.0.0"
@@ -35,6 +37,9 @@ __all__ = [
     "App",
     "CostModel",
     "DROP",
+    "FaultKind",
+    "FaultPlan",
+    "HealthPolicy",
     "Hook",
     "IsolationError",
     "Machine",

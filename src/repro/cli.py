@@ -26,6 +26,7 @@ from repro.experiments import (
     run_figure7,
     run_figure8,
     run_figure9,
+    run_figure_faults,
     run_table2,
     run_table3,
 )
@@ -43,6 +44,8 @@ _QUICK = {
                     warmup_us=75_000.0),
     "figure9": dict(loads=[1_000_000, 2_500_000], duration_us=20_000.0,
                     warmup_us=5_000.0),
+    "figure_faults": dict(loads=[50_000, 100_000], duration_us=120_000.0,
+                          warmup_us=30_000.0),
     "table2": dict(samples=128),
     "table3": dict(n_ops=500),
 }
@@ -53,6 +56,7 @@ _RUNNERS = {
     "figure7": run_figure7,
     "figure8": run_figure8,
     "figure9": run_figure9,
+    "figure_faults": run_figure_faults,
     "table2": run_table2,
     "table3": run_table3,
 }
@@ -65,10 +69,10 @@ def _build_parser():
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(_RUNNERS) + ["all", "stats", "timeline"],
+        choices=sorted(_RUNNERS) + ["all", "stats", "timeline", "health"],
         help=(
-            "which experiment to run ('all' runs every one; 'stats' and "
-            "'timeline' render the syrupctl observability demos)"
+            "which experiment to run ('all' runs every one; 'stats', "
+            "'timeline' and 'health' render the syrupctl demos)"
         ),
     )
     parser.add_argument(
@@ -117,12 +121,13 @@ _PLOT_AXES = {
     "figure7": ("policy", "ls_load_rps", "ls_p99_us"),
     "figure8": ("variant", "load_rps", "get_p99_us"),
     "figure9": ("mode", "load_rps", "p999_us"),
+    "figure_faults": ("variant", "load_rps", "p99_us"),
 }
 
 
 def main(argv=None):
     args = _build_parser().parse_args(argv)
-    if args.experiment in ("stats", "timeline"):
+    if args.experiment in ("stats", "timeline", "health"):
         from repro import syrupctl
 
         kwargs = {}
@@ -135,6 +140,9 @@ def main(argv=None):
         if args.experiment == "stats":
             machine = syrupctl.run_stats_demo(**kwargs)
             text = syrupctl.render_stats(machine)
+        elif args.experiment == "health":
+            machine = syrupctl.run_faults_demo(**kwargs)
+            text = syrupctl.render_health(machine)
         else:
             machine = syrupctl.run_timeline_demo(**kwargs)
             text = syrupctl.render_timeline(machine)

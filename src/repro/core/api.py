@@ -39,6 +39,16 @@ class App:
             self, policy, hook, constants=constants, ports=ports
         )
 
+    def undeploy_policy(self, hook):
+        """Remove this app's deployment(s) at ``hook`` (Syrupd.undeploy)."""
+        return self.syrupd.undeploy(self, hook)
+
+    def redeploy_policy(self, policy, hook, constants=None, ports=None):
+        """Hot-swap the program at an active hook (Syrupd.redeploy)."""
+        return self.syrupd.redeploy(
+            self, policy, hook, constants=constants, ports=ports
+        )
+
     # ------------------------------------------------------------------
     # Maps
     # ------------------------------------------------------------------

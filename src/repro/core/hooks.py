@@ -37,6 +37,7 @@ allocation-free.  See docs/observability.md for the full catalogue.
 """
 
 from repro.constants import DROP, PASS
+from repro.ebpf.errors import VmFault
 from repro.ebpf.maps import ProgArrayMap
 from repro.obs import DISABLED
 
@@ -66,7 +67,8 @@ class Hook:
 
 class _Attachment:
     __slots__ = ("app_name", "program", "executors", "prog_index",
-                 "m_sched", "m_pass", "m_drop", "m_steer", "m_miss")
+                 "m_sched", "m_pass", "m_drop", "m_steer", "m_miss",
+                 "m_fault")
 
     def __init__(self, app_name, program, executors, prog_index, registry,
                  hook):
@@ -79,6 +81,7 @@ class _Attachment:
         self.m_drop = registry.counter(app_name, hook, "drop")
         self.m_steer = registry.counter(app_name, hook, "steer")
         self.m_miss = registry.counter(app_name, hook, "index_miss")
+        self.m_fault = registry.counter(app_name, hook, "runtime_faults")
 
 
 class HookSite:
@@ -93,6 +96,11 @@ class HookSite:
         self._next_index = 0
         self.pass_decisions = 0
         self.drop_decisions = 0
+        self.runtime_faults = 0
+        # Optional callback fn(attachment, exc) invoked after a program
+        # raises VmFault; syrupd wires this to the lifecycle manager so
+        # repeated faults can quarantine/roll back the deployment.
+        self.fault_listener = None
         self._events = self.obs.events
         self._m_dispatch_miss = self.obs.registry.counter(
             ROOT_APP, hook, "dispatch_miss"
@@ -128,6 +136,24 @@ class HookSite:
             if attachment is not None and attachment.app_name == app_name:
                 del self._port_rules[port]
 
+    def replace(self, app_name, loaded_program):
+        """Hot-swap ``app_name``'s program in place (redeploy/rollback).
+
+        Port rules, executor maps and PROG_ARRAY slots are kept; only the
+        tail-call target changes — packets in flight before the swap ran
+        the old program, packets after run the new one.  Returns the
+        number of attachments updated.
+        """
+        swapped = []
+        for port in sorted(self._port_rules):
+            attachment = self._port_rules[port]
+            if attachment.app_name != app_name or attachment in swapped:
+                continue
+            self.prog_array.update(attachment.prog_index, loaded_program)
+            attachment.program = loaded_program
+            swapped.append(attachment)
+        return len(swapped)
+
     def attachment_for_port(self, port):
         return self._port_rules.get(port)
 
@@ -149,7 +175,14 @@ class HookSite:
             return ("none", None)
         # root dispatcher tail call
         program = self.prog_array.lookup(attachment.prog_index)
-        value = program.run(packet)
+        try:
+            value = program.run(packet)
+        except VmFault as exc:
+            # A faulting policy costs its *own* app the packet — the
+            # XDP_ABORTED analogue — and never escapes the dispatcher
+            # (§4.3 isolation).  The lifecycle manager may quarantine
+            # the deployment after repeated faults (docs/robustness.md).
+            return self._on_fault(attachment, packet, exc)
         attachment.m_sched.inc()
         events = self._events
         if value == PASS:
@@ -183,6 +216,24 @@ class HookSite:
             events.emit("decision", app=attachment.app_name, hook=self.hook,
                         port=packet.dst_port, outcome="steer", value=value)
         return ("target", executor)
+
+    def _on_fault(self, attachment, packet, exc):
+        """Contain a runtime fault: count, trace, notify, drop the input."""
+        self.runtime_faults += 1
+        self.drop_decisions += 1
+        attachment.m_sched.inc()
+        attachment.m_fault.inc()
+        events = self._events
+        if events.enabled:
+            events.emit(
+                "runtime_fault", app=attachment.app_name, hook=self.hook,
+                port=packet.dst_port, error=type(exc).__name__,
+                detail=str(exc),
+            )
+        listener = self.fault_listener
+        if listener is not None:
+            listener(attachment, exc)
+        return ("drop", None)
 
     def cost_us(self, packet):
         attachment = self._port_rules.get(packet.dst_port)

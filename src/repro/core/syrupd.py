@@ -14,13 +14,26 @@ call standing in for that RPC).  The daemon:
 5. for the Thread Scheduler hook, launches a ghOSt agent restricted to the
    app's enclave.
 
+Policy lifecycle (docs/robustness.md): every deployment carries a
+:class:`repro.core.health.DeploymentHealth` record and a ``state``
+(``active`` / ``quarantined`` / ``fallback`` / ``undeployed``).  Runtime
+faults escaping a program are contained by the hook site and reported
+here; the :class:`repro.core.health.LifecycleManager` may **quarantine**
+a repeatedly-faulting policy (uninstall → kernel-default behaviour),
+**roll back** a faulting :meth:`redeploy` to the last-known-good
+program, **restart** a crashed ghOSt agent with bounded backoff, and
+migrate XDP_OFFLOAD deployments to the XDP_SKB host path when the NIC's
+offload engine fails (:meth:`handle_offload_failure`).
+
 Control-plane observability (machine ``metrics=True``): deploys,
-undeploys, isolation denials and verifier rejections are counted under
-the ``syrupd`` scope and recorded in the machine's event trace, and
-``status()`` rows carry the live per-``(app, hook)`` metric values that
-``syrupctl stats`` renders.  See docs/observability.md.
+undeploys, redeploys, quarantines, rollbacks, isolation denials and
+verifier rejections are counted under the ``syrupd`` scope and recorded
+in the machine's event trace, and ``status()`` / ``health()`` rows carry
+the live per-``(app, hook)`` values that ``syrupctl stats`` /
+``syrupctl health`` render.  See docs/observability.md.
 """
 
+from repro.core.health import LifecycleManager
 from repro.core.hooks import ROOT_APP, Hook, HookSite
 from repro.core.maps import HOST, OFFLOAD, MapRegistry
 from repro.ebpf.compiler import compile_policy
@@ -40,24 +53,38 @@ class IsolationError(PermissionError):
 
 
 class DeployedPolicy:
-    """Handle returned by deploy_policy (the paper's prog_fd)."""
+    """Handle returned by deploy_policy (the paper's prog_fd).
 
-    _next_fd = [3]
+    ``fd`` values are allocated by the owning daemon (one counter per
+    machine), so concurrently-built machines get independent,
+    deterministic fd sequences.
+    """
 
-    def __init__(self, app_name, hook, program=None, agent=None):
-        self.fd = DeployedPolicy._next_fd[0]
-        DeployedPolicy._next_fd[0] += 1
+    def __init__(self, fd, app_name, hook, program=None, agent=None,
+                 ports=None, executors=None):
+        self.fd = fd
         self.app_name = app_name
         self.hook = hook
         self.program = program    # LoadedProgram (network hooks)
         self.agent = agent        # GhostAgent (thread hook)
+        self.ports = list(ports) if ports is not None else []
+        self.executors = executors
+        # Lifecycle (docs/robustness.md)
+        self.state = "active"     # active | quarantined | fallback | undeployed
+        self.last_good = None     # previous program kept across redeploy()
+        self.health = None        # DeploymentHealth, set by the lifecycle mgr
+        self.fallback_from = None # original hook when offload fell back
+        self.fallback_scheduler = None  # CFS instance after agent fallback
 
     def __repr__(self):
-        return f"<DeployedPolicy fd={self.fd} app={self.app_name} hook={self.hook}>"
+        return (
+            f"<DeployedPolicy fd={self.fd} app={self.app_name} "
+            f"hook={self.hook} state={self.state}>"
+        )
 
 
 class Syrupd:
-    def __init__(self, machine):
+    def __init__(self, machine, health=None):
         self.machine = machine
         self.obs = getattr(machine, "obs", None) or DISABLED
         self.registry = MapRegistry(
@@ -67,6 +94,16 @@ class Syrupd:
         self._port_owner = {}
         self._sites = {}
         self.deployed = []
+        self._next_fd = 3
+        # Self-healing lifecycle: health is a HealthPolicy (or None for
+        # the defaults).  Purely event-driven — with no faults injected
+        # it schedules nothing and results stay bit-identical.
+        self.lifecycle = LifecycleManager(self, policy=health)
+
+    def _alloc_fd(self):
+        fd = self._next_fd
+        self._next_fd += 1
+        return fd
 
     def _deny(self, detail, app=None):
         """Count + trace an isolation denial, then raise."""
@@ -114,6 +151,7 @@ class Syrupd:
             return site
         site = HookSite(hook, self.machine.costs, obs=self.obs)
         site.profiler = self.machine.profiler
+        site.fault_listener = self._on_runtime_fault
         machine = self.machine
         if hook == Hook.SOCKET_SELECT:
             machine.netstack.socket_select_hook = site
@@ -166,7 +204,10 @@ class Syrupd:
             return self._deploy_thread_policy(app, policy)
         return self._deploy_network_policy(app, policy, hook, constants, ports)
 
-    def _deploy_network_policy(self, app, policy, hook, constants, ports):
+    def _load_network_policy(self, app, policy, hook, constants):
+        """Compile → create/pin maps → verify + JIT.  Shared by deploy
+        and redeploy; raises CompileError/VerifierError after counting
+        the rejection."""
         try:
             if isinstance(policy, Program):
                 program = policy
@@ -196,11 +237,24 @@ class Syrupd:
         # Propagate the machine's wall-clock profiler (if attached) so
         # mid-run deploys are profiled like boot-time ones.
         loaded.profiler = self.machine.profiler
+        # Fault plan (Machine(faults=...)): wrap the program *after*
+        # metrics/profiler attachment so the proxy delegates everything.
+        injector = getattr(self.machine, "faults", None)
+        if injector is not None:
+            loaded = injector.wrap_program(loaded, app.name, hook)
+        return loaded
+
+    def _deploy_network_policy(self, app, policy, hook, constants, ports):
+        loaded = self._load_network_policy(app, policy, hook, constants)
         executors = app.executor_map(hook)
         self._prepopulate_executors(hook, executors)
         site = self._site(hook)
         site.install(app.name, ports, loaded, executors)
-        deployed = DeployedPolicy(app.name, hook, program=loaded)
+        deployed = DeployedPolicy(
+            self._alloc_fd(), app.name, hook, program=loaded, ports=ports,
+            executors=executors,
+        )
+        self.lifecycle.track(deployed)
         self.deployed.append(deployed)
         self._note_deploy(deployed, ports=ports, name=loaded.name)
         return deployed
@@ -267,18 +321,233 @@ class Syrupd:
             self.machine.costs, metrics=metrics, events=self.obs.events,
         )
         agent.profiler = self.machine.profiler
-        deployed = DeployedPolicy(app.name, Hook.THREAD_SCHED, agent=agent)
+        deployed = DeployedPolicy(
+            self._alloc_fd(), app.name, Hook.THREAD_SCHED, agent=agent,
+        )
+        self.lifecycle.track(deployed)
         self.deployed.append(deployed)
         self._note_deploy(deployed, policy=type(policy).__name__)
         return deployed
 
     # ------------------------------------------------------------------
+    # Lifecycle: undeploy / redeploy / rollback / quarantine
+    # ------------------------------------------------------------------
+    def _deployments(self, app_name, hook, states=("active",)):
+        return [
+            d for d in self.deployed
+            if d.app_name == app_name and d.hook == hook
+            and (states is None or d.state in states)
+        ]
+
+    def _active_deployment(self, app_name, hook):
+        for deployed in self._deployments(app_name, hook):
+            return deployed
+        return None
+
     def undeploy(self, app, hook):
+        """Remove ``app``'s deployment(s) at ``hook`` (syr_undeploy).
+
+        Uninstalls the site's port rules, detaches any ghOSt agent, and
+        removes the entries from the deployment table so ``status()``
+        stops reporting them.
+        """
         site = self._sites.get(hook)
-        if site is not None:
-            site.uninstall(app.name, app.ports)
+        victims = self._deployments(
+            app.name, hook, states=("active", "quarantined", "fallback")
+        )
+        for deployed in victims:
+            if site is not None and deployed.state == "active":
+                ports = set(deployed.ports) | set(app.ports)
+                site.uninstall(app.name, ports)
+            agent = deployed.agent
+            if agent is not None and agent.scheduler.agent is agent:
+                agent.scheduler.agent = None
+            deployed.state = "undeployed"
+            self.deployed.remove(deployed)
             self.obs.registry.counter(app.name, "syrupd", "undeploys").inc()
-            self.obs.events.emit("undeploy", app=app.name, hook=hook)
+            self.obs.events.emit(
+                "undeploy", app=app.name, hook=hook, fd=deployed.fd
+            )
+        return len(victims)
+
+    def redeploy(self, app, policy, hook, constants=None, ports=None):
+        """Hot-swap the program behind an active network deployment.
+
+        The previous program is kept as ``last_good``: if the
+        replacement fails verification nothing is swapped (the rollback
+        is trivially the still-installed program), and if it raises a
+        runtime fault once live the lifecycle manager swaps the old
+        program back (docs/robustness.md).
+        """
+        if hook == Hook.THREAD_SCHED or hook not in Hook.ALL:
+            raise ValueError(
+                f"redeploy targets network hooks, got {hook!r}"
+            )
+        deployed = self._active_deployment(app.name, hook)
+        if deployed is None:
+            raise ValueError(
+                f"app {app.name!r} has no active deployment at {hook}"
+            )
+        if ports is not None:
+            self._check_ports(app, list(ports))
+        try:
+            loaded = self._load_network_policy(app, policy, hook, constants)
+        except (CompileError, VerifierError) as exc:
+            deployed.health.rollbacks += 1
+            self.obs.registry.counter(
+                app.name, "syrupd", "rollbacks"
+            ).inc()
+            self.obs.events.emit(
+                "rollback", app=app.name, hook=hook, fd=deployed.fd,
+                reason="verify_failed", error=type(exc).__name__,
+            )
+            raise
+        site = self._site(hook)
+        site.replace(app.name, loaded)
+        deployed.last_good = deployed.program
+        deployed.program = loaded
+        self.obs.registry.counter(app.name, "syrupd", "redeploys").inc()
+        self.obs.events.emit(
+            "redeploy", app=app.name, hook=hook, fd=deployed.fd,
+            name=loaded.name,
+        )
+        return deployed
+
+    def rollback(self, deployed, reason):
+        """Swap ``last_good`` back in after a bad redeploy."""
+        if deployed.last_good is None:
+            raise ValueError(f"{deployed!r} has no last-known-good program")
+        site = self._sites.get(deployed.hook)
+        if site is not None:
+            site.replace(deployed.app_name, deployed.last_good)
+        deployed.program = deployed.last_good
+        deployed.last_good = None
+        deployed.health.rollbacks += 1
+        self.obs.registry.counter(
+            deployed.app_name, "syrupd", "rollbacks"
+        ).inc()
+        self.obs.events.emit(
+            "rollback", app=deployed.app_name, hook=deployed.hook,
+            fd=deployed.fd, reason=reason,
+        )
+        return deployed
+
+    def quarantine(self, deployed, reason):
+        """Uninstall a sick policy; its traffic reverts to kernel defaults.
+
+        The deployment stays in the table (state ``quarantined``) so
+        ``status()`` / ``syrupctl health`` show what happened and why.
+        """
+        site = self._sites.get(deployed.hook)
+        if site is not None:
+            site.uninstall(deployed.app_name, deployed.ports)
+        deployed.state = "quarantined"
+        self.obs.registry.counter(
+            deployed.app_name, "syrupd", "quarantines"
+        ).inc()
+        self.obs.events.emit(
+            "quarantine", app=deployed.app_name, hook=deployed.hook,
+            fd=deployed.fd, reason=reason,
+            runtime_faults=deployed.health.runtime_faults,
+        )
+        return deployed
+
+    def _on_runtime_fault(self, attachment, exc):
+        """HookSite fault listener: route the fault to the lifecycle."""
+        for deployed in self.deployed:
+            if (deployed.program is attachment.program
+                    and deployed.app_name == attachment.app_name):
+                self.lifecycle.note_runtime_fault(deployed, exc)
+                return
+
+    # ------------------------------------------------------------------
+    # Fault-driven transitions (called by repro.faults.FaultInjector)
+    # ------------------------------------------------------------------
+    def inject_agent_crash(self, app_name):
+        """Crash ``app_name``'s ghOSt agent; the watchdog takes over."""
+        deployed = self._active_deployment(app_name, Hook.THREAD_SCHED)
+        if deployed is None or deployed.agent is None:
+            return None
+        deployed.agent.crash()
+        self.obs.registry.counter(
+            app_name, "syrupd", "agent_crashes"
+        ).inc()
+        self.obs.events.emit(
+            "agent_crash", app=app_name, hook=Hook.THREAD_SCHED,
+            fd=deployed.fd,
+        )
+        self.lifecycle.note_agent_crash(deployed)
+        return deployed
+
+    def handle_offload_failure(self):
+        """NIC offload engine died: migrate offloaded deployments to the
+        XDP_SKB host path (graceful degradation, docs/robustness.md)."""
+        for deployed in list(self.deployed):
+            if deployed.hook == Hook.XDP_OFFLOAD and deployed.state == "active":
+                self._offload_to_host(deployed)
+
+    def handle_offload_restore(self):
+        """Offload engine back: migrate fallen-back deployments home."""
+        for deployed in list(self.deployed):
+            if (deployed.fallback_from == Hook.XDP_OFFLOAD
+                    and deployed.state == "active"):
+                self._host_to_offload(deployed)
+
+    def _offload_to_host(self, deployed):
+        offload_site = self._sites.get(Hook.XDP_OFFLOAD)
+        if offload_site is not None:
+            offload_site.uninstall(deployed.app_name, deployed.ports)
+        try:
+            host_site = self._site(Hook.XDP_SKB)
+        except ValueError:
+            # XDP already provisioned in DRV mode for another app: no
+            # compatible host path — safest is to quarantine.
+            self.quarantine(deployed, reason="no_host_xdp")
+            return
+        # Offload executors are NIC queue indices; on the host path the
+        # same indices must resolve to AF_XDP sockets.  The app's
+        # queue→socket bindings (netstack.bind_af_xdp) provide exactly
+        # that mapping; unbound indices become index misses (PASS).
+        from repro.core.executors import ExecutorMap
+
+        bindings = self.machine.netstack.afxdp_bindings
+        fallback_execs = ExecutorMap(
+            f"{deployed.app_name}:{Hook.XDP_SKB}:offload_fallback"
+        )
+        for index, socket in sorted(bindings.items()):
+            fallback_execs.set(index, socket)
+        if not len(fallback_execs):
+            self.quarantine(deployed, reason="no_afxdp_sockets")
+            return
+        host_site.install(
+            deployed.app_name, deployed.ports, deployed.program,
+            fallback_execs,
+        )
+        deployed.fallback_from = Hook.XDP_OFFLOAD
+        deployed.hook = Hook.XDP_SKB
+        self.obs.registry.counter(
+            deployed.app_name, "syrupd", "offload_fallbacks"
+        ).inc()
+        self.obs.events.emit(
+            "offload_fallback", app=deployed.app_name, hook=Hook.XDP_SKB,
+            fd=deployed.fd, from_hook=Hook.XDP_OFFLOAD,
+        )
+
+    def _host_to_offload(self, deployed):
+        host_site = self._sites.get(deployed.hook)
+        if host_site is not None:
+            host_site.uninstall(deployed.app_name, deployed.ports)
+        offload_site = self._site(Hook.XDP_OFFLOAD)
+        offload_site.install(
+            deployed.app_name, deployed.ports, deployed.program,
+            deployed.executors,
+        )
+        deployed.hook = Hook.XDP_OFFLOAD
+        deployed.fallback_from = None
+        self.obs.events.emit(
+            "offload_restore", app=deployed.app_name,
+            hook=Hook.XDP_OFFLOAD, fd=deployed.fd,
+        )
 
     # ------------------------------------------------------------------
     def status(self):
@@ -289,6 +558,7 @@ class Syrupd:
                 "fd": deployed.fd,
                 "app": deployed.app_name,
                 "hook": deployed.hook,
+                "state": deployed.state,
             }
             if deployed.program is not None:
                 row.update(
@@ -311,5 +581,26 @@ class Syrupd:
                 row["metrics"] = self.obs.registry.values_for(
                     deployed.app_name, deployed.hook
                 )
+            rows.append(row)
+        return rows
+
+    def health(self):
+        """Per-deployment health rows (``syrupctl health``)."""
+        now = self.machine.now
+        rows = []
+        for deployed in self.deployed:
+            row = {
+                "fd": deployed.fd,
+                "app": deployed.app_name,
+                "hook": deployed.hook,
+                "state": deployed.state,
+            }
+            if deployed.fallback_from is not None:
+                row["fallback_from"] = deployed.fallback_from
+            if deployed.health is not None:
+                row.update(deployed.health.as_dict(now=now))
+            if deployed.agent is not None:
+                row["agent_crashed"] = deployed.agent.crashed
+                row["policy_errors"] = deployed.agent.policy_errors
             rows.append(row)
         return rows

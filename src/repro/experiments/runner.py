@@ -30,10 +30,13 @@ class RocksDbTestbed:
         mark_types=False,
         metrics=False,
         timeseries=None,
+        faults=None,
+        health=None,
     ):
         self.machine = Machine(
             config if config is not None else set_a(), seed=seed,
             scheduler=scheduler, metrics=metrics, timeseries=timeseries,
+            faults=faults, health=health,
         )
         self.app = self.machine.register_app("rocksdb", ports=[port])
         self.server = RocksDbServer(

@@ -69,6 +69,15 @@ class GhostAgent:
         self.inbox = deque()
         self._busy = False
         self._pending_threads = set()
+        # Crash-fault state (repro.faults): while crashed, the agent
+        # ignores every callback until restart() (docs/robustness.md).
+        self.crashed = False
+        self.crash_count = 0
+        self.restart_count = 0
+        # Incremented on crash: commits scheduled before a crash carry
+        # the old epoch and are discarded even if the agent restarts
+        # before their IPI lands.
+        self._epoch = 0
         self.messages_processed = 0
         self.commits = 0
         self.failed_commits = 0
@@ -86,7 +95,45 @@ class GhostAgent:
         self.profiler = None
 
     # ------------------------------------------------------------------
+    def crash(self):
+        """Kill the agent process (fault injection; idempotent).
+
+        Queued messages and in-flight commits die with it: the inbox is
+        dropped and every pending commit transaction is aborted — the
+        kernel side never acts on a dead agent's transactions.  Threads
+        already *running* keep their cores (the kernel runs them, not
+        the agent); newly-woken threads go RUNNABLE and wait until the
+        watchdog restarts the agent or falls the enclave back to CFS
+        (repro.core.health.LifecycleManager).
+        """
+        self.crashed = True
+        self.crash_count += 1
+        self._epoch += 1
+        self.inbox.clear()
+        self._pending_threads.clear()
+        self._busy = False
+        for core in self.scheduler.cores:
+            core.pending_commit = None
+
+    def restart(self):
+        """Bring a crashed agent back; re-evaluates the enclave state.
+
+        The restarted agent rebuilds its view from the authoritative
+        kernel state (``_snapshot`` reads the enclave's threads
+        directly), so RUNNABLE threads that woke while it was dead are
+        scheduled on the first decision pass.
+        """
+        if not self.crashed:
+            return
+        self.crashed = False
+        self.restart_count += 1
+        self._busy = True
+        self.engine.call_soon(self._decide)
+
+    # ------------------------------------------------------------------
     def notify(self, message):
+        if self.crashed:
+            return  # a dead process receives nothing
         if message.thread is not None and message.thread not in self.enclave:
             return  # isolation: foreign-app events are invisible
         self.inbox.append(message)
@@ -105,6 +152,8 @@ class GhostAgent:
             profiler.pop()
 
     def _drain_inner(self):
+        if self.crashed:
+            return
         n = len(self.inbox)
         if n == 0:
             self._busy = False
@@ -134,6 +183,8 @@ class GhostAgent:
             profiler.pop()
 
     def _decide_inner(self):
+        if self.crashed:
+            return
         status = self._snapshot()
         try:
             placements = self.policy.schedule(status) or []
@@ -162,7 +213,8 @@ class GhostAgent:
             core.pending_commit = thread
             delay += self.costs.ghost_commit_us
             self.engine.schedule(
-                delay + self.costs.ghost_ipi_us, self._commit_effect, thread, core
+                delay + self.costs.ghost_ipi_us, self._commit_effect,
+                thread, core, self._epoch,
             )
         self.engine.schedule(delay, self._after_work)
 
@@ -175,7 +227,9 @@ class GhostAgent:
                 error=type(exc).__name__, detail=str(exc),
             )
 
-    def _commit_effect(self, thread, core):
+    def _commit_effect(self, thread, core, epoch=None):
+        if self.crashed or (epoch is not None and epoch != self._epoch):
+            return  # the commit died with the agent (crash() aborted it)
         self._pending_threads.discard(thread.tid)
         if self.scheduler.commit(thread, core):
             self.commits += 1
@@ -191,9 +245,13 @@ class GhostAgent:
                 self.engine.call_soon(self._redecide)
 
     def _redecide(self):
+        if self.crashed:
+            return
         self.engine.schedule(self.costs.ghost_msg_us, self._decide)
 
     def _after_work(self):
+        if self.crashed:
+            return
         if self.inbox:
             self._drain()
         else:

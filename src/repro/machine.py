@@ -37,7 +37,7 @@ class Machine:
 
     def __init__(self, config=None, seed=0, scheduler="pinned", engine=None,
                  metrics=False, event_capacity=4096, timeseries=None,
-                 timeseries_capacity=1024):
+                 timeseries_capacity=1024, faults=None, health=None):
         if scheduler not in _SCHEDULERS:
             raise ValueError(
                 f"scheduler must be one of {sorted(_SCHEDULERS)}, "
@@ -94,7 +94,19 @@ class Machine:
         self.nic = Nic(self.engine, self.config.nic, self.costs, salt=salt)
         self.netstack = NetStack(self.engine, self.config)
         self.nic.deliver = self.netstack.deliver_from_nic
-        self.syrupd = Syrupd(self)
+        # health: a repro.core.health.HealthPolicy (None = defaults) for
+        # syrupd's self-healing lifecycle (quarantine thresholds,
+        # watchdog backoff); faults: a repro.faults.FaultPlan armed at
+        # construction.  Both default off/no-op: with faults=None no
+        # injector exists, no program is wrapped, no event is scheduled,
+        # and results are bit-identical to builds without these features.
+        self.syrupd = Syrupd(self, health=health)
+        self.faults = None
+        if faults is not None:
+            from repro.faults import FaultInjector
+
+            self.faults = FaultInjector(self, faults)
+            self.faults.arm()
 
     # ------------------------------------------------------------------
     @property

@@ -26,6 +26,9 @@ class Nic:
         self.salt = salt
         #: XDP Offload hook site (None, or requires spec.supports_offload).
         self.classifier = None
+        #: Injected offload-engine failure (repro.faults): while True the
+        #: classifier is bypassed and packets take RSS + the host path.
+        self.offload_down = False
         #: Delivery callback: fn(queue_index, packet); normally
         #: NetStack.deliver_from_nic.
         self.deliver = None
@@ -49,7 +52,7 @@ class Nic:
             self.drops[NicDropReason.NO_HANDLER] += 1
             return
         queue = None
-        if self.classifier is not None:
+        if self.classifier is not None and not self.offload_down:
             action, target = self.classifier.decide(packet)
             if action == "drop":
                 self.drops[NicDropReason.OFFLOAD_DROP] += 1

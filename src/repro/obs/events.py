@@ -15,6 +15,16 @@ Event kinds emitted by the framework (schema in docs/observability.md):
 - ``request`` — one traced request's per-stage latency breakdown,
   bridged from :class:`repro.trace.RequestTracer` so request-lifecycle
   tracing and decision tracing share a single, merge-sorted timeline.
+- ``fault_injected`` — the fault injector fired one planned fault
+  (:mod:`repro.faults`); ``runtime_fault`` — a deployed program raised
+  a :class:`repro.ebpf.errors.VmFault` at its hook site.
+- ``quarantine`` / ``rollback`` / ``redeploy`` — policy lifecycle
+  transitions driven by syrupd (docs/robustness.md).
+- ``agent_crash`` / ``watchdog_restart`` / ``enclave_fallback`` — the
+  ghOSt-agent watchdog: crash, bounded-backoff restart, and the final
+  hand-back of enclave threads to a kernel scheduler.
+- ``offload_fallback`` / ``offload_restore`` — an XDP_OFFLOAD program
+  migrating to the XDP_SKB host path when the NIC fails, and back.
 
 The exporter writes JSON lines (one event per line), the interchange
 format everything downstream — jq, pandas, perfetto-style converters —

@@ -28,10 +28,12 @@ __all__ = [
     "main",
     "render_deployments",
     "render_events",
+    "render_health",
     "render_maps",
     "render_stats",
     "render_status",
     "render_timeline",
+    "run_faults_demo",
     "run_stats_demo",
     "run_timeline_demo",
 ]
@@ -47,6 +49,33 @@ def render_deployments(machine):
     for row in machine.syrupd.status():
         table.add(**{k: v for k, v in row.items() if k in table.columns})
     return table.render()
+
+
+def render_health(machine):
+    """Per-deployment lifecycle health (docs/robustness.md).
+
+    One row per deployment: its state (``active`` / ``quarantined`` /
+    ``fallback``), runtime-fault totals and the count inside the current
+    sliding window, watchdog crash/restart totals, and rollbacks.
+    """
+    table = Table(
+        f"deployment health t={machine.now:.0f}us",
+        ["fd", "app", "hook", "state", "runtime_faults",
+         "faults_in_window", "crashes", "restarts", "rollbacks"],
+    )
+    rows = machine.syrupd.health()
+    for row in rows:
+        table.add(**{k: v for k, v in row.items() if k in table.columns})
+    rendered = table.render()
+    if not rows:
+        rendered += "\n(no deployments)"
+    injector = machine.faults
+    if injector is not None:
+        rendered += (
+            f"\nfault plan: seed={injector.plan.seed} "
+            f"specs={len(injector.plan)} injected={injector.injected}"
+        )
+    return rendered
 
 
 def render_maps(machine, max_entries=8):
@@ -297,6 +326,42 @@ def run_stats_demo(load=120_000, duration_ms=100.0, seed=7):
     return testbed.machine
 
 
+def run_faults_demo(load=100_000, duration_ms=80.0, seed=3,
+                    fault_rate=0.05):
+    """Drive the canned robustness demo: a fault plan vs the lifecycle.
+
+    The Figure-6 SCAN Avoid point with a seeded
+    :class:`repro.faults.FaultPlan` injecting runtime faults into the
+    Socket Select program; the default
+    :class:`repro.core.health.HealthPolicy` quarantines the deployment
+    once the sliding-window threshold breaks, so ``syrupctl health``
+    shows a ``quarantined`` row and the event trace carries the
+    ``fault_injected`` → ``runtime_fault`` → ``quarantine`` sequence.
+    Returns the finished machine for rendering.
+    """
+    from repro.core.health import HealthPolicy
+    from repro.experiments.runner import RocksDbTestbed
+    from repro.faults import FaultPlan
+    from repro.policies.builtin import SCAN_AVOID
+    from repro.workload.mixes import GET_SCAN_995_005
+
+    plan = FaultPlan(seed=11).vmfault(
+        fault_rate, app="rocksdb", hook="socket_select"
+    )
+    testbed = RocksDbTestbed(
+        policy=(SCAN_AVOID, "socket_select", {"NUM_THREADS": 6}),
+        mark_scans=True, seed=seed, metrics=True, faults=plan,
+        health=HealthPolicy(window_us=10_000.0, max_faults=5),
+    )
+    duration_us = duration_ms * 1000.0
+    gen = testbed.drive(load, GET_SCAN_995_005, duration_us,
+                        warmup_us=duration_us * 0.25)
+    gen.start()
+    testbed.machine.run()
+    testbed.machine.demo_generator = gen
+    return testbed.machine
+
+
 def run_timeline_demo(load=6_000, duration_ms=600.0, seed=5,
                       interval_ms=10.0):
     """Drive the canned time-series demo: the dynamic Figure-8 scenario.
@@ -318,7 +383,7 @@ def run_timeline_demo(load=6_000, duration_ms=600.0, seed=5,
 
 
 def main(argv=None):
-    """CLI: ``syrupctl {stats,status,maps,events,timeline} [options]``."""
+    """CLI: ``syrupctl {stats,status,maps,events,timeline,health}``."""
     parser = argparse.ArgumentParser(
         prog="syrupctl",
         description=(
@@ -326,11 +391,13 @@ def main(argv=None):
             "canned RocksDB demo scenario (metrics enabled) and renders "
             "the requested view — the steady Figure-6-style point for "
             "stats/status/maps/events, the dynamic Figure-8 policy "
-            "switch for timeline; see docs/observability.md."
+            "switch for timeline, a fault-injection run for health; "
+            "see docs/observability.md and docs/robustness.md."
         ),
     )
     parser.add_argument(
-        "view", choices=["stats", "status", "maps", "events", "timeline"],
+        "view",
+        choices=["stats", "status", "maps", "events", "timeline", "health"],
         help="which surface to render",
     )
     parser.add_argument("--load", type=int, default=None,
@@ -373,6 +440,19 @@ def main(argv=None):
             print(json.dumps(machine.obs.recorder.snapshot(), indent=2))
         else:
             print(render_timeline(machine, app=args.app, scope=args.scope))
+    elif args.view == "health":
+        kwargs = {}
+        if args.load is not None:
+            kwargs["load"] = args.load
+        if args.duration_ms is not None:
+            kwargs["duration_ms"] = args.duration_ms
+        if args.seed is not None:
+            kwargs["seed"] = args.seed
+        machine = run_faults_demo(**kwargs)
+        if args.json:
+            print(json.dumps(machine.syrupd.health(), indent=2))
+        else:
+            print(render_health(machine))
     else:
         machine = run_stats_demo(
             load=args.load if args.load is not None else 120_000,

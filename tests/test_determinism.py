@@ -88,3 +88,44 @@ def test_experiment_harness_is_deterministic():
     a = run_figure2(loads=[200_000], duration_us=40_000, warmup_us=10_000)
     b = run_figure2(loads=[200_000], duration_us=40_000, warmup_us=10_000)
     assert a.rows[0].columns == b.rows[0].columns
+
+
+def faulty_fingerprint(plan_seed):
+    """Full-observability fingerprint of a run under an injected-fault
+    plan: metrics snapshot AND the serialized event trace must be
+    bit-identical for identical (machine seed, plan)."""
+    import io
+
+    from repro import FaultPlan, HealthPolicy
+
+    plan = FaultPlan(seed=plan_seed).vmfault(
+        0.05, app="r", hook=Hook.SOCKET_SELECT
+    )
+    machine = Machine(set_a(), seed=17, metrics=True, faults=plan,
+                      health=HealthPolicy(window_us=10_000.0, max_faults=5))
+    app = machine.register_app("r", ports=[8080])
+    server = RocksDbServer(machine, app, 8080, 6, mark_scans=True)
+    app.deploy_policy(SCAN_AVOID, Hook.SOCKET_SELECT,
+                      constants={"NUM_THREADS": 6})
+    gen = OpenLoopGenerator(machine, 8080, 150_000, GET_SCAN_995_005,
+                            duration_us=50_000, warmup_us=10_000)
+    server.response_sink = gen.deliver_response
+    gen.start()
+    machine.run()
+    trace = io.StringIO()
+    machine.obs.events.to_jsonl(trace)
+    return (
+        gen.latency.count,
+        round(gen.latency.p99(), 9),
+        machine.obs.snapshot(),
+        trace.getvalue(),
+        machine.engine.events_dispatched,
+    )
+
+
+def test_fault_injection_is_deterministic():
+    assert faulty_fingerprint(11) == faulty_fingerprint(11)
+
+
+def test_different_fault_plan_seeds_differ():
+    assert faulty_fingerprint(11) != faulty_fingerprint(12)

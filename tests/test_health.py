@@ -1,0 +1,244 @@
+"""Tests for the self-healing policy lifecycle (repro.core.health).
+
+Covers the three mechanisms end to end: quarantine of a faulting
+network policy (the figure_faults acceptance scenario), automatic
+rollback after a bad redeploy, and the ghOSt-agent watchdog with its
+CFS fallback invariant (no enclave thread left stranded unrunnable).
+"""
+
+import pytest
+
+from repro import FaultPlan, HealthPolicy, Hook, Machine, set_a
+from repro.apps.rocksdb import RocksDbServer
+from repro.core.health import DeploymentHealth
+from repro.kernel.cfs import CfsScheduler
+from repro.policies.builtin import HASH_BY_FLOW, ROUND_ROBIN, SCAN_AVOID
+from repro.workload.generator import OpenLoopGenerator
+from repro.workload.mixes import GET_ONLY, GET_SCAN_995_005
+
+
+# ----------------------------------------------------------------------
+# Units: thresholds and the sliding window
+# ----------------------------------------------------------------------
+def test_backoff_grows_exponentially_and_caps():
+    policy = HealthPolicy(backoff_base_us=100.0, backoff_factor=2.0,
+                          backoff_cap_us=500.0)
+    assert policy.backoff_us(0) == 100.0
+    assert policy.backoff_us(1) == 200.0
+    assert policy.backoff_us(2) == 400.0
+    assert policy.backoff_us(3) == 500.0  # capped
+    assert policy.backoff_us(10) == 500.0
+
+
+def test_deployment_health_window_prunes_old_faults():
+    health = DeploymentHealth(window_us=100.0, max_faults=2)
+    assert health.record_fault(0.0) is False
+    assert health.record_fault(10.0) is False
+    assert health.record_fault(20.0) is True  # 3 faults inside 100us
+    # much later: the old faults age out of the window
+    assert health.record_fault(1_000.0) is False
+    assert health.faults_in_window(1_000.0) == 1
+    assert health.runtime_faults == 4
+
+
+# ----------------------------------------------------------------------
+# Quarantine: the figure_faults acceptance scenario
+# ----------------------------------------------------------------------
+def _drive_scan_avoid(faults=None, health=None, load=100_000,
+                      duration=60_000, seed=3):
+    machine = Machine(set_a(), seed=seed, metrics=True, faults=faults,
+                      health=health)
+    app = machine.register_app("rocksdb", ports=[8080])
+    server = RocksDbServer(machine, app, 8080, 6, mark_scans=True)
+    app.deploy_policy(SCAN_AVOID, Hook.SOCKET_SELECT,
+                      constants={"NUM_THREADS": 6})
+    gen = OpenLoopGenerator(machine, 8080, load, GET_SCAN_995_005,
+                            duration_us=duration, warmup_us=duration * 0.25)
+    server.response_sink = gen.deliver_response
+    gen.start()
+    machine.run()
+    return machine, server, gen
+
+
+def test_quarantine_uninstalls_sick_policy_within_window():
+    window_us, max_faults = 10_000.0, 5
+    plan = FaultPlan(seed=11).vmfault(0.05, app="rocksdb",
+                                      hook=Hook.SOCKET_SELECT)
+    machine, _server, _gen = _drive_scan_avoid(
+        faults=plan,
+        health=HealthPolicy(window_us=window_us, max_faults=max_faults),
+    )
+    quarantines = machine.obs.events.events(kind="quarantine")
+    assert len(quarantines) == 1
+    assert quarantines[0]["reason"] == "fault_window"
+    faults = machine.obs.events.events(kind="runtime_fault")
+    # the breach needs max_faults+1 inside one window; the uninstall
+    # lands no later than one window after the first fault
+    assert quarantines[0]["ts"] <= faults[0]["ts"] + window_us + 1e-6
+    # no fault ever lands after the uninstall
+    assert all(f["ts"] <= quarantines[0]["ts"] for f in faults)
+    row = machine.syrupd.health()[0]
+    assert row["state"] == "quarantined"
+    assert max_faults < row["runtime_faults"] <= 3 * max_faults
+    # the hook dispatches kernel-default again
+    from repro.net.packet import FiveTuple, Packet
+
+    pkt = Packet(FiveTuple(1, 2, 3, 8080, 17), b"x" * 16)
+    assert machine.netstack.socket_select_hook.decide(pkt) == ("none", None)
+
+
+def test_figure_faults_contrast_quarantine_on_vs_off():
+    """Acceptance: quarantine off burns the tail; on degrades to vanilla."""
+    from repro.experiments import run_figure_faults
+
+    table = run_figure_faults(
+        loads=[100_000], duration_us=60_000.0, warmup_us=15_000.0,
+        fault_rate=0.05, window_us=10_000.0, max_faults=5,
+    )
+    rows = {r.columns["variant"]: r.columns for r in table.rows}
+    # with the lifecycle disabled every injected fault costs a request
+    assert rows["no_quarantine"]["runtime_faults"] > 50
+    assert rows["no_quarantine"]["drop_pct"] > 1.0
+    assert rows["no_quarantine"]["quarantined"] == 0
+    # with it enabled the policy is uninstalled after a handful of
+    # faults and the run degrades to the kernel-default baseline
+    assert rows["quarantine"]["quarantined"] == 1
+    assert rows["quarantine"]["runtime_faults"] <= 3 * 5
+    assert (rows["quarantine"]["drop_pct"]
+            <= rows["vanilla"]["drop_pct"] + 0.5)
+
+
+# ----------------------------------------------------------------------
+# Rollback
+# ----------------------------------------------------------------------
+def test_runtime_fault_after_redeploy_rolls_back_to_last_good():
+    # faults only inside [30ms, 32ms): the replacement (deployed at
+    # 20ms) faults first and is rolled back immediately
+    plan = FaultPlan(seed=5).vmfault(1.0, app="r", hook=Hook.SOCKET_SELECT,
+                                     start_us=30_000.0, until_us=32_000.0)
+    machine = Machine(set_a(), seed=7, metrics=True, faults=plan,
+                      health=HealthPolicy(max_faults=10**9))
+    app = machine.register_app("r", ports=[8080])
+    server = RocksDbServer(machine, app, 8080, 4)
+    deployed = app.deploy_policy(ROUND_ROBIN, Hook.SOCKET_SELECT,
+                                 constants={"NUM_THREADS": 4})
+    machine.engine.at(20_000.0, lambda: app.redeploy_policy(
+        HASH_BY_FLOW, Hook.SOCKET_SELECT, constants={"NUM_EXECUTORS": 4}
+    ))
+    gen = OpenLoopGenerator(machine, 8080, 50_000, GET_ONLY,
+                            duration_us=60_000)
+    server.response_sink = gen.deliver_response
+    gen.start()
+    machine.run()
+    assert machine.obs.events.events(kind="redeploy")
+    rollbacks = machine.obs.events.events(kind="rollback")
+    assert len(rollbacks) == 1
+    assert rollbacks[0]["reason"] == "runtime_fault"
+    assert deployed.state == "active"
+    assert deployed.last_good is None
+    assert deployed.health.rollbacks == 1
+    # the program behind the deployment is the original source again
+    assert deployed.program.program.source == ROUND_ROBIN
+    # traffic kept flowing after the rollback
+    assert gen.completed_in_window() > 0
+
+
+def test_redeploy_verify_failure_swaps_nothing():
+    from repro.ebpf import CompileError, VerifierError
+
+    machine = Machine(set_a(), seed=8, metrics=True)
+    app = machine.register_app("r", ports=[8080])
+    RocksDbServer(machine, app, 8080, 4)
+    deployed = app.deploy_policy(ROUND_ROBIN, Hook.SOCKET_SELECT,
+                                 constants={"NUM_THREADS": 4})
+    old_program = deployed.program
+    with pytest.raises((CompileError, VerifierError)):
+        app.redeploy_policy("def schedule(pkt):\n    return undefined_name\n",
+                            Hook.SOCKET_SELECT)
+    # nothing was swapped: the still-installed program IS the rollback
+    assert deployed.program is old_program
+    assert deployed.state == "active"
+    assert deployed.last_good is None
+    assert deployed.health.rollbacks == 1
+    rollbacks = machine.obs.events.events(kind="rollback")
+    assert rollbacks and rollbacks[0]["reason"] == "verify_failed"
+
+
+# ----------------------------------------------------------------------
+# ghOSt agent watchdog
+# ----------------------------------------------------------------------
+class _Fifo:
+    def schedule(self, status):
+        return [
+            (t, c.cid)
+            for t, c in zip(status.runnable, status.idle_cores())
+        ]
+
+
+def _drive_ghost(plan, health=None, duration=100_000, rate=4_000):
+    machine = Machine(set_a(), seed=29, scheduler="ghost", metrics=True,
+                      faults=plan, health=health)
+    app = machine.register_app("g", ports=[8080])
+    server = RocksDbServer(machine, app, 8080, 8)
+    deployed = app.deploy_policy(_Fifo(), Hook.THREAD_SCHED)
+    gen = OpenLoopGenerator(machine, 8080, rate, GET_ONLY,
+                            duration_us=duration)
+    server.response_sink = gen.deliver_response
+    gen.start()
+    machine.run()
+    return machine, server, gen, deployed
+
+
+def test_watchdog_restarts_crashed_agent():
+    plan = FaultPlan(seed=1).agent_crash("g", at_us=30_000.0)
+    machine, _server, gen, deployed = _drive_ghost(plan)
+    agent = deployed.agent
+    assert agent.crash_count == 1
+    assert agent.restart_count == 1
+    assert not agent.crashed
+    assert deployed.state == "active"
+    assert machine.obs.events.events(kind="agent_crash")
+    restarts = machine.obs.events.events(kind="watchdog_restart")
+    assert len(restarts) == 1
+    assert restarts[0]["attempt"] == 0
+    # the restarted agent kept scheduling: every request completed
+    assert gen.completed_in_window() == gen.sent_in_window()
+
+
+def test_watchdog_backoff_grows_between_restarts():
+    plan = (FaultPlan(seed=1)
+            .agent_crash("g", at_us=20_000.0)
+            .agent_crash("g", at_us=40_000.0))
+    health = HealthPolicy(backoff_base_us=100.0, backoff_factor=2.0)
+    machine, _server, _gen, deployed = _drive_ghost(plan, health=health)
+    restarts = machine.obs.events.events(kind="watchdog_restart")
+    assert [r["attempt"] for r in restarts] == [0, 1]
+    assert restarts[0]["backoff_us"] == 100.0
+    assert restarts[1]["backoff_us"] == 200.0
+    assert deployed.agent.restart_count == 2
+
+
+def test_watchdog_exhaustion_falls_back_to_cfs():
+    """After max_restarts the enclave goes back to a working scheduler.
+
+    Invariant: no enclave thread is left stranded unrunnable — every
+    request sent after the fallback still completes.
+    """
+    plan = FaultPlan(seed=1)
+    for at_us in (20_000.0, 30_000.0, 40_000.0, 50_000.0):
+        plan.agent_crash("g", at_us=at_us)
+    health = HealthPolicy(max_restarts=3, backoff_base_us=100.0)
+    machine, server, gen, deployed = _drive_ghost(plan, health=health)
+    assert deployed.state == "fallback"
+    assert deployed.agent.restart_count == 3  # bounded: N then give up
+    events = machine.obs.events.events(kind="enclave_fallback")
+    assert len(events) == 1
+    assert events[0]["restarts"] == 3
+    fallback = deployed.fallback_scheduler
+    assert isinstance(fallback, CfsScheduler)
+    assert machine.scheduler is fallback
+    # every enclave thread is attached to the fallback scheduler
+    for thread in deployed.agent.enclave.threads():
+        assert thread.scheduler is fallback
+    # and none was stranded: the whole run's requests completed
+    assert gen.completed_in_window() == gen.sent_in_window()

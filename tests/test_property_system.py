@@ -85,7 +85,10 @@ def test_round_robin_balance(rate, threads, seed):
     gen = OpenLoopGenerator(machine, 8080, rate, GET_ONLY,
                             duration_us=20_000)
     drive(machine, server, gen)
-    counts = [s.enqueued for s in server.sockets]
+    # Balance holds on *selections*: under overload a socket's backlog can
+    # overflow, so successful enqueues alone may skew while the policy's
+    # round-robin choice stays perfectly balanced.
+    counts = [s.enqueued + s.drops for s in server.sockets]
     assert max(counts) - min(counts) <= 1
 
 

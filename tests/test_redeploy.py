@@ -1,0 +1,160 @@
+"""Undeploy → redeploy cycles at every network hook.
+
+Regression coverage for two seed bugs: ``Syrupd.undeploy`` used to leave
+the entry in the deployment table (so ``status()`` kept reporting dead
+policies), and ``DeployedPolicy`` allocated fds from a class-level
+counter shared across machines.  Plus the hot-swap ``redeploy()`` path:
+same fd, metrics not double-registered, dispatch never interrupted.
+"""
+
+import pytest
+
+from repro import Hook, Machine, set_a, set_b
+from repro.apps.mica import MicaServer
+from repro.apps.rocksdb import RocksDbServer
+from repro.net.packet import FiveTuple, Packet
+from repro.policies.builtin import HASH_BY_FLOW, MICA_HASH, ROUND_ROBIN
+from repro.workload.generator import OpenLoopGenerator
+from repro.workload.mixes import GET_ONLY, MICA_50_50
+
+NETWORK_HOOKS = [Hook.SOCKET_SELECT, Hook.CPU_REDIRECT, Hook.XDP_SKB,
+                 Hook.XDP_DRV, Hook.XDP_OFFLOAD]
+
+
+class _Harness:
+    """One machine + server + per-hook deploy/drive closures."""
+
+    def __init__(self, hook):
+        self.hook = hook
+        if hook in (Hook.SOCKET_SELECT, Hook.CPU_REDIRECT):
+            config = set_a() if hook == Hook.SOCKET_SELECT else set_b()
+            self.machine = Machine(config, seed=5, metrics=True)
+            self.app = self.machine.register_app("app", ports=[8080])
+            self.server = RocksDbServer(self.machine, self.app, 8080, 4)
+            self.port, self.rate, self.mix = 8080, 30_000, GET_ONLY
+            if hook == Hook.SOCKET_SELECT:
+                self.policy = ROUND_ROBIN
+                self.constants = {"NUM_THREADS": 4}
+            else:
+                self.policy = HASH_BY_FLOW
+                self.constants = {"NUM_EXECUTORS": 4}
+        else:
+            # XDP hooks: MICA. set_b lacks zero copy (XDP_SKB host path,
+            # offload-capable); set_a is zero copy (native XDP_DRV).
+            config = set_a(8) if hook == Hook.XDP_DRV else set_b(8)
+            mode = "syrup_hw" if hook == Hook.XDP_OFFLOAD else "syrup_sw"
+            self.machine = Machine(config, seed=5, metrics=True)
+            self.app = self.machine.register_app("mica", ports=[9090])
+            self.server = MicaServer(self.machine, self.app, 9090,
+                                     num_threads=8, mode=mode)
+            assert self.server.kernel_xdp_hook() == hook \
+                or hook == Hook.XDP_OFFLOAD
+            self.port, self.rate, self.mix = 9090, 200_000, MICA_50_50
+            self.policy = MICA_HASH
+            self.constants = {"NUM_EXECUTORS": 8}
+
+    def deploy(self):
+        return self.app.deploy_policy(self.policy, self.hook,
+                                      constants=self.constants)
+
+    def drive(self, duration=8_000):
+        gen = OpenLoopGenerator(self.machine, self.port, self.rate,
+                                self.mix, duration_us=duration,
+                                num_flows=64)
+        self.server.response_sink = gen.deliver_response
+        gen.start()
+        self.machine.run()
+        return gen
+
+    def site(self):
+        machine = self.machine
+        if self.hook == Hook.SOCKET_SELECT:
+            return machine.netstack.socket_select_hook
+        if self.hook == Hook.CPU_REDIRECT:
+            return machine.netstack.cpu_redirect_hook
+        if self.hook == Hook.XDP_OFFLOAD:
+            return machine.nic.classifier
+        return machine.netstack.xdp_hook
+
+
+@pytest.mark.parametrize("hook", NETWORK_HOOKS)
+def test_undeploy_redeploy_cycle(hook):
+    harness = _Harness(hook)
+    machine, app = harness.machine, harness.app
+    first = harness.deploy()
+    gen1 = harness.drive()
+    assert gen1.completed_in_window() == gen1.sent_in_window()
+
+    assert app.undeploy_policy(hook) == 1
+    # the table entry is actually gone (seed bug: it used to linger)
+    assert first not in machine.syrupd.deployed
+    assert first.state == "undeployed"
+    assert machine.syrupd.status() == []
+    # the site dispatches kernel-default again
+    pkt = Packet(FiveTuple(1, 2, 3, harness.port, 17), b"x" * 16)
+    assert harness.site().decide(pkt) == ("none", None)
+    # the undeploy event names the removed deployment's fd
+    events = machine.obs.events.events(kind="undeploy")
+    assert events and events[-1]["fd"] == first.fd
+
+    reg_len = len(machine.obs.registry)
+    second = harness.deploy()
+    assert second.fd != first.fd
+    gen2 = harness.drive()
+    assert gen2.completed_in_window() == gen2.sent_in_window()
+    # same app/hook series names: the registry dedupes, nothing doubles
+    assert len(machine.obs.registry) == reg_len
+
+
+def test_hot_swap_redeploy_keeps_fd_and_metrics():
+    harness = _Harness(Hook.SOCKET_SELECT)
+    machine, app = harness.machine, harness.app
+    deployed = harness.deploy()
+    gen1 = harness.drive()
+    fd = deployed.fd
+
+    swapped = app.redeploy_policy(HASH_BY_FLOW, Hook.SOCKET_SELECT,
+                                  constants={"NUM_EXECUTORS": 4})
+    assert swapped is deployed  # in-place swap, same fd
+    assert deployed.fd == fd
+    assert deployed.last_good is not None
+    assert machine.obs.events.events(kind="redeploy")
+
+    reg_len = len(machine.obs.registry)
+    gen2 = harness.drive()
+    assert gen2.completed_in_window() == gen2.sent_in_window()
+    assert len(machine.obs.registry) == reg_len
+    # the per-hook invocation counter carried across the swap: both
+    # programs incremented the same (deduped) registry series
+    counter = machine.obs.registry.counter("app", Hook.SOCKET_SELECT,
+                                           "invocations")
+    assert counter.value == gen1.sent_in_window() + gen2.sent_in_window()
+
+
+def test_redeploy_requires_active_deployment():
+    machine = Machine(set_a(), seed=6)
+    app = machine.register_app("app", ports=[8080])
+    RocksDbServer(machine, app, 8080, 4)
+    with pytest.raises(ValueError):
+        app.redeploy_policy(ROUND_ROBIN, Hook.SOCKET_SELECT,
+                            constants={"NUM_THREADS": 4})
+
+
+def test_redeploy_rejects_thread_sched():
+    machine = Machine(set_a(), seed=6, scheduler="ghost")
+    app = machine.register_app("app", ports=[8080])
+    with pytest.raises(ValueError):
+        machine.syrupd.redeploy(app, object(), Hook.THREAD_SCHED)
+
+
+def test_fds_are_per_daemon_not_global():
+    def first_fd():
+        machine = Machine(set_a(), seed=1)
+        app = machine.register_app("app", ports=[8080])
+        RocksDbServer(machine, app, 8080, 2)
+        return app.deploy_policy(ROUND_ROBIN, Hook.SOCKET_SELECT,
+                                 constants={"NUM_THREADS": 2}).fd
+
+    # seed bug: a class-level counter made the second machine's fds
+    # continue from the first's
+    assert first_fd() == first_fd()
