@@ -27,6 +27,7 @@ from repro.experiments import (
     run_figure8,
     run_figure9,
     run_figure_faults,
+    run_figure_tail,
     run_table2,
     run_table3,
 )
@@ -46,6 +47,8 @@ _QUICK = {
                     warmup_us=5_000.0),
     "figure_faults": dict(loads=[50_000, 100_000], duration_us=120_000.0,
                           warmup_us=30_000.0),
+    "figure_tail": dict(loads=[120_000], duration_us=120_000.0,
+                        warmup_us=30_000.0),
     "table2": dict(samples=128),
     "table3": dict(n_ops=500),
 }
@@ -57,6 +60,7 @@ _RUNNERS = {
     "figure8": run_figure8,
     "figure9": run_figure9,
     "figure_faults": run_figure_faults,
+    "figure_tail": run_figure_tail,
     "table2": run_table2,
     "table3": run_table3,
 }
@@ -98,6 +102,13 @@ def _build_parser():
         "--plot", action="store_true",
         help="render an ASCII latency-vs-load plot for figure experiments",
     )
+    parser.add_argument(
+        "--export-spans", type=str, default=None, metavar="DIR",
+        help=(
+            "figure_tail only: also write Chrome span traces and raw "
+            "tail-analysis JSON per policy/load point into DIR"
+        ),
+    )
     return parser
 
 
@@ -111,6 +122,8 @@ def _kwargs_for(name, args):
         kwargs["warmup_us"] = args.duration_ms * 250.0  # 25% warmup
     if args.seed is not None and name.startswith("figure"):
         kwargs["seed"] = args.seed
+    if name == "figure_tail" and args.export_spans is not None:
+        kwargs["export_dir"] = args.export_spans
     return kwargs
 
 

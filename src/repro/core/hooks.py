@@ -66,7 +66,7 @@ class Hook:
 
 
 class _Attachment:
-    __slots__ = ("app_name", "program", "executors", "prog_index",
+    __slots__ = ("app_name", "program", "executors", "prog_index", "fd",
                  "m_sched", "m_pass", "m_drop", "m_steer", "m_miss",
                  "m_fault")
 
@@ -76,6 +76,7 @@ class _Attachment:
         self.program = program
         self.executors = executors
         self.prog_index = prog_index
+        self.fd = None  # deployed-policy fd, stamped by syrupd post-install
         self.m_sched = registry.counter(app_name, hook, "schedule_calls")
         self.m_pass = registry.counter(app_name, hook, "pass")
         self.m_drop = registry.counter(app_name, hook, "drop")
@@ -102,6 +103,7 @@ class HookSite:
         # repeated faults can quarantine/roll back the deployment.
         self.fault_listener = None
         self._events = self.obs.events
+        self._spans = self.obs.spans
         self._m_dispatch_miss = self.obs.registry.counter(
             ROOT_APP, hook, "dispatch_miss"
         )
@@ -185,6 +187,7 @@ class HookSite:
             return self._on_fault(attachment, packet, exc)
         attachment.m_sched.inc()
         events = self._events
+        spans = self._spans
         if value == PASS:
             self.pass_decisions += 1
             attachment.m_pass.inc()
@@ -192,6 +195,9 @@ class HookSite:
                 events.emit("decision", app=attachment.app_name,
                             hook=self.hook, port=packet.dst_port,
                             outcome="pass")
+            if spans.enabled:
+                spans.decision(packet, self.hook, "pass", fd=attachment.fd,
+                               seq=events.emitted if events.enabled else None)
             return ("pass", None)
         if value == DROP:
             self.drop_decisions += 1
@@ -200,6 +206,9 @@ class HookSite:
                 events.emit("decision", app=attachment.app_name,
                             hook=self.hook, port=packet.dst_port,
                             outcome="drop")
+            if spans.enabled:
+                spans.decision(packet, self.hook, "drop", fd=attachment.fd,
+                               seq=events.emitted if events.enabled else None)
             return ("drop", None)
         executor = attachment.executors.resolve(value)
         if executor is None:
@@ -210,11 +219,19 @@ class HookSite:
                 events.emit("decision", app=attachment.app_name,
                             hook=self.hook, port=packet.dst_port,
                             outcome="index_miss", value=value)
+            if spans.enabled:
+                spans.decision(packet, self.hook, "index_miss", value=value,
+                               fd=attachment.fd,
+                               seq=events.emitted if events.enabled else None)
             return ("pass", None)
         attachment.m_steer.inc()
         if events.enabled:
             events.emit("decision", app=attachment.app_name, hook=self.hook,
                         port=packet.dst_port, outcome="steer", value=value)
+        if spans.enabled:
+            spans.decision(packet, self.hook, "steer", value=value,
+                           fd=attachment.fd,
+                           seq=events.emitted if events.enabled else None)
         return ("target", executor)
 
     def _on_fault(self, attachment, packet, exc):
@@ -229,6 +246,11 @@ class HookSite:
                 "runtime_fault", app=attachment.app_name, hook=self.hook,
                 port=packet.dst_port, error=type(exc).__name__,
                 detail=str(exc),
+            )
+        if self._spans.enabled:
+            self._spans.decision(
+                packet, self.hook, "fault", fd=attachment.fd,
+                seq=events.emitted if events.enabled else None,
             )
         listener = self.fault_listener
         if listener is not None:

@@ -249,11 +249,14 @@ class Syrupd:
         executors = app.executor_map(hook)
         self._prepopulate_executors(hook, executors)
         site = self._site(hook)
-        site.install(app.name, ports, loaded, executors)
+        attachment = site.install(app.name, ports, loaded, executors)
         deployed = DeployedPolicy(
             self._alloc_fd(), app.name, hook, program=loaded, ports=ports,
             executors=executors,
         )
+        # Decision spans (repro.obs.spans) link each policy invocation to
+        # the deployed fd, so the attachment learns it post-allocation.
+        attachment.fd = deployed.fd
         self.lifecycle.track(deployed)
         self.deployed.append(deployed)
         self._note_deploy(deployed, ports=ports, name=loaded.name)
@@ -519,10 +522,11 @@ class Syrupd:
         if not len(fallback_execs):
             self.quarantine(deployed, reason="no_afxdp_sockets")
             return
-        host_site.install(
+        fallback_attachment = host_site.install(
             deployed.app_name, deployed.ports, deployed.program,
             fallback_execs,
         )
+        fallback_attachment.fd = deployed.fd
         deployed.fallback_from = Hook.XDP_OFFLOAD
         deployed.hook = Hook.XDP_SKB
         self.obs.registry.counter(
@@ -538,10 +542,11 @@ class Syrupd:
         if host_site is not None:
             host_site.uninstall(deployed.app_name, deployed.ports)
         offload_site = self._site(Hook.XDP_OFFLOAD)
-        offload_site.install(
+        restored_attachment = offload_site.install(
             deployed.app_name, deployed.ports, deployed.program,
             deployed.executors,
         )
+        restored_attachment.fd = deployed.fd
         deployed.hook = Hook.XDP_OFFLOAD
         deployed.fallback_from = None
         self.obs.events.emit(

@@ -32,11 +32,14 @@ class RocksDbTestbed:
         timeseries=None,
         faults=None,
         health=None,
+        spans=None,
+        spans_capacity=4096,
     ):
         self.machine = Machine(
             config if config is not None else set_a(), seed=seed,
             scheduler=scheduler, metrics=metrics, timeseries=timeseries,
-            faults=faults, health=health,
+            faults=faults, health=health, spans=spans,
+            spans_capacity=spans_capacity,
         )
         self.app = self.machine.register_app("rocksdb", ports=[port])
         self.server = RocksDbServer(

@@ -113,6 +113,8 @@ class GhostAgent:
         self._pending_threads.clear()
         self._busy = False
         for core in self.scheduler.cores:
+            if core.pending_commit is not None:
+                self.scheduler.spans.placement_abort(core.pending_commit)
             core.pending_commit = None
 
     def restart(self):
@@ -211,6 +213,7 @@ class GhostAgent:
                 continue  # stale decision; skip
             self._pending_threads.add(thread.tid)
             core.pending_commit = thread
+            self.scheduler.spans.placement_begin(thread, core_id)
             delay += self.costs.ghost_commit_us
             self.engine.schedule(
                 delay + self.costs.ghost_ipi_us, self._commit_effect,
@@ -237,6 +240,7 @@ class GhostAgent:
                 self.metrics["commits"].inc()
         else:
             self.failed_commits += 1
+            self.scheduler.spans.placement_abort(thread)
             if self.metrics is not None:
                 self.metrics["failed_commits"].inc()
             # re-evaluate: the failed target may leave work stranded

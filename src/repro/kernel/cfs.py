@@ -38,6 +38,7 @@ class CfsScheduler(ThreadScheduler):
                     core = candidate
                     break
         thread.state = RUNNABLE
+        self.spans.thread_runnable(thread)
         self._rq[core.cid].append(thread)
         if core.thread is None:
             self._pick_next(core)

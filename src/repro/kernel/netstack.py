@@ -24,6 +24,7 @@ Path modeling notes:
 
 from repro.kernel.cpu import FifoServer
 from repro.kernel.sockets import SocketTable
+from repro.obs.spans import NULL_SPANS
 
 __all__ = ["NetStack"]
 
@@ -57,6 +58,9 @@ class NetStack:
             "socket_overflow": 0,
         }
         self.delivered = 0
+        # Span tracer (repro.obs.spans): softirq spans bracket FIFO
+        # submission -> protocol completion; drops finalize the tree.
+        self.spans = NULL_SPANS
 
     # ------------------------------------------------------------------
     # RX path entry (called by the NIC at IRQ-delivery time)
@@ -67,6 +71,7 @@ class NetStack:
             action, target = self.xdp_hook.decide(packet)
             if action == "drop":
                 self.drops["xdp_drop"] += 1
+                self.spans.drop(packet, "xdp_drop")
                 return
             if action == "target":
                 # zero copy only in native (XDP_DRV) mode on a capable NIC
@@ -80,9 +85,13 @@ class NetStack:
                     + (0.0 if zero_copy else self.config.nic.copy_cost_us)
                     + costs.afxdp_deliver_us
                 )
-                server = self.softirq[queue_index % len(self.softirq)]
+                core_index = queue_index % len(self.softirq)
+                server = self.softirq[core_index]
                 if not server.submit(cost, self._deliver_af_xdp, target, packet):
                     self.drops["ring_overflow"] += 1
+                    self.spans.drop(packet, "ring_overflow")
+                else:
+                    self.spans.softirq_begin(packet, core_index, len(server))
                 return
             # "none" / "pass": fall through to the standard stack
 
@@ -94,9 +103,13 @@ class NetStack:
                 + (0.0 if zero_copy else self.config.nic.copy_cost_us)
                 + costs.afxdp_deliver_us
             )
-            server = self.softirq[queue_index % len(self.softirq)]
+            core_index = queue_index % len(self.softirq)
+            server = self.softirq[core_index]
             if not server.submit(cost, self._deliver_af_xdp, bound, packet):
                 self.drops["ring_overflow"] += 1
+                self.spans.drop(packet, "ring_overflow")
+            else:
+                self.spans.softirq_begin(packet, core_index, len(server))
             return
 
         core_index = queue_index % len(self.softirq)
@@ -106,6 +119,7 @@ class NetStack:
             extra += self.cpu_redirect_hook.cost_us(packet)
             if action == "drop":
                 self.drops["select_drop"] += 1
+                self.spans.drop(packet, "select_drop")
                 return
             if action == "target":
                 core_index = target % len(self.softirq)
@@ -117,33 +131,42 @@ class NetStack:
         server = self.softirq[core_index]
         if not server.submit(cost, self._protocol_done, packet):
             self.drops["ring_overflow"] += 1
+            self.spans.drop(packet, "ring_overflow")
+        else:
+            self.spans.softirq_begin(packet, core_index, len(server))
 
     # ------------------------------------------------------------------
     def _deliver_af_xdp(self, socket, packet):
+        self.spans.softirq_end(packet)
         if not socket.enqueue(packet):
             self.drops["socket_overflow"] += 1
+            self.spans.drop(packet, "socket_overflow")
         else:
             self.delivered += 1
 
     def _protocol_done(self, packet):
+        self.spans.softirq_end(packet)
         if packet.is_tcp:
             # established connections bypass socket selection entirely
             socket = self.tcp_connections.get(packet.flow)
             if socket is not None:
                 if not socket.enqueue(packet):
                     self.drops["socket_overflow"] += 1
+                    self.spans.drop(packet, "socket_overflow")
                 else:
                     self.delivered += 1
                 return
         group = self.socket_table.group(packet.dst_port)
         if group is None or not len(group):
             self.drops["no_socket"] += 1
+            self.spans.drop(packet, "no_socket")
             return
         socket = None
         if self.socket_select_hook is not None:
             action, target = self.socket_select_hook.decide(packet)
             if action == "drop":
                 self.drops["select_drop"] += 1
+                self.spans.drop(packet, "select_drop")
                 return
             if action == "target":
                 socket = target
@@ -154,6 +177,7 @@ class NetStack:
             self.tcp_connections[packet.flow] = socket
         if not socket.enqueue(packet):
             self.drops["socket_overflow"] += 1
+            self.spans.drop(packet, "socket_overflow")
         else:
             self.delivered += 1
 

@@ -15,6 +15,7 @@ while subclasses provide policy:
 import math
 
 from repro.kernel.threads import BLOCKED, RUNNABLE, RUNNING
+from repro.obs.spans import NULL_SPANS
 
 __all__ = ["PinnedScheduler", "ThreadScheduler"]
 
@@ -29,6 +30,9 @@ class ThreadScheduler:
         self.cores = list(cores)
         self.costs = costs
         self.threads = []
+        # Span tracer (repro.obs.spans): threads reach it through their
+        # scheduler for service spans; CFS/ghOSt wakes feed runqueue_wait.
+        self.spans = NULL_SPANS
 
     # -- subclass policy interface --------------------------------------
     def wake(self, thread):

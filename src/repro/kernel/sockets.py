@@ -9,6 +9,7 @@ sockets bound to one port, one scheduling decision per incoming datagram.
 from collections import deque
 
 from repro.net.rss import rss_hash
+from repro.obs.spans import NULL_SPANS
 
 __all__ = ["ReuseportGroup", "SocketTable", "UdpSocket"]
 
@@ -27,6 +28,7 @@ class UdpSocket:
         "drops",
         "enqueued",
         "on_enqueue",
+        "spans",
     )
 
     _next_sid = [1]
@@ -43,12 +45,14 @@ class UdpSocket:
         self.drops = 0
         self.enqueued = 0
         self.on_enqueue = None    # app callback(packet) — e.g. type marking
+        self.spans = NULL_SPANS   # span tracer (repro.obs.spans)
 
     def enqueue(self, packet):
         """Deliver a datagram; returns False (and counts a drop) when full."""
         if len(self.queue) >= self.backlog:
             self.drops += 1
             return False
+        self.spans.socket_enqueued(packet, self.sid, len(self.queue))
         self.queue.append(packet)
         self.enqueued += 1
         if self.on_enqueue is not None:

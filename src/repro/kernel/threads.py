@@ -58,6 +58,8 @@ class KThread:
         if item is None:
             return False
         self.remaining, self.token = item
+        if self.scheduler is not None:
+            self.scheduler.spans.service_begin(self, self.token)
         return True
 
     def finish_item(self):
@@ -66,6 +68,8 @@ class KThread:
         self.token = None
         self.remaining = 0.0
         self.items_completed += 1
+        if self.scheduler is not None:
+            self.scheduler.spans.service_end(self, token)
         self.source.complete(token)
 
     def wake(self):

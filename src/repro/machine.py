@@ -37,7 +37,8 @@ class Machine:
 
     def __init__(self, config=None, seed=0, scheduler="pinned", engine=None,
                  metrics=False, event_capacity=4096, timeseries=None,
-                 timeseries_capacity=1024, faults=None, health=None):
+                 timeseries_capacity=1024, faults=None, health=None,
+                 spans=None, spans_capacity=4096):
         if scheduler not in _SCHEDULERS:
             raise ValueError(
                 f"scheduler must be one of {sorted(_SCHEDULERS)}, "
@@ -51,10 +52,15 @@ class Machine:
         # Observability is opt-in (metrics=True): per-hook counters and a
         # decision-event ring (repro.obs), rendered by `syrupctl stats`.
         # Disabled, the null registry makes instrumentation a no-op and
-        # simulation results stay bit-identical.
+        # simulation results stay bit-identical.  spans=N head-samples
+        # every Nth request into a causal span tree (repro.obs.spans;
+        # True means every request) — independent of metrics, same
+        # nothing-when-disabled discipline.
         self.obs = Observability(
             clock=lambda: self.engine.now, enabled=metrics,
             event_capacity=event_capacity,
+            spans=(0 if spans is None else spans),
+            spans_capacity=spans_capacity,
         )
         # Time-series tier: timeseries=True (1 ms sampling) or a sample
         # interval in simulated us.  The recorder rides the event loop but
@@ -90,10 +96,20 @@ class Machine:
         self.scheduler = _SCHEDULERS[scheduler](
             self.engine, sched_cores, self.costs
         )
+        self.scheduler.spans = self.obs.spans
         salt = self.streams.get("rss-salt").getrandbits(32)
         self.nic = Nic(self.engine, self.config.nic, self.costs, salt=salt)
+        self.nic.spans = self.obs.spans
         self.netstack = NetStack(self.engine, self.config)
+        self.netstack.spans = self.obs.spans
         self.nic.deliver = self.netstack.deliver_from_nic
+        # Queue-state telemetry: when the flight recorder is live, every
+        # sample() first reads the instantaneous queue depths (socket
+        # backlogs, softirq queue lengths, NIC in-flight packets, runnable
+        # threads) into registry gauges — pure reads at sample time, so
+        # the datapath pays nothing and determinism is untouched.
+        if self.obs.recorder.enabled:
+            self.obs.recorder.probes.append(self._sample_queue_state)
         # health: a repro.core.health.HealthPolicy (None = defaults) for
         # syrupd's self-healing lifecycle (quarantine thresholds,
         # watchdog backoff); faults: a repro.faults.FaultPlan armed at
@@ -107,6 +123,35 @@ class Machine:
 
             self.faults = FaultInjector(self, faults)
             self.faults.arm()
+
+    # ------------------------------------------------------------------
+    def _sample_queue_state(self):
+        """Flight-recorder probe: instantaneous queue depths as gauges.
+
+        Per-socket backlog (``<app>/sockets/s<sid>.backlog``), per-core
+        softirq queue length, NIC packets between arrival and IRQ
+        delivery, and the scheduler's runnable-thread count (plus
+        per-core runqueue depth on runqueue-based schedulers).
+        """
+        reg = self.obs.registry
+        reg.gauge("(root)", "nic", "rx_in_flight").set(self.nic.in_flight)
+        for i, server in enumerate(self.netstack.softirq):
+            reg.gauge("(root)", "softirq", f"core{i}.qlen").set(len(server))
+        table = self.netstack.socket_table
+        for port in table.ports():
+            for socket in table.group(port):
+                reg.gauge(socket.app or "(root)", "sockets",
+                          f"s{socket.sid}.backlog").set(len(socket.queue))
+        runnable = sum(
+            1 for t in self.scheduler.threads if t.state == "runnable"
+        )
+        reg.gauge("(root)", "sched", "runnable_threads").set(runnable)
+        runqueues = getattr(self.scheduler, "_rq", None)
+        if runqueues is not None:
+            for cid, rq in runqueues.items():
+                reg.gauge("(root)", "sched", f"core{cid}.rq_depth").set(
+                    len(rq)
+                )
 
     # ------------------------------------------------------------------
     @property
@@ -125,6 +170,7 @@ class Machine:
             backlog=self.config.socket_backlog,
             is_af_xdp=is_af_xdp,
         )
+        socket.spans = self.obs.spans
         if not is_af_xdp:
             self.netstack.socket_table.bind(socket)
         return socket

@@ -9,6 +9,7 @@ slower (Table 3), modeled in :mod:`repro.core.maps`.
 """
 
 from repro.net.rss import rss_queue
+from repro.obs.spans import NULL_SPANS
 
 __all__ = ["Nic", "NicDropReason"]
 
@@ -32,6 +33,12 @@ class Nic:
         #: Delivery callback: fn(queue_index, packet); normally
         #: NetStack.deliver_from_nic.
         self.deliver = None
+        #: Span tracer (repro.obs.spans); NIC arrival is the head-sampling
+        #: point and the start of each tree's nic_queue span.
+        self.spans = NULL_SPANS
+        #: Packets accepted but not yet IRQ-delivered (queue occupancy,
+        #: sampled by the flight recorder's queue-state probe).
+        self.in_flight = 0
         self.rx_packets = 0
         self.drops = {
             NicDropReason.OFFLOAD_DROP: 0,
@@ -48,14 +55,17 @@ class Nic:
     def receive(self, packet):
         """A packet arrives from the wire."""
         self.rx_packets += 1
+        self.spans.nic_arrival(packet)
         if self.deliver is None:
             self.drops[NicDropReason.NO_HANDLER] += 1
+            self.spans.drop(packet, NicDropReason.NO_HANDLER)
             return
         queue = None
         if self.classifier is not None and not self.offload_down:
             action, target = self.classifier.decide(packet)
             if action == "drop":
                 self.drops[NicDropReason.OFFLOAD_DROP] += 1
+                self.spans.drop(packet, NicDropReason.OFFLOAD_DROP)
                 return
             if action == "target":
                 queue = target % self.spec.num_queues
@@ -63,7 +73,14 @@ class Nic:
             queue = rss_queue(packet.flow, self.spec.num_queues, self.salt)
         packet.rx_queue = queue
         delay = self.spec.rx_process_us + self.costs.irq_delay_us
-        self.engine.schedule(delay, self.deliver, queue, packet)
+        self.in_flight += 1
+        self.engine.schedule(delay, self._irq_deliver, queue, packet)
+
+    def _irq_deliver(self, queue, packet):
+        """IRQ delivery into the kernel: occupancy drops, nic_queue ends."""
+        self.in_flight -= 1
+        self.spans.nic_delivered(packet, queue)
+        self.deliver(queue, packet)
 
     def __repr__(self):
         return f"<Nic {self.spec.model} queues={self.spec.num_queues}>"

@@ -26,6 +26,12 @@ timeseries=...)``), :mod:`repro.obs.profile` attributes *wall-clock* time
 to simulator subsystems, and :mod:`repro.obs.export` renders registry
 snapshots as OpenMetrics text.
 
+A third tier is *causal*: :mod:`repro.obs.spans` follows head-sampled
+requests across every layer (``Machine(spans=N)``, the
+``Observability.spans`` slot) and :mod:`repro.obs.tail` turns the
+resulting span trees into a p50-vs-p99 critical-path attribution
+(``syrupctl spans`` / ``syrupctl tail``).
+
 Operator surface: ``syrupctl stats`` / :func:`repro.syrupctl.render_stats`
 renders the registry, ``syrupctl timeline`` the recorder;
 ``docs/observability.md`` is the metric catalogue and event schema.
@@ -44,6 +50,7 @@ from repro.obs.registry import (
     NullMetric,
     NullRegistry,
 )
+from repro.obs.spans import NULL_SPANS, NullSpanTracer, SpanTracer
 from repro.obs.timeseries import NULL_RECORDER, FlightRecorder, NullFlightRecorder
 
 __all__ = [
@@ -59,11 +66,14 @@ __all__ = [
     "NULL_METRIC",
     "NULL_RECORDER",
     "NULL_REGISTRY",
+    "NULL_SPANS",
     "NullEventTrace",
     "NullFlightRecorder",
     "NullMetric",
     "NullRegistry",
+    "NullSpanTracer",
     "Observability",
+    "SpanTracer",
     "open_destination",
     "to_openmetrics",
     "write_openmetrics",
@@ -76,13 +86,16 @@ class Observability:
     ``recorder`` holds the time-series tier: :data:`NULL_RECORDER` unless
     the owner installs a live :class:`FlightRecorder` (see
     ``Machine(timeseries=...)``); it needs the engine, so construction
-    stays with the machine.
+    stays with the machine.  ``spans`` is the causal span tracer
+    (:mod:`repro.obs.spans`): :data:`NULL_SPANS` unless constructed with
+    ``spans=N`` (sample every Nth request; ``Machine(spans=...)``) —
+    independent of ``enabled``, since the tracer needs no registry.
     """
 
-    __slots__ = ("enabled", "registry", "events", "recorder")
+    __slots__ = ("enabled", "registry", "events", "recorder", "spans")
 
     def __init__(self, clock=None, enabled=False, event_capacity=4096,
-                 max_series=4096):
+                 max_series=4096, spans=0, spans_capacity=4096):
         self.enabled = enabled
         self.recorder = NULL_RECORDER
         if enabled:
@@ -91,6 +104,12 @@ class Observability:
         else:
             self.registry = NULL_REGISTRY
             self.events = NULL_EVENTS
+        if spans:
+            sample_every = 1 if spans is True else int(spans)
+            self.spans = SpanTracer(clock=clock, sample_every=sample_every,
+                                    capacity=spans_capacity)
+        else:
+            self.spans = NULL_SPANS
 
     def snapshot(self):
         """Registry snapshot rows (see MetricsRegistry.snapshot)."""

@@ -76,13 +76,19 @@ class EventTrace:
         return self.emitted - len(self._ring)
 
     # ------------------------------------------------------------------
-    def events(self, kind=None, app=None):
-        """Buffered events, oldest first, optionally filtered."""
+    def events(self, kind=None, app=None, since=None):
+        """Buffered events, oldest first, optionally filtered.
+
+        ``since`` keeps only events stamped at or after that simulated
+        time (microseconds).
+        """
         out = []
         for event in self._ring:
             if kind is not None and event["kind"] != kind:
                 continue
             if app is not None and event.get("app") != app:
+                continue
+            if since is not None and event["ts"] < since:
                 continue
             out.append(event)
         return out
@@ -127,7 +133,7 @@ class NullEventTrace:
     def emit(self, kind, app=None, hook=None, **fields):
         return None
 
-    def events(self, kind=None, app=None):
+    def events(self, kind=None, app=None, since=None):
         return []
 
     def tail(self, n=20):

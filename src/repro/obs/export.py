@@ -52,8 +52,27 @@ def _sanitize(name):
     return name
 
 
-def _labels(app, scope):
-    return f'{{app="{app}",scope="{scope}"}}'
+def _escape(value):
+    """A label value escaped per the exposition-format grammar.
+
+    Backslash, double quote, and newline are the three characters the
+    OpenMetrics/Prometheus text format requires escaping inside quoted
+    label values; everything else passes through verbatim (app names
+    like ``(root)`` are legal as-is).
+    """
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _labels(app, scope, le=None):
+    out = f'{{app="{_escape(app)}",scope="{_escape(scope)}"'
+    if le is not None:
+        out += f',le="{le}"'
+    return out + "}"
 
 
 def _bucket_upper(index):
@@ -88,14 +107,10 @@ def to_openmetrics(registry, prefix="syrup"):
             )
             for index in range(min(last_occupied + 1, N_BUCKETS)):
                 cumulative += metric.buckets[index]
-                lines.append(
-                    f'{base}_bucket{{app="{app}",scope="{scope}",'
-                    f'le="{_bucket_upper(index)}"}} {cumulative}'
-                )
-            lines.append(
-                f'{base}_bucket{{app="{app}",scope="{scope}",le="+Inf"}} '
-                f"{metric.count}"
-            )
+                bucket_labels = _labels(app, scope, le=_bucket_upper(index))
+                lines.append(f"{base}_bucket{bucket_labels} {cumulative}")
+            inf_labels = _labels(app, scope, le="+Inf")
+            lines.append(f"{base}_bucket{inf_labels} {metric.count}")
             lines.append(f"{base}_sum{labels} {metric.sum}")
             lines.append(f"{base}_count{labels} {metric.count}")
     out = []

@@ -1,0 +1,390 @@
+"""Causal span tracing: one sampled request, every layer it touches.
+
+Aggregates (:mod:`repro.obs.registry`) answer "how much, ever?" and the
+:class:`repro.trace.RequestTracer` answers "what stages, on average?" —
+neither can look at a *single* p99 request and say which hop queued it,
+under which policy decision, behind which queue depth.  A
+:class:`SpanTracer` follows each head-sampled request across the stack
+and records a flat tree of **spans** (name, start, end, attrs), all in
+simulated microseconds:
+
+- ``nic_queue`` — wire arrival at the NIC until IRQ delivery into the
+  kernel receive path (:meth:`repro.net.nic.Nic.receive`).
+- ``decision:<hook>`` — one policy invocation at a hook site, a
+  zero-duration span carrying the outcome, the returned value, the
+  deployed policy ``fd``, and (when the event trace is live) the ``seq``
+  of the matching ``decision`` event.
+- ``softirq`` — softirq-core FIFO submission until protocol processing
+  completes (queue wait + processing on the chosen core).
+- ``socket_wait`` — datagram enqueue until a worker thread pulls it,
+  annotated with ``depth``: the socket backlog *at enqueue*.
+- ``runqueue_wait`` / ``placement`` — for thread-scheduled apps, the
+  woken thread's wait for a scheduling decision and (ghOSt) the
+  commit+IPI latency of the agent's transaction.
+- ``service`` — work pulled until the item completes (context switch +
+  syscalls + application service time).
+
+**Head sampling is deterministic**: every ``sample_every``-th
+request-bearing packet at NIC arrival is traced — a counter, no RNG.
+The tracer obeys the tree-wide determinism contract: it draws no
+randomness, schedules no engine events, and mutates no simulation
+state, so every simulation result is bit-identical with spans on or
+off (``tests/test_spans.py`` locks this with paired runs).  Disabled
+machines share the :data:`NULL_SPANS` singleton (the
+:data:`~repro.obs.registry.NULL_REGISTRY` pattern).
+
+Enable with ``Machine(spans=N)`` (``True`` ⇒ every request).  Completed
+trees live in a bounded ring (``capacity``); export them for
+``chrome://tracing`` / Perfetto with :meth:`SpanTracer.to_chrome_trace`
+and feed them to :func:`repro.obs.tail.critical_path` for the p50-vs-p99
+attribution table (``syrupctl spans`` / ``syrupctl tail``).
+"""
+
+import json
+from collections import deque
+
+from repro.obs.export import open_destination
+
+__all__ = ["NULL_SPANS", "NullSpanTracer", "SpanTracer"]
+
+DEFAULT_CAPACITY = 4096
+
+
+class SpanTracer:
+    """Cross-layer span trees for deterministically head-sampled requests."""
+
+    enabled = True
+
+    def __init__(self, clock=None, sample_every=1, capacity=DEFAULT_CAPACITY):
+        if sample_every < 1:
+            raise ValueError(
+                f"sample_every must be >= 1, got {sample_every}"
+            )
+        self.clock = clock if clock is not None else (lambda: 0.0)
+        self.sample_every = int(sample_every)
+        self.capacity = capacity
+        self.seen = 0            # request-bearing packets observed at the NIC
+        self.sampled = 0         # trees started
+        self.completed_count = 0
+        self.aborted_count = 0
+        self._live = {}          # rid -> open tree
+        self._done = deque(maxlen=capacity)
+        # Thread-side pending state, consumed at service_begin: tid -> ts
+        # of the wake that made the thread RUNNABLE, and tid -> (ts, core)
+        # of an in-flight ghOSt commit transaction.
+        self._wakes = {}
+        self._placements = {}
+
+    # ------------------------------------------------------------------
+    # Tree bookkeeping
+    # ------------------------------------------------------------------
+    def _tree(self, packet):
+        request = packet.request
+        if request is None:
+            return None
+        return self._live.get(request.rid)
+
+    def _open(self, tree, name, start, **attrs):
+        span = {"name": name, "start": start, "end": None}
+        if attrs:
+            span["attrs"] = attrs
+        tree["spans"].append(span)
+        tree["_open"][name] = span
+        return span
+
+    def _close(self, tree, name, end, **attrs):
+        span = tree["_open"].pop(name, None)
+        if span is None:
+            return None
+        span["end"] = end
+        if attrs:
+            span.setdefault("attrs", {}).update(attrs)
+        return span
+
+    def _add(self, tree, name, start, end, **attrs):
+        span = {"name": name, "start": start, "end": end}
+        if attrs:
+            span["attrs"] = attrs
+        tree["spans"].append(span)
+        return span
+
+    def _finalize(self, tree, complete, reason=None):
+        now = self.clock()
+        for span in list(tree["_open"].values()):
+            span["end"] = now
+        del tree["_open"]
+        tree["end"] = now
+        tree["complete"] = complete
+        if reason is not None:
+            tree["abort_reason"] = reason
+        self._live.pop(tree["rid"], None)
+        self._done.append(tree)
+        if complete:
+            self.completed_count += 1
+        else:
+            self.aborted_count += 1
+
+    # ------------------------------------------------------------------
+    # NIC seams (repro.net.nic)
+    # ------------------------------------------------------------------
+    def nic_arrival(self, packet):
+        """Head-sampling point: every Nth request-bearing packet."""
+        request = packet.request
+        if request is None:
+            return
+        self.seen += 1
+        if (self.seen - 1) % self.sample_every:
+            return
+        if request.rid in self._live:
+            return  # retransmit of an already-sampled rid
+        self.sampled += 1
+        now = self.clock()
+        tree = {
+            "rid": request.rid,
+            "rtype": request.rtype,
+            "start": now,
+            "end": None,
+            "complete": False,
+            "abort_reason": None,
+            "spans": [],
+            "_open": {},
+        }
+        self._live[request.rid] = tree
+        self._open(tree, "nic_queue", now)
+
+    def nic_delivered(self, packet, queue_index):
+        tree = self._tree(packet)
+        if tree is None:
+            return
+        self._close(tree, "nic_queue", self.clock(), queue=queue_index)
+
+    # ------------------------------------------------------------------
+    # Hook sites (repro.core.hooks)
+    # ------------------------------------------------------------------
+    def decision(self, packet, hook, outcome, value=None, fd=None, seq=None):
+        """A policy decided this packet's fate: a zero-duration span
+        linked to the decision event (``seq``) and the deployed ``fd``."""
+        tree = self._tree(packet)
+        if tree is None:
+            return
+        now = self.clock()
+        attrs = {"outcome": outcome}
+        if value is not None:
+            attrs["value"] = value
+        if fd is not None:
+            attrs["fd"] = fd
+        if seq is not None:
+            attrs["seq"] = seq
+        self._add(tree, f"decision:{hook}", now, now, **attrs)
+
+    # ------------------------------------------------------------------
+    # Kernel receive path (repro.kernel.netstack / sockets)
+    # ------------------------------------------------------------------
+    def softirq_begin(self, packet, core_index, depth):
+        tree = self._tree(packet)
+        if tree is None:
+            return
+        self._open(tree, "softirq", self.clock(), core=core_index,
+                   depth=depth)
+
+    def softirq_end(self, packet):
+        tree = self._tree(packet)
+        if tree is None:
+            return
+        self._close(tree, "softirq", self.clock())
+
+    def socket_enqueued(self, packet, sid, depth):
+        """Datagram landed in a socket backlog ``depth`` entries deep."""
+        tree = self._tree(packet)
+        if tree is None:
+            return
+        self._open(tree, "socket_wait", self.clock(), sid=sid, depth=depth)
+
+    def drop(self, packet, reason):
+        """The stack dropped this packet; the tree ends incomplete."""
+        tree = self._tree(packet)
+        if tree is None:
+            return
+        self._finalize(tree, complete=False, reason=reason)
+
+    # ------------------------------------------------------------------
+    # Thread scheduling (repro.kernel.sched / cfs, repro.ghost)
+    # ------------------------------------------------------------------
+    def thread_runnable(self, thread):
+        """A blocked thread went RUNNABLE (CFS/ghOSt wake)."""
+        self._wakes[thread.tid] = self.clock()
+
+    def placement_begin(self, thread, core_id):
+        """A ghOSt commit transaction is in flight for ``thread``."""
+        self._placements[thread.tid] = (self.clock(), core_id)
+
+    def placement_abort(self, thread):
+        """The transaction aborted; discard the pending placement."""
+        self._placements.pop(thread.tid, None)
+
+    def service_begin(self, thread, token):
+        """``thread`` pulled a work item; close the wait-side spans."""
+        wake_ts = self._wakes.pop(thread.tid, None)
+        placement = self._placements.pop(thread.tid, None)
+        rid = getattr(token, "rid", None)
+        if rid is None:
+            return
+        tree = self._live.get(rid)
+        if tree is None:
+            return
+        now = self.clock()
+        self._close(tree, "socket_wait", now)
+        if wake_ts is not None:
+            wait_end = placement[0] if placement is not None else now
+            self._add(tree, "runqueue_wait", wake_ts, max(wake_ts, wait_end))
+        if placement is not None:
+            self._add(tree, "placement", placement[0], now,
+                      core=placement[1])
+        self._open(tree, "service", now, thread=thread.name)
+
+    def service_end(self, thread, token):
+        rid = getattr(token, "rid", None)
+        if rid is None:
+            return
+        tree = self._live.get(rid)
+        if tree is None:
+            return
+        self._close(tree, "service", self.clock())
+        self._finalize(tree, complete=True)
+
+    # ------------------------------------------------------------------
+    # Views / export
+    # ------------------------------------------------------------------
+    def trees(self, complete=None):
+        """Finished span trees, oldest first.
+
+        ``complete=True`` keeps only trees whose request finished
+        service; ``complete=False`` only dropped/aborted ones; ``None``
+        returns both.
+        """
+        if complete is None:
+            return list(self._done)
+        return [t for t in self._done if t["complete"] is complete]
+
+    @property
+    def live(self):
+        """Trees still in flight (sampled, not yet finished or dropped)."""
+        return len(self._live)
+
+    def __len__(self):
+        return len(self._done)
+
+    def to_chrome_trace(self, destination):
+        """Write finished trees in the Chrome Trace Event Format.
+
+        The output loads directly in ``chrome://tracing`` and Perfetto:
+        one complete-event (``"ph": "X"``) per span, ``ts``/``dur`` in
+        simulated microseconds (the format's native unit), ``pid`` 1 and
+        one ``tid`` per request id so each request renders as its own
+        track.  Decision spans are zero-duration slices carrying their
+        outcome/fd/seq in ``args``.  ``destination`` follows the
+        :func:`repro.obs.export.open_destination` contract (path or open
+        file object); returns the number of trace events written.
+        """
+        events = []
+        for tree in self._done:
+            args = {"rid": tree["rid"], "rtype": tree["rtype"],
+                    "complete": tree["complete"]}
+            if tree["abort_reason"]:
+                args["abort_reason"] = tree["abort_reason"]
+            events.append({
+                "name": "request",
+                "ph": "X",
+                "ts": tree["start"],
+                "dur": max(0.0, tree["end"] - tree["start"]),
+                "pid": 1,
+                "tid": tree["rid"],
+                "args": args,
+            })
+            for span in tree["spans"]:
+                end = span["end"] if span["end"] is not None else tree["end"]
+                events.append({
+                    "name": span["name"],
+                    "ph": "X",
+                    "ts": span["start"],
+                    "dur": max(0.0, end - span["start"]),
+                    "pid": 1,
+                    "tid": tree["rid"],
+                    "args": span.get("attrs", {}),
+                })
+        document = {"traceEvents": events, "displayTimeUnit": "ms"}
+        with open_destination(destination) as fh:
+            json.dump(document, fh, sort_keys=True)
+            fh.write("\n")
+        return len(events)
+
+    def __repr__(self):
+        return (
+            f"<SpanTracer every={self.sample_every} sampled={self.sampled} "
+            f"done={len(self._done)} live={len(self._live)}>"
+        )
+
+
+class NullSpanTracer:
+    """Disabled tracer: every seam call is a no-op, every view empty."""
+
+    enabled = False
+    sample_every = 0
+    capacity = 0
+    seen = 0
+    sampled = 0
+    completed_count = 0
+    aborted_count = 0
+    live = 0
+
+    def nic_arrival(self, packet):
+        pass
+
+    def nic_delivered(self, packet, queue_index):
+        pass
+
+    def decision(self, packet, hook, outcome, value=None, fd=None, seq=None):
+        pass
+
+    def softirq_begin(self, packet, core_index, depth):
+        pass
+
+    def softirq_end(self, packet):
+        pass
+
+    def socket_enqueued(self, packet, sid, depth):
+        pass
+
+    def drop(self, packet, reason):
+        pass
+
+    def thread_runnable(self, thread):
+        pass
+
+    def placement_begin(self, thread, core_id):
+        pass
+
+    def placement_abort(self, thread):
+        pass
+
+    def service_begin(self, thread, token):
+        pass
+
+    def service_end(self, thread, token):
+        pass
+
+    def trees(self, complete=None):
+        return []
+
+    def to_chrome_trace(self, destination):
+        return 0
+
+    def __len__(self):
+        return 0
+
+    def __repr__(self):
+        return "<NullSpanTracer>"
+
+
+#: Shared singleton used whenever span tracing is disabled.
+NULL_SPANS = NullSpanTracer()

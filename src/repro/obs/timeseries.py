@@ -96,6 +96,12 @@ class FlightRecorder:
         self._series = {}       # key -> SeriesSamples
         self._last_cumulative = {}  # key -> last counter value / hist count
         self._armed = None      # the pending tick Event, if any
+        #: Zero-arg callables run at the start of every sample(): the
+        #: queue-state telemetry hook (Machine installs a probe that
+        #: reads instantaneous queue depths into registry gauges).
+        #: Probes must only *read* simulation state — the determinism
+        #: contract above extends to them.
+        self.probes = []
 
     # ------------------------------------------------------------------
     # Sampling
@@ -123,6 +129,8 @@ class FlightRecorder:
 
     def sample(self):
         """Take one sample of every registered series, stamped now."""
+        for probe in self.probes:
+            probe()
         now = self.engine.now
         self.samples_taken += 1
         for key, metric in self.registry._series.items():
@@ -203,6 +211,7 @@ class NullFlightRecorder:
     interval_us = 0.0
     capacity = 0
     samples_taken = 0
+    probes = ()
 
     def arm(self):
         pass

@@ -30,10 +30,13 @@ __all__ = [
     "render_events",
     "render_health",
     "render_maps",
+    "render_spans",
     "render_stats",
     "render_status",
+    "render_tail",
     "render_timeline",
     "run_faults_demo",
+    "run_spans_demo",
     "run_stats_demo",
     "run_timeline_demo",
 ]
@@ -186,7 +189,7 @@ def render_stats(machine):
     events = obs.events
     footer = (
         f"events: {events.emitted} emitted, {len(events)} buffered, "
-        f"{events.dropped} overwritten (capacity {events.capacity})"
+        f"{events.dropped} dropped (capacity {events.capacity})"
     )
     return table.render() + "\n" + footer
 
@@ -284,18 +287,81 @@ def render_timeline(machine, app=None, scope=None, width=60,
     return "\n".join(lines)
 
 
-def render_events(machine, last=20, kind=None):
-    """The tail of the structured event trace, one JSON object per line."""
+def render_events(machine, last=20, kind=None, since=None):
+    """The tail of the structured event trace, one JSON object per line.
+
+    ``kind`` filters by event kind, ``since`` keeps only events stamped
+    at or after that simulated time (us), ``last`` caps how many of the
+    trailing matches are printed.
+    """
     obs = machine.obs
     if not obs.enabled:
         return (
             "observability disabled on this machine "
             "(construct it with Machine(metrics=True))"
         )
-    events = obs.events.events(kind=kind) if kind else obs.events.tail(last)
-    if kind:
-        events = events[-last:]
+    if kind is not None or since is not None:
+        events = obs.events.events(kind=kind, since=since)[-last:]
+    else:
+        events = obs.events.tail(last)
     return "\n".join(json.dumps(event, sort_keys=True) for event in events)
+
+
+# ----------------------------------------------------------------------
+# Causal-span surface (`syrupctl spans` / `syrupctl tail`, repro.obs.spans)
+# ----------------------------------------------------------------------
+def render_spans(machine, last=10):
+    """Sampler state plus the last ``last`` completed request trees.
+
+    One line per request — rid, total latency, completion state — then
+    one indented line per span with its duration and attributes.
+    """
+    tracer = machine.obs.spans
+    if not tracer.enabled:
+        return (
+            "span tracing disabled on this machine "
+            "(construct it with Machine(spans=<sample-every>))"
+        )
+    lines = [
+        f"== syrup spans ==  every={tracer.sample_every} "
+        f"seen={tracer.seen} sampled={tracer.sampled} "
+        f"completed={tracer.completed_count} aborted={tracer.aborted_count} "
+        f"buffered={len(tracer)}"
+    ]
+    for tree in tracer.trees()[-last:]:
+        total = tree["end"] - tree["start"]
+        state = ("complete" if tree["complete"]
+                 else f"aborted:{tree['abort_reason']}")
+        lines.append(
+            f"rid={tree['rid']} t=[{tree['start']:.1f}, {tree['end']:.1f}]us "
+            f"total={total:.2f}us {state}"
+        )
+        for span in tree["spans"]:
+            dur = span["end"] - span["start"]
+            attrs = span.get("attrs")
+            suffix = f"  {attrs}" if attrs else ""
+            lines.append(f"  {span['name']:<24} {dur:>10.3f}us{suffix}")
+    if len(lines) == 1:
+        lines.append("(no sampled requests)")
+    return "\n".join(lines)
+
+
+def render_tail(machine, lo_pct=50.0, hi_pct=99.0):
+    """The p50-vs-p99 critical-path table for the sampled requests."""
+    from repro.obs.tail import critical_path, render_critical_path
+
+    tracer = machine.obs.spans
+    if not tracer.enabled:
+        return (
+            "span tracing disabled on this machine "
+            "(construct it with Machine(spans=<sample-every>))"
+        )
+    analysis = critical_path(
+        tracer.trees(complete=True), lo_pct=lo_pct, hi_pct=hi_pct
+    )
+    return render_critical_path(
+        analysis, title=f"syrup tail t={machine.now:.0f}us"
+    )
 
 
 def run_stats_demo(load=120_000, duration_ms=100.0, seed=7):
@@ -318,6 +384,34 @@ def run_stats_demo(load=120_000, duration_ms=100.0, seed=7):
     duration_us = duration_ms * 1000.0
     RequestTracer(testbed.machine, testbed.server,
                   warmup_us=duration_us * 0.25)
+    gen = testbed.drive(load, GET_SCAN_995_005, duration_us,
+                        warmup_us=duration_us * 0.25)
+    gen.start()
+    testbed.machine.run()
+    testbed.machine.demo_generator = gen
+    return testbed.machine
+
+
+def run_spans_demo(load=120_000, duration_ms=100.0, seed=7, spans_every=1):
+    """Drive the causal-span demo: the stats scenario with tracing on.
+
+    The same Figure-6-style SCAN Avoid point as :func:`run_stats_demo`,
+    with head-sampled span tracing (``spans_every`` keeps every Nth
+    request) *and* metrics enabled, so decision spans carry event
+    sequence numbers linking them back to the decision trace.  Returns
+    the finished machine for rendering (``syrupctl spans`` /
+    ``syrupctl tail``).
+    """
+    from repro.experiments.runner import RocksDbTestbed
+    from repro.policies.builtin import SCAN_AVOID
+    from repro.workload.mixes import GET_SCAN_995_005
+
+    testbed = RocksDbTestbed(
+        policy=(SCAN_AVOID, "socket_select", {"NUM_THREADS": 6}),
+        mark_scans=True, seed=seed, metrics=True,
+        spans=spans_every, spans_capacity=1 << 16,
+    )
+    duration_us = duration_ms * 1000.0
     gen = testbed.drive(load, GET_SCAN_995_005, duration_us,
                         warmup_us=duration_us * 0.25)
     gen.start()
@@ -383,7 +477,7 @@ def run_timeline_demo(load=6_000, duration_ms=600.0, seed=5,
 
 
 def main(argv=None):
-    """CLI: ``syrupctl {stats,status,maps,events,timeline,health}``."""
+    """CLI: ``syrupctl {stats,status,maps,events,timeline,health,spans,tail}``."""
     parser = argparse.ArgumentParser(
         prog="syrupctl",
         description=(
@@ -397,7 +491,8 @@ def main(argv=None):
     )
     parser.add_argument(
         "view",
-        choices=["stats", "status", "maps", "events", "timeline", "health"],
+        choices=["stats", "status", "maps", "events", "timeline", "health",
+                 "spans", "tail"],
         help="which surface to render",
     )
     parser.add_argument("--load", type=int, default=None,
@@ -407,9 +502,19 @@ def main(argv=None):
     parser.add_argument("--seed", type=int, default=None,
                         help="demo RNG seed")
     parser.add_argument("--last", type=int, default=20,
-                        help="events: how many trailing events to print")
+                        help="events/spans: how many trailing entries")
     parser.add_argument("--kind", type=str, default=None,
                         help="events: filter by event kind")
+    parser.add_argument("--since", type=float, default=None, metavar="US",
+                        help="events: only events at/after this sim time")
+    parser.add_argument("--limit", type=int, default=None, metavar="N",
+                        help="events: cap printed events (overrides --last)")
+    parser.add_argument("--spans-every", type=int, default=1, metavar="N",
+                        help="spans/tail: head-sample every Nth request")
+    parser.add_argument("--export-trace", type=str, default=None,
+                        metavar="PATH",
+                        help=("spans/tail: also export the sampled spans "
+                              "as a Chrome/Perfetto trace"))
     parser.add_argument("--json", action="store_true",
                         help="stats/timeline: print the raw snapshot as JSON")
     parser.add_argument("--interval-ms", type=float, default=10.0,
@@ -453,6 +558,28 @@ def main(argv=None):
             print(json.dumps(machine.syrupd.health(), indent=2))
         else:
             print(render_health(machine))
+    elif args.view in ("spans", "tail"):
+        kwargs = {"spans_every": args.spans_every}
+        if args.load is not None:
+            kwargs["load"] = args.load
+        if args.duration_ms is not None:
+            kwargs["duration_ms"] = args.duration_ms
+        if args.seed is not None:
+            kwargs["seed"] = args.seed
+        machine = run_spans_demo(**kwargs)
+        if args.view == "spans":
+            print(render_spans(machine, last=args.last))
+        elif args.json:
+            from repro.obs.tail import critical_path
+
+            analysis = critical_path(machine.obs.spans.trees(complete=True))
+            print(json.dumps(analysis, indent=2, sort_keys=True))
+        else:
+            print(render_tail(machine))
+        if args.export_trace:
+            n = machine.obs.spans.to_chrome_trace(args.export_trace)
+            print(f"wrote {n} trace events to {args.export_trace}",
+                  file=sys.stderr)
     else:
         machine = run_stats_demo(
             load=args.load if args.load is not None else 120_000,
@@ -470,7 +597,9 @@ def main(argv=None):
         elif args.view == "maps":
             print(render_maps(machine))
         else:
-            print(render_events(machine, last=args.last, kind=args.kind))
+            last = args.limit if args.limit is not None else args.last
+            print(render_events(machine, last=last, kind=args.kind,
+                                since=args.since))
     if args.export_events:
         n = machine.obs.events.to_jsonl(args.export_events)
         print(f"wrote {n} events to {args.export_events}", file=sys.stderr)

@@ -1,0 +1,137 @@
+"""Tests for tools/bench_compare.py: the bench regression gate.
+
+Exercises the compare() logic against synthetic result documents (no
+simulation runs needed), the committed baseline's validity, and the CLI
+round trip including the failing exit code.
+"""
+
+import copy
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+REPO_ROOT = pathlib.Path(__file__).parent.parent
+TOOL = REPO_ROOT / "tools" / "bench_compare.py"
+BASELINE = REPO_ROOT / "benchmarks" / "baseline.json"
+
+spec = importlib.util.spec_from_file_location("bench_compare", TOOL)
+bench_compare = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(bench_compare)
+bench = bench_compare.bench
+
+
+def _doc(events_per_s=100_000.0, sim_us_per_wall_s=500_000.0,
+         p99=42.5, mode="smoke"):
+    return {
+        "schema_version": bench.SCHEMA_VERSION,
+        "mode": mode,
+        "python": "3.12.0",
+        "platform": "test",
+        "created_unix": 1_000.0,
+        "scenarios": {
+            "figure6_steady": {
+                "wall_s": 1.0,
+                "sim_us": sim_us_per_wall_s,
+                "sim_us_per_wall_s": sim_us_per_wall_s,
+                "events": int(events_per_s),
+                "events_per_s": events_per_s,
+                "profile": {},
+                "sim_metrics": {"p99_us": p99},
+            },
+        },
+    }
+
+
+def test_identical_docs_pass():
+    report = bench_compare.compare(_doc(), _doc())
+    assert report["ok"]
+    row = report["scenarios"]["figure6_steady"]
+    assert row["ok"] and row["sim_metrics_match"]
+    for entry in row["throughput"].values():
+        assert entry["ratio"] == pytest.approx(1.0)
+        assert entry["ok"]
+
+
+def test_throughput_regression_fails():
+    fresh = _doc(events_per_s=30_000.0)  # 0.3x baseline, below 0.4 gate
+    report = bench_compare.compare(fresh, _doc())
+    assert not report["ok"]
+    assert any("events_per_s regressed" in p for p in report["problems"])
+    entry = report["scenarios"]["figure6_steady"]["throughput"]["events_per_s"]
+    assert entry["ratio"] == pytest.approx(0.3) and not entry["ok"]
+
+
+def test_min_ratio_is_tunable():
+    fresh = _doc(events_per_s=80_000.0)  # 0.8x
+    assert bench_compare.compare(fresh, _doc(), min_ratio=0.5)["ok"]
+    assert not bench_compare.compare(fresh, _doc(), min_ratio=0.9)["ok"]
+
+
+def test_sim_metrics_change_fails_same_mode():
+    fresh = _doc(p99=99.9)
+    report = bench_compare.compare(fresh, _doc())
+    assert not report["ok"]
+    assert not report["scenarios"]["figure6_steady"]["sim_metrics_match"]
+    assert any("sim_metrics changed" in p for p in report["problems"])
+
+
+def test_mode_mismatch_fails():
+    report = bench_compare.compare(_doc(mode="full"), _doc(mode="smoke"))
+    assert not report["ok"]
+    assert any("mode mismatch" in p for p in report["problems"])
+
+
+def test_missing_scenario_fails_extra_does_not():
+    fresh = _doc()
+    fresh["scenarios"]["figure_new"] = copy.deepcopy(
+        fresh["scenarios"]["figure6_steady"]
+    )
+    report = bench_compare.compare(fresh, _doc())
+    assert report["ok"]
+    assert report["extra_scenarios"] == ["figure_new"]
+    baseline = _doc()
+    baseline["scenarios"]["figure_gone"] = copy.deepcopy(
+        baseline["scenarios"]["figure6_steady"]
+    )
+    report = bench_compare.compare(_doc(), baseline)
+    assert not report["ok"]
+    assert any("missing from fresh" in p for p in report["problems"])
+
+
+def test_invalid_documents_rejected():
+    with pytest.raises(bench.BenchSchemaError):
+        bench_compare.compare({"not": "a results doc"}, _doc())
+
+
+def test_committed_baseline_is_valid():
+    with open(BASELINE) as fh:
+        baseline = json.load(fh)
+    assert bench.validate_results(baseline) is baseline
+    assert baseline["mode"] == "smoke"
+    assert set(baseline["scenarios"]) == set(bench.SCENARIOS)
+
+
+def test_cli_round_trip(tmp_path, capsys):
+    results = tmp_path / "fresh.json"
+    baseline = tmp_path / "baseline.json"
+    report_path = tmp_path / "report.json"
+    with open(results, "w") as fh:
+        json.dump(_doc(), fh)
+    with open(baseline, "w") as fh:
+        json.dump(_doc(), fh)
+    assert bench_compare.main([
+        "--results", str(results), "--baseline", str(baseline),
+        "--report", str(report_path),
+    ]) == 0
+    assert "figure6_steady: ok" in capsys.readouterr().out
+    report = json.loads(report_path.read_text())
+    assert report["ok"] and report["min_ratio"] == pytest.approx(0.4)
+    # a regressed fresh run exits 1
+    with open(results, "w") as fh:
+        json.dump(_doc(events_per_s=10_000.0), fh)
+    assert bench_compare.main([
+        "--results", str(results), "--baseline", str(baseline),
+    ]) == 1
+    assert "REGRESSED" in capsys.readouterr().out

@@ -1,0 +1,188 @@
+#!/usr/bin/env python
+"""Compare a fresh bench run against the committed baseline.
+
+``tools/bench.py`` records absolute throughput numbers; this tool turns
+them into a regression gate.  It loads a fresh ``BENCH_results.json``
+and the committed ``benchmarks/baseline.json``, checks that the two
+documents are comparable (same schema, same mode, overlapping
+scenarios), and for each baseline scenario computes the fresh/baseline
+ratio of the two throughput columns:
+
+- ``events_per_s`` — engine events dispatched per wall-clock second,
+- ``sim_us_per_wall_s`` — simulated microseconds per wall-clock second.
+
+A scenario *regresses* when either ratio falls below ``--min-ratio``.
+The default threshold is deliberately loose (0.4): the baseline was
+recorded on some other host, and CI runners vary wildly in absolute
+speed, so the gate only catches order-of-magnitude collapses (an
+accidentally quadratic queue, a debug loop left in the hot path) rather
+than percent-level noise.  Tighten it for same-host A/B comparisons.
+
+``sim_metrics`` are seeded and exact, so they are compared for *exact*
+equality when both runs share a mode — a silent behavior change fails
+the gate even if speed is fine.
+
+Exit status: 0 when every scenario passes, 1 on any regression or
+mismatch.  ``--report`` writes the full comparison as JSON (uploaded as
+a CI artifact).
+
+Usage::
+
+    python tools/bench.py --smoke --out BENCH_results.json
+    python tools/bench_compare.py --report bench_compare_report.json
+"""
+
+import argparse
+import importlib.util
+import json
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_SRC = os.path.join(REPO_ROOT, "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+
+def _load_bench():
+    """Import tools/bench.py as a module (tools/ is not a package)."""
+    path = os.path.join(os.path.dirname(os.path.abspath(__file__)), "bench.py")
+    spec = importlib.util.spec_from_file_location("bench", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+bench = _load_bench()
+
+__all__ = [
+    "DEFAULT_BASELINE",
+    "DEFAULT_MIN_RATIO",
+    "compare",
+    "main",
+]
+
+DEFAULT_BASELINE = os.path.join(REPO_ROOT, "benchmarks", "baseline.json")
+DEFAULT_MIN_RATIO = 0.4
+
+#: The throughput columns gated per scenario.
+_THROUGHPUT_FIELDS = ("events_per_s", "sim_us_per_wall_s")
+
+
+def compare(fresh, baseline, min_ratio=DEFAULT_MIN_RATIO):
+    """Compare two validated results documents; returns the report dict.
+
+    The report has one row per baseline scenario with the fresh/baseline
+    ratio for each throughput field, a ``sim_metrics_match`` flag, and a
+    top-level ``ok``.  Scenarios present only in the fresh run are
+    listed under ``extra_scenarios`` and do not gate.
+    """
+    bench.validate_results(fresh)
+    bench.validate_results(baseline)
+    problems = []
+    if fresh["mode"] != baseline["mode"]:
+        problems.append(
+            f"mode mismatch: fresh={fresh['mode']!r} "
+            f"baseline={baseline['mode']!r}"
+        )
+    rows = {}
+    for name, base_row in sorted(baseline["scenarios"].items()):
+        fresh_row = fresh["scenarios"].get(name)
+        if fresh_row is None:
+            problems.append(f"scenario {name!r} missing from fresh results")
+            continue
+        ratios = {}
+        row_ok = True
+        for field in _THROUGHPUT_FIELDS:
+            base_value = base_row[field]
+            ratio = fresh_row[field] / base_value if base_value else 0.0
+            ratios[field] = {
+                "baseline": base_value,
+                "fresh": fresh_row[field],
+                "ratio": ratio,
+                "ok": ratio >= min_ratio,
+            }
+            if ratio < min_ratio:
+                row_ok = False
+                problems.append(
+                    f"{name}.{field} regressed: {fresh_row[field]:,.0f} vs "
+                    f"baseline {base_value:,.0f} "
+                    f"(ratio {ratio:.2f} < {min_ratio})"
+                )
+        metrics_match = fresh_row["sim_metrics"] == base_row["sim_metrics"]
+        if not metrics_match and fresh["mode"] == baseline["mode"]:
+            row_ok = False
+            problems.append(
+                f"{name}.sim_metrics changed: {fresh_row['sim_metrics']} vs "
+                f"baseline {base_row['sim_metrics']}"
+            )
+        rows[name] = {
+            "ok": row_ok,
+            "throughput": ratios,
+            "sim_metrics_match": metrics_match,
+        }
+    return {
+        "ok": not problems,
+        "min_ratio": min_ratio,
+        "mode": {"fresh": fresh["mode"], "baseline": baseline["mode"]},
+        "scenarios": rows,
+        "extra_scenarios": sorted(
+            set(fresh["scenarios"]) - set(baseline["scenarios"])
+        ),
+        "problems": problems,
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="bench_compare",
+        description=(
+            "Gate a fresh BENCH_results.json against the committed "
+            "benchmarks/baseline.json; exit 1 on regression."
+        ),
+    )
+    parser.add_argument(
+        "--results", type=str, default=bench.DEFAULT_OUT,
+        help="fresh results file (default: BENCH_results.json)",
+    )
+    parser.add_argument(
+        "--baseline", type=str, default=DEFAULT_BASELINE,
+        help="committed baseline file",
+    )
+    parser.add_argument(
+        "--min-ratio", type=float, default=DEFAULT_MIN_RATIO,
+        help=(
+            "fail when fresh/baseline throughput falls below this "
+            "(loose by default; CI hosts differ)"
+        ),
+    )
+    parser.add_argument(
+        "--report", type=str, default=None, metavar="PATH",
+        help="also write the full comparison report as JSON",
+    )
+    args = parser.parse_args(argv)
+
+    with open(args.results) as fh:
+        fresh = json.load(fh)
+    with open(args.baseline) as fh:
+        baseline = json.load(fh)
+    report = compare(fresh, baseline, min_ratio=args.min_ratio)
+    if args.report:
+        with open(args.report, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.report}", file=sys.stderr)
+    for name, row in sorted(report["scenarios"].items()):
+        ratios = ", ".join(
+            f"{field} x{entry['ratio']:.2f}"
+            for field, entry in sorted(row["throughput"].items())
+        )
+        status = "ok" if row["ok"] else "REGRESSED"
+        print(f"{name}: {status} ({ratios})")
+    for problem in report["problems"]:
+        print(f"FAIL: {problem}", file=sys.stderr)
+    return 0 if report["ok"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
