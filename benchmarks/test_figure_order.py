@@ -1,0 +1,43 @@
+"""figure_order: socket-backlog ordering — FIFO vs SRPT (PIFO / bucketed).
+
+Expected shape: ordering is irrelevant while queues are near-empty
+(120K RPS), then SRPT-by-request-size collapses the GET p99 once SCANs
+start building real backlogs (200K+), and absorbs the overflow drops
+FIFO takes near saturation.  Both rank backends must show the win; the
+bucketed queue's coarse ranks (FIFO among equal-size GETs) should not
+cost the headline effect.
+"""
+
+from conftest import once
+
+from repro.experiments.figure_order import run_figure_order
+
+LOADS = [120_000, 200_000, 240_000, 280_000]
+
+
+def test_figure_order(benchmark, report):
+    table = once(
+        benchmark,
+        lambda: run_figure_order(loads=LOADS, duration_us=250_000.0,
+                                 warmup_us=60_000.0),
+    )
+    report("figure_order", table)
+
+    def row(discipline, load):
+        return next(
+            r for r in table
+            if r["discipline"] == discipline and r["load_rps"] == load
+        )
+
+    # ordering can't help an empty queue: low load is a wash
+    assert row("srpt_pifo", 120_000)["get_p99_us"] < \
+        2 * row("fifo", 120_000)["get_p99_us"]
+    # once backlogs form, SRPT collapses the short-request tail
+    for load in (240_000, 280_000):
+        fifo_p99 = row("fifo", load)["get_p99_us"]
+        assert row("srpt_pifo", load)["get_p99_us"] < fifo_p99 / 2
+        assert row("srpt_bucket", load)["get_p99_us"] < fifo_p99 / 2
+    # FIFO sheds load at the top of the sweep; SRPT absorbs it
+    assert row("fifo", 280_000)["drop_pct"] > 0.5
+    assert row("srpt_pifo", 280_000)["drop_pct"] < \
+        row("fifo", 280_000)["drop_pct"]

@@ -12,16 +12,22 @@ Maps, enabling the paper's cross-layer policies:
 - ``mark_types`` — for the ghOSt GET-priority thread policy (§5.3): keep
   ``type_map[thread_index]`` at the request type the thread is processing
   (or about to process).
+- ``mark_sizes`` — the userspace half of the SRPT queueing discipline
+  (:data:`repro.qdisc.policies.SRPT_BY_SIZE`): publish the observed
+  service time per request type into ``svc_time_map[rtype]``, so rank
+  functions can order queues shortest-job-first from a measured,
+  cross-layer signal.
 """
 
 from repro.apps.kvstore import KVStore
 from repro.apps.server import UdpServer
 from repro.workload.requests import GET, SCAN
 
-__all__ = ["RocksDbServer", "SCAN_MAP", "TYPE_MAP"]
+__all__ = ["RocksDbServer", "SCAN_MAP", "SVC_TIME_MAP", "TYPE_MAP"]
 
 SCAN_MAP = "scan_map"
 TYPE_MAP = "type_map"
+SVC_TIME_MAP = "svc_time_map"
 
 _SCAN_RANGE = 16  # real keys touched per SCAN
 
@@ -35,6 +41,7 @@ class RocksDbServer(UdpServer):
         num_threads,
         mark_scans=False,
         mark_types=False,
+        mark_sizes=False,
         preload_keys=10000,
     ):
         super().__init__(machine, app, port, num_threads)
@@ -50,6 +57,11 @@ class RocksDbServer(UdpServer):
             if mark_types
             else None
         )
+        self.svc_time_map = (
+            app.create_map(SVC_TIME_MAP, size=16, kind="hash")
+            if mark_sizes
+            else None
+        )
 
     # ------------------------------------------------------------------
     def on_enqueue(self, thread_index, packet):
@@ -58,6 +70,12 @@ class RocksDbServer(UdpServer):
             if thread.token is None:
                 # idle thread: its next request is the one that just landed
                 self.type_map.update(thread_index, packet.request.rtype)
+        if self.svc_time_map is not None:
+            request = packet.request
+            # Latest observed service time per type; read by SRPT rank
+            # functions.  The very first request of a type is ranked
+            # before this lands (PASS -> FIFO) — conservative start.
+            self.svc_time_map.update(request.rtype, int(request.service_us))
 
     def on_request_start(self, thread_index, request):
         super().on_request_start(thread_index, request)
@@ -74,6 +92,6 @@ class RocksDbServer(UdpServer):
     def on_request_complete(self, thread_index, request):
         if self.scan_map is not None and request.rtype == SCAN:
             self.scan_map.update(thread_index, 0)
-        if self.type_map is not None and not len(self.sockets[thread_index].queue):
+        if self.type_map is not None and not len(self.sockets[thread_index]):
             self.type_map.update(thread_index, 0)
         super().on_request_complete(thread_index, request)

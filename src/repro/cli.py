@@ -11,10 +11,12 @@ Regenerate any of the paper's tables/figures from a shell::
 defaults match the benchmark suite's paper-scale sweeps.
 
 ``python -m repro stats`` renders the observability demo (per-hook
-metric counters from a Figure-6-style run with metrics enabled) and
+metric counters from a Figure-6-style run with metrics enabled),
 ``python -m repro timeline`` the flight-recorder demo (the dynamic
-Figure-8 run with a mid-run policy switch); both are the same surfaces
-as the ``syrupctl`` console script — see docs/observability.md.
+Figure-8 run with a mid-run policy switch), and ``python -m repro
+qdisc`` the queueing-discipline view (an SRPT figure_order point; see
+docs/scheduling-order.md); all are the same surfaces as the
+``syrupctl`` console script — see docs/observability.md.
 """
 
 import argparse
@@ -27,6 +29,7 @@ from repro.experiments import (
     run_figure8,
     run_figure9,
     run_figure_faults,
+    run_figure_order,
     run_figure_tail,
     run_table2,
     run_table3,
@@ -47,6 +50,8 @@ _QUICK = {
                     warmup_us=5_000.0),
     "figure_faults": dict(loads=[50_000, 100_000], duration_us=120_000.0,
                           warmup_us=30_000.0),
+    "figure_order": dict(loads=[120_000, 240_000], duration_us=120_000.0,
+                         warmup_us=30_000.0),
     "figure_tail": dict(loads=[120_000], duration_us=120_000.0,
                         warmup_us=30_000.0),
     "table2": dict(samples=128),
@@ -60,6 +65,7 @@ _RUNNERS = {
     "figure8": run_figure8,
     "figure9": run_figure9,
     "figure_faults": run_figure_faults,
+    "figure_order": run_figure_order,
     "figure_tail": run_figure_tail,
     "table2": run_table2,
     "table3": run_table3,
@@ -73,10 +79,11 @@ def _build_parser():
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(_RUNNERS) + ["all", "stats", "timeline", "health"],
+        choices=sorted(_RUNNERS) + ["all", "stats", "timeline", "health",
+                                    "qdisc"],
         help=(
             "which experiment to run ('all' runs every one; 'stats', "
-            "'timeline' and 'health' render the syrupctl demos)"
+            "'timeline', 'health' and 'qdisc' render the syrupctl demos)"
         ),
     )
     parser.add_argument(
@@ -135,12 +142,13 @@ _PLOT_AXES = {
     "figure8": ("variant", "load_rps", "get_p99_us"),
     "figure9": ("mode", "load_rps", "p999_us"),
     "figure_faults": ("variant", "load_rps", "p99_us"),
+    "figure_order": ("discipline", "load_rps", "get_p99_us"),
 }
 
 
 def main(argv=None):
     args = _build_parser().parse_args(argv)
-    if args.experiment in ("stats", "timeline", "health"):
+    if args.experiment in ("stats", "timeline", "health", "qdisc"):
         from repro import syrupctl
 
         kwargs = {}
@@ -156,6 +164,9 @@ def main(argv=None):
         elif args.experiment == "health":
             machine = syrupctl.run_faults_demo(**kwargs)
             text = syrupctl.render_health(machine)
+        elif args.experiment == "qdisc":
+            machine = syrupctl.run_qdisc_demo(**kwargs)
+            text = syrupctl.render_qdisc(machine)
         else:
             machine = syrupctl.run_timeline_demo(**kwargs)
             text = syrupctl.render_timeline(machine)

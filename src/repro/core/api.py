@@ -49,6 +49,21 @@ class App:
             self, policy, hook, constants=constants, ports=ports
         )
 
+    def deploy_qdisc(self, policy, layer, backend="pifo", constants=None,
+                     ports=None, targets=None, backend_kwargs=None):
+        """Deploy a rank function as a queueing discipline at ``layer``
+        (see :meth:`repro.core.syrupd.Syrupd.deploy_qdisc`)."""
+        return self.syrupd.deploy_qdisc(
+            self, policy, layer, backend=backend, constants=constants,
+            ports=ports, targets=targets, backend_kwargs=backend_kwargs,
+        )
+
+    def undeploy_qdisc(self, layer):
+        """Remove this app's discipline(s) at ``layer``."""
+        from repro.qdisc.discipline import qdisc_hook
+
+        return self.syrupd.undeploy(self, qdisc_hook(layer))
+
     # ------------------------------------------------------------------
     # Maps
     # ------------------------------------------------------------------

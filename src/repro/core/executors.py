@@ -44,6 +44,14 @@ class ExecutorMap:
         for i, executor in enumerate(executors):
             self.set(i, executor)
 
+    def indices(self):
+        """Populated indices, ascending."""
+        return sorted(self._slots)
+
+    def values(self):
+        """Executors in ascending index order."""
+        return [self._slots[i] for i in self.indices()]
+
     def __len__(self):
         return len(self._slots)
 

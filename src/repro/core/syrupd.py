@@ -44,6 +44,15 @@ from repro.ghost.agent import GhostAgent
 from repro.ghost.enclave import Enclave
 from repro.ghost.sched import GhostScheduler
 from repro.obs import DISABLED
+from repro.qdisc.discipline import (
+    LAYERS,
+    LAYER_NIC_RX,
+    LAYER_RUNQUEUE,
+    LAYER_SOCKET,
+    Qdisc,
+    compile_rank,
+    qdisc_hook,
+)
 
 __all__ = ["DeployedPolicy", "IsolationError", "Syrupd"]
 
@@ -69,6 +78,7 @@ class DeployedPolicy:
         self.agent = agent        # GhostAgent (thread hook)
         self.ports = list(ports) if ports is not None else []
         self.executors = executors
+        self.qdiscs = []          # Qdisc instances (qdisc:<layer> hooks)
         # Lifecycle (docs/robustness.md)
         self.state = "active"     # active | quarantined | fallback | undeployed
         self.last_good = None     # previous program kept across redeploy()
@@ -333,6 +343,207 @@ class Syrupd:
         return deployed
 
     # ------------------------------------------------------------------
+    # Queueing disciplines (syr_deploy_qdisc; repro.qdisc)
+    # ------------------------------------------------------------------
+    def deploy_qdisc(self, app, policy, layer, backend="pifo", constants=None,
+                     ports=None, targets=None, backend_kwargs=None):
+        """Deploy a rank function as a queueing discipline at ``layer``.
+
+        ``policy`` is rank-function source (``def rank(pkt):``) in the
+        same safe subset as matching functions; it travels the identical
+        compile → verify → map-pinning → JIT path.  ``layer`` is one of
+        :data:`repro.qdisc.discipline.LAYERS`:
+
+        - ``"socket"`` — attach to the app's registered Socket Select
+          executors (or an explicit ``targets`` list of sockets),
+        - ``"nic_rx"`` — attach to NIC RX queues (``targets``: queue
+          indices; default all) with port-based isolation, so foreign
+          apps' packets on a shared ring stay FIFO,
+        - ``"runqueue"`` — order the app's ghOSt runnable snapshot
+          (requires an active Thread Scheduler deployment).
+
+        Returns a :class:`DeployedPolicy` whose ``qdiscs`` lists the
+        per-queue discipline instances; the deployment is tracked by the
+        lifecycle manager, so a repeatedly-faulting rank function is
+        quarantined (every queue reverts to FIFO and keeps draining).
+        """
+        hook = qdisc_hook(layer)
+        ports = list(ports) if ports is not None else list(app.ports)
+        if layer != LAYER_RUNQUEUE:
+            self._check_ports(app, ports)
+        loaded = self._load_rank_policy(app, policy, layer, constants)
+        deployed = DeployedPolicy(
+            self._alloc_fd(), app.name, hook, program=loaded, ports=ports,
+        )
+        self.lifecycle.track(deployed)
+        qdisc_ports = ports if layer == LAYER_NIC_RX else None
+        attach = {
+            LAYER_SOCKET: self._attach_socket_qdiscs,
+            LAYER_NIC_RX: self._attach_nic_qdiscs,
+            LAYER_RUNQUEUE: self._attach_runqueue_qdisc,
+        }[layer]
+        qdiscs = attach(
+            app, deployed, backend, loaded, qdisc_ports, targets,
+            backend_kwargs,
+        )
+        if not qdiscs:
+            raise ValueError(
+                f"no attachable queues for qdisc layer {layer!r} "
+                f"(app {app.name!r}): register executors first"
+            )
+        deployed.qdiscs = qdiscs
+        self.deployed.append(deployed)
+        self._note_deploy(
+            deployed, layer=layer, backend=backend, queues=len(qdiscs),
+            name=loaded.name,
+        )
+        return deployed
+
+    def _load_rank_policy(self, app, policy, layer, constants):
+        """Compile a rank function through the policy pipeline (rename
+        ``rank`` → ``schedule``, then the standard verify + maps + JIT)."""
+        hook = qdisc_hook(layer)
+        try:
+            if isinstance(policy, Program):
+                program = policy
+            else:
+                program = compile_rank(policy, constants=constants)
+            maps = {}
+            for map_name, size in zip(program.map_names, program.map_sizes):
+                syrup_map = self.registry.create(
+                    app.name, map_name, size=size, placement=HOST
+                )
+                maps[map_name] = syrup_map.bpf_map
+            loaded = load_program(
+                program, maps=maps,
+                rng=self.machine.streams.get(f"qdisc/{app.name}/{layer}"),
+            )
+        except (CompileError, VerifierError) as exc:
+            self.obs.registry.counter(
+                app.name, "syrupd", "verifier_rejections"
+            ).inc()
+            self.obs.events.emit(
+                "verifier_reject", app=app.name, hook=hook,
+                error=type(exc).__name__, detail=str(exc),
+            )
+            raise
+        self._attach_program_metrics(app.name, hook, loaded)
+        loaded.profiler = self.machine.profiler
+        injector = getattr(self.machine, "faults", None)
+        if injector is not None:
+            loaded = injector.wrap_program(loaded, app.name, hook)
+        return loaded
+
+    def _new_qdisc(self, deployed, layer, backend, loaded, ports,
+                   backend_kwargs):
+        qdisc = Qdisc(
+            deployed.app_name, layer, backend=backend, program=loaded,
+            ports=ports, backend_kwargs=backend_kwargs,
+        )
+        qdisc.fault_listener = (
+            lambda q, exc: self._on_qdisc_fault(deployed, q, exc)
+        )
+        return qdisc
+
+    def _attach_qdisc_metrics(self, qdisc):
+        if not self.obs.enabled:
+            return
+        reg = self.obs.registry
+        app, hook = qdisc.app_name, qdisc.hook
+        qdisc.metrics = {
+            name: reg.counter(app, hook, name)
+            for name in ("enqueues", "dequeues", "sched_drops",
+                         "overflow_drops", "evictions", "runtime_faults")
+        }
+        qdisc.metrics["rank"] = reg.histogram(app, hook, "rank")
+        qdisc.depth_gauge = reg.gauge(app, hook, f"depth:{qdisc.target}")
+
+    def _attach_socket_qdiscs(self, app, deployed, backend, loaded, ports,
+                              targets, backend_kwargs):
+        if targets is None:
+            targets = app.executor_map(Hook.SOCKET_SELECT).values()
+        qdiscs = []
+        for socket in targets:
+            if socket.app not in (None, app.name):
+                self._deny(
+                    f"socket {socket.sid} belongs to app {socket.app!r}",
+                    app=app.name,
+                )
+            qdisc = self._new_qdisc(
+                deployed, LAYER_SOCKET, backend, loaded, ports,
+                backend_kwargs,
+            )
+            socket.set_qdisc(qdisc)
+            qdisc._detach = socket.clear_qdisc
+            self._attach_qdisc_metrics(qdisc)
+            qdiscs.append(qdisc)
+        return qdiscs
+
+    def _attach_nic_qdiscs(self, app, deployed, backend, loaded, ports,
+                           targets, backend_kwargs):
+        nic = self.machine.nic
+        if targets is None:
+            targets = range(nic.spec.num_queues)
+        qdiscs = []
+        for queue_index in targets:
+            qdisc = self._new_qdisc(
+                deployed, LAYER_NIC_RX, backend, loaded, ports,
+                backend_kwargs,
+            )
+            nic.attach_qdisc(queue_index, qdisc)
+            qdisc._detach = (
+                lambda i=queue_index: nic.detach_qdisc(i)
+            )
+            self._attach_qdisc_metrics(qdisc)
+            qdiscs.append(qdisc)
+        return qdiscs
+
+    def _attach_runqueue_qdisc(self, app, deployed, backend, loaded, ports,
+                               targets, backend_kwargs):
+        sched = self._active_deployment(app.name, Hook.THREAD_SCHED)
+        if sched is None or sched.agent is None:
+            raise ValueError(
+                f"qdisc layer 'runqueue' requires app {app.name!r} to have "
+                "an active Thread Scheduler deployment (ghOSt agent)"
+            )
+        agent = sched.agent
+        qdisc = self._new_qdisc(
+            deployed, LAYER_RUNQUEUE, backend, loaded, ports, backend_kwargs,
+        )
+        qdisc.target = f"enclave:{app.name}"
+        agent.runqueue_qdisc = qdisc
+
+        def detach():
+            if agent.runqueue_qdisc is qdisc:
+                agent.runqueue_qdisc = None
+
+        qdisc._detach = detach
+        self._attach_qdisc_metrics(qdisc)
+        return [qdisc]
+
+    def _on_qdisc_fault(self, deployed, qdisc, exc):
+        """A rank function faulted (already contained by the Qdisc: the
+        element was enqueued FIFO).  Route into the lifecycle, which may
+        quarantine the deployment — reverting every queue to pure FIFO."""
+        self.obs.events.emit(
+            "qdisc_fault", app=deployed.app_name, hook=deployed.hook,
+            fd=deployed.fd, target=qdisc.target,
+            error=type(exc).__name__, detail=str(exc),
+        )
+        self.lifecycle.note_runtime_fault(deployed, exc)
+
+    def qdiscs(self):
+        """One row per installed discipline (``syrupctl qdisc``)."""
+        rows = []
+        for deployed in self.deployed:
+            for qdisc in deployed.qdiscs:
+                row = qdisc.snapshot()
+                row["fd"] = deployed.fd
+                row["deployment_state"] = deployed.state
+                rows.append(row)
+        return rows
+
+    # ------------------------------------------------------------------
     # Lifecycle: undeploy / redeploy / rollback / quarantine
     # ------------------------------------------------------------------
     def _deployments(self, app_name, hook, states=("active",)):
@@ -365,6 +576,12 @@ class Syrupd:
             agent = deployed.agent
             if agent is not None and agent.scheduler.agent is agent:
                 agent.scheduler.agent = None
+            for qdisc in deployed.qdiscs:
+                # Detach from the queue; buffered elements drain (socket
+                # qdiscs spill into the FIFO backlog, NIC qdiscs drain
+                # via their already-scheduled IRQs) — never stranded.
+                if qdisc._detach is not None:
+                    qdisc._detach()
             deployed.state = "undeployed"
             self.deployed.remove(deployed)
             self.obs.registry.counter(app.name, "syrupd", "undeploys").inc()
@@ -444,6 +661,11 @@ class Syrupd:
         site = self._sites.get(deployed.hook)
         if site is not None:
             site.uninstall(deployed.app_name, deployed.ports)
+        for qdisc in deployed.qdiscs:
+            # Sick rank function: every queue reverts to pure FIFO.
+            # Already-queued elements keep their ranks and keep draining
+            # — a quarantined queue is never wedged.
+            qdisc.revert_to_fifo()
         deployed.state = "quarantined"
         self.obs.registry.counter(
             deployed.app_name, "syrupd", "quarantines"

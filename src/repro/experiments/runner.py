@@ -15,6 +15,10 @@ class RocksDbTestbed:
     ``policy`` is ``None`` (Vanilla Linux) or a tuple
     ``(source, hook, constants)``; the thread policy (ghOSt) is supplied
     separately as a factory taking the server (so it can grab map handles).
+    ``qdisc`` optionally deploys a queueing discipline
+    (:mod:`repro.qdisc`) after the server's sockets exist: a tuple
+    ``(rank_source, layer, backend)`` or ``(rank_source, layer, backend,
+    constants)``.
     """
 
     def __init__(
@@ -28,6 +32,8 @@ class RocksDbTestbed:
         port=8080,
         mark_scans=False,
         mark_types=False,
+        mark_sizes=False,
+        qdisc=None,
         metrics=False,
         timeseries=None,
         faults=None,
@@ -45,6 +51,7 @@ class RocksDbTestbed:
         self.server = RocksDbServer(
             self.machine, self.app, port, num_threads,
             mark_scans=mark_scans, mark_types=mark_types,
+            mark_sizes=mark_sizes,
         )
         self.port = port
         if policy is not None:
@@ -53,6 +60,12 @@ class RocksDbTestbed:
         if thread_policy_factory is not None:
             thread_policy = thread_policy_factory(self.server)
             self.app.deploy_policy(thread_policy, Hook.THREAD_SCHED)
+        if qdisc is not None:
+            rank_source, layer, backend = qdisc[:3]
+            constants = qdisc[3] if len(qdisc) > 3 else None
+            self.app.deploy_qdisc(
+                rank_source, layer, backend=backend, constants=constants
+            )
 
     def drive(self, rate_rps, mix, duration_us, warmup_us, stream="client",
               user_id=0):

@@ -93,6 +93,11 @@ class GhostAgent:
         # Optional repro.obs.profile.WallClockProfiler; when set, message
         # draining and policy decisions are attributed to "ghost_agent".
         self.profiler = None
+        # Optional repro.qdisc.discipline.Qdisc attached by
+        # syrupd.deploy_qdisc(layer="runqueue"): orders the runnable list
+        # each snapshot, so rank-aware thread policies that serve
+        # status.runnable front-to-back pick threads by rank.
+        self.runqueue_qdisc = None
 
     # ------------------------------------------------------------------
     def crash(self):
@@ -268,6 +273,17 @@ class GhostAgent:
             for t in self.enclave.threads()
             if t.state == "runnable" and t.tid not in self._pending_threads
         ]
+        qdisc = self.runqueue_qdisc
+        if qdisc is not None and len(runnable) > 1:
+            from repro.qdisc.discipline import ThreadCtx
+
+            # Transient ordering: the runqueue is rebuilt from kernel
+            # state every decision, so the qdisc sorts each snapshot by
+            # rank (ThreadCtx exposes the tid at offset 0 for Map keys).
+            # DROP is treated as PASS — threads cannot be shed.
+            runnable = qdisc.order(
+                runnable, ctx_factory=lambda t: ThreadCtx(t.tid)
+            )
         cores = [
             CoreView(i, c.thread, c.pending_commit is not None)
             for i, c in enumerate(self.scheduler.cores)

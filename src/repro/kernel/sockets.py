@@ -4,6 +4,15 @@ Sockets have finite backlogs; overflowing datagrams are dropped and counted
 — the mechanism behind Figure 2b's "% Dropped Requests".  A
 :class:`ReuseportGroup` is the executor set of the Socket Select hook: many
 sockets bound to one port, one scheduling decision per incoming datagram.
+
+A socket backlog may carry a queueing discipline
+(:class:`repro.qdisc.discipline.Qdisc`, attached via :meth:`UdpSocket.set_qdisc`
+by ``syrupd.deploy_qdisc(layer="socket")``): datagrams then dequeue in rank
+order instead of FIFO, and overflow sheds the lowest-priority element
+(drop-lowest-rank; with every rank equal this collapses to the historical
+drop-tail, see docs/scheduling-order.md).  The plain ``queue`` deque stays
+authoritative for elements injected directly by late-binding handoff — it
+always drains ahead of the discipline.
 """
 
 from collections import deque
@@ -29,6 +38,7 @@ class UdpSocket:
         "enqueued",
         "on_enqueue",
         "spans",
+        "qdisc",
     )
 
     _next_sid = [1]
@@ -46,14 +56,63 @@ class UdpSocket:
         self.enqueued = 0
         self.on_enqueue = None    # app callback(packet) — e.g. type marking
         self.spans = NULL_SPANS   # span tracer (repro.obs.spans)
+        self.qdisc = None         # repro.qdisc.discipline.Qdisc, or None
+
+    def set_qdisc(self, qdisc):
+        """Attach a queueing discipline to this backlog (syrupd only)."""
+        qdisc.target = f"sid:{self.sid}"
+        self.qdisc = qdisc
+        return qdisc
+
+    def clear_qdisc(self):
+        """Detach the discipline; queued elements drain (in rank order)
+        into the plain FIFO backlog so nothing is stranded."""
+        qdisc = self.qdisc
+        if qdisc is None:
+            return None
+        self.qdisc = None
+        for packet in qdisc.drain():
+            self.spans.qdisc_dequeued(packet)
+            self.queue.append(packet)
+        return qdisc
 
     def enqueue(self, packet):
-        """Deliver a datagram; returns False (and counts a drop) when full."""
-        if len(self.queue) >= self.backlog:
-            self.drops += 1
-            return False
-        self.spans.socket_enqueued(packet, self.sid, len(self.queue))
-        self.queue.append(packet)
+        """Deliver a datagram; returns False (and counts a drop) when full.
+
+        With a discipline attached the element is ranked at enqueue: DROP
+        sheds it, overflow sheds the lowest-priority element (which may be
+        a previously queued datagram — then the arrival is accepted and
+        the victim's span tree ends with ``qdisc_evict``).
+        """
+        qdisc = self.qdisc
+        if qdisc is None:
+            if len(self.queue) >= self.backlog:
+                self.drops += 1
+                return False
+            self.spans.socket_enqueued(packet, self.sid, len(self.queue))
+            self.queue.append(packet)
+        else:
+            depth = len(self.queue) + len(qdisc)
+            capacity = max(0, self.backlog - len(self.queue))
+            result = qdisc.offer(packet, capacity=capacity)
+            if not result.accepted:
+                self.drops += 1
+                if result.reason == "sched_drop":
+                    # Rank function said DROP: a policy decision, not
+                    # congestion — distinct abort reason in span trees.
+                    self.spans.drop(packet, "qdisc_shed")
+                # Overflow rejections fall through without a span drop so
+                # the caller (netstack) records the same "socket_overflow"
+                # reason as the FIFO path — the PASS-everywhere pairing
+                # stays bit-identical.
+                return False
+            if result.evicted is not None:
+                self.drops += 1
+                self.spans.drop(result.evicted, "qdisc_evict")
+            self.spans.socket_enqueued(packet, self.sid, depth)
+            self.spans.qdisc_enqueued(
+                packet, qdisc.layer, result.rank, qdisc.backend_name
+            )
         self.enqueued += 1
         if self.on_enqueue is not None:
             self.on_enqueue(packet)
@@ -62,14 +121,29 @@ class UdpSocket:
         return True
 
     def pop(self):
-        """Dequeue the next datagram (None if empty)."""
-        return self.queue.popleft() if self.queue else None
+        """Dequeue the next datagram (None if empty).
+
+        Directly-injected datagrams (late-binding handoff appends to
+        ``queue``) drain first; then the discipline releases elements in
+        rank order.
+        """
+        if self.queue:
+            return self.queue.popleft()
+        if self.qdisc is not None:
+            packet = self.qdisc.take()
+            if packet is not None:
+                self.spans.qdisc_dequeued(packet)
+            return packet
+        return None
 
     def __len__(self):
-        return len(self.queue)
+        n = len(self.queue)
+        if self.qdisc is not None:
+            n += len(self.qdisc)
+        return n
 
     def __repr__(self):
-        return f"<UdpSocket port={self.port} sid={self.sid} qlen={len(self.queue)}>"
+        return f"<UdpSocket port={self.port} sid={self.sid} qlen={len(self)}>"
 
 
 class ReuseportGroup:

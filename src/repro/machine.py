@@ -141,7 +141,7 @@ class Machine:
         for port in table.ports():
             for socket in table.group(port):
                 reg.gauge(socket.app or "(root)", "sockets",
-                          f"s{socket.sid}.backlog").set(len(socket.queue))
+                          f"s{socket.sid}.backlog").set(len(socket))
         runnable = sum(
             1 for t in self.scheduler.threads if t.state == "runnable"
         )

@@ -17,6 +17,7 @@ __all__ = ["Nic", "NicDropReason"]
 class NicDropReason:
     OFFLOAD_DROP = "offload_drop"
     NO_HANDLER = "no_handler"
+    QDISC_SHED = "qdisc_shed"
 
 
 class Nic:
@@ -43,7 +44,14 @@ class Nic:
         self.drops = {
             NicDropReason.OFFLOAD_DROP: 0,
             NicDropReason.NO_HANDLER: 0,
+            NicDropReason.QDISC_SHED: 0,
         }
+        #: Per-RX-queue queueing disciplines (repro.qdisc), attached by
+        #: syrupd.deploy_qdisc(layer="nic_rx").  With a qdisc on a queue
+        #: each IRQ delivers the *minimum-rank* buffered packet instead of
+        #: the FIFO head; a PASS-everywhere discipline reproduces FIFO
+        #: delivery exactly.
+        self.rx_qdiscs = {}
 
     def attach_classifier(self, hook_site):
         if not self.spec.supports_offload:
@@ -51,6 +59,23 @@ class Nic:
                 f"NIC {self.spec.model!r} does not support XDP offload"
             )
         self.classifier = hook_site
+
+    def attach_qdisc(self, queue_index, qdisc):
+        """Attach a queueing discipline to one RX queue (syrupd only)."""
+        if not 0 <= queue_index < self.spec.num_queues:
+            raise ValueError(
+                f"RX queue {queue_index} out of range for "
+                f"{self.spec.num_queues}-queue NIC"
+            )
+        qdisc.target = f"rxq:{queue_index}"
+        self.rx_qdiscs[queue_index] = qdisc
+        return qdisc
+
+    def detach_qdisc(self, queue_index):
+        """Detach a queue's discipline.  Buffered packets are *not*
+        stranded: each accepted packet already scheduled an IRQ drain that
+        captured the discipline object, so the queue keeps draining."""
+        return self.rx_qdiscs.pop(queue_index, None)
 
     def receive(self, packet):
         """A packet arrives from the wire."""
@@ -73,12 +98,37 @@ class Nic:
             queue = rss_queue(packet.flow, self.spec.num_queues, self.salt)
         packet.rx_queue = queue
         delay = self.spec.rx_process_us + self.costs.irq_delay_us
+        qdisc = self.rx_qdiscs.get(queue)
+        if qdisc is not None:
+            result = qdisc.offer(packet)
+            if not result.accepted:
+                self.drops[NicDropReason.QDISC_SHED] += 1
+                self.spans.drop(packet, NicDropReason.QDISC_SHED)
+                return
+            self.spans.qdisc_enqueued(
+                packet, qdisc.layer, result.rank, qdisc.backend_name
+            )
+            self.in_flight += 1
+            self.engine.schedule(delay, self._irq_drain, queue, qdisc)
+            return
         self.in_flight += 1
         self.engine.schedule(delay, self._irq_deliver, queue, packet)
 
     def _irq_deliver(self, queue, packet):
         """IRQ delivery into the kernel: occupancy drops, nic_queue ends."""
         self.in_flight -= 1
+        self.spans.nic_delivered(packet, queue)
+        self.deliver(queue, packet)
+
+    def _irq_drain(self, queue, qdisc):
+        """IRQ delivery under a discipline: each accepted packet schedules
+        one drain, and each drain delivers the queue's minimum-rank
+        buffered packet — FIFO timing, programmable order."""
+        self.in_flight -= 1
+        packet = qdisc.take()
+        if packet is None:
+            return  # an eviction consumed this drain's element
+        self.spans.qdisc_dequeued(packet)
         self.spans.nic_delivered(packet, queue)
         self.deliver(queue, packet)
 

@@ -208,6 +208,31 @@ class SpanTracer:
         self._finalize(tree, complete=False, reason=reason)
 
     # ------------------------------------------------------------------
+    # Queueing disciplines (repro.qdisc)
+    # ------------------------------------------------------------------
+    def qdisc_enqueued(self, packet, layer, rank, backend):
+        """A qdisc accepted this packet with ``rank`` (repro.qdisc).
+
+        Opens a ``qdisc_wait`` span recording the assigned rank, the
+        attachment layer, and the ordering backend; closed by
+        :meth:`qdisc_dequeued` when the element is pulled in rank order.
+        The NIC- and socket-layer waits never overlap, so one span name
+        suffices.
+        """
+        tree = self._tree(packet)
+        if tree is None:
+            return
+        self._open(tree, "qdisc_wait", self.clock(), layer=layer,
+                   rank=rank, backend=backend)
+
+    def qdisc_dequeued(self, packet):
+        """The qdisc released this packet; close its ``qdisc_wait`` span."""
+        tree = self._tree(packet)
+        if tree is None:
+            return
+        self._close(tree, "qdisc_wait", self.clock())
+
+    # ------------------------------------------------------------------
     # Thread scheduling (repro.kernel.sched / cfs, repro.ghost)
     # ------------------------------------------------------------------
     def thread_runnable(self, thread):
@@ -356,6 +381,12 @@ class NullSpanTracer:
         pass
 
     def drop(self, packet, reason):
+        pass
+
+    def qdisc_enqueued(self, packet, layer, rank, backend):
+        pass
+
+    def qdisc_dequeued(self, packet):
         pass
 
     def thread_runnable(self, thread):

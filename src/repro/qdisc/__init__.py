@@ -1,0 +1,68 @@
+"""Programmable queueing disciplines: a second axis of user-defined
+scheduling.
+
+Syrup's matching functions decide *where* an input runs (which socket,
+core, or NIC queue); every queue in the stack still drains strictly FIFO,
+so a policy cannot express *in what order* queued work is served.  This
+package adds that axis, following PIFO (Programmable Packet Scheduling at
+Line Rate) and Eiffel (efficient software packet scheduling): applications
+deploy a **rank function** — same compile/verify/deploy path as matching
+functions (:meth:`repro.core.syrupd.Syrupd.deploy_qdisc`) — that assigns
+each queued element an integer rank; the queue dequeues in ascending rank
+order (ties broken by arrival, so equal-rank traffic stays FIFO).
+
+Two backends (:mod:`repro.qdisc.backends`):
+
+- :class:`~repro.qdisc.backends.PifoQueue` — an exact priority queue
+  (binary heap) with a deterministic arrival-sequence tie-break.
+- :class:`~repro.qdisc.backends.BucketQueue` — an Eiffel-style bucketed
+  approximation (circular find-first-set bucket array, O(1) enqueue and
+  dequeue) that coarsens ranks to bucket granularity.
+
+Attachable at three layers (:mod:`repro.qdisc.discipline`): NIC RX queues
+(:meth:`repro.net.nic.Nic.attach_qdisc`), socket backlogs
+(:meth:`repro.kernel.sockets.UdpSocket.set_qdisc`), and ghOSt runqueues
+(the agent's runnable-thread ordering, :class:`repro.ghost.agent.GhostAgent`).
+Rank functions read Maps, so cross-layer signals written by the
+application (a SCAN flag, a measured service time) drive ordering — the
+paper's §4 Maps story extended from placement to order.  See
+docs/scheduling-order.md and :mod:`repro.experiments.figure_order`.
+"""
+
+from repro.qdisc.backends import BucketQueue, PifoQueue, make_backend
+from repro.qdisc.discipline import (
+    LAYERS,
+    LAYER_NIC_RX,
+    LAYER_RUNQUEUE,
+    LAYER_SOCKET,
+    OfferResult,
+    Qdisc,
+    ThreadCtx,
+    compile_rank,
+    qdisc_hook,
+)
+from repro.qdisc.policies import (
+    EDF_BY_DEADLINE,
+    FIFO_RANK,
+    RANK_BY_FLAG,
+    SRPT_BY_SIZE,
+)
+
+__all__ = [
+    "BucketQueue",
+    "EDF_BY_DEADLINE",
+    "FIFO_RANK",
+    "LAYERS",
+    "LAYER_NIC_RX",
+    "LAYER_RUNQUEUE",
+    "LAYER_SOCKET",
+    "OfferResult",
+    "PifoQueue",
+    "Qdisc",
+    "RANK_BY_FLAG",
+    "SRPT_BY_SIZE",
+    "ThreadCtx",
+    "compile_rank",
+    "make_backend",
+    "qdisc_hook",
+]

@@ -1,0 +1,169 @@
+"""Ordering backends: exact PIFO heap vs Eiffel-style bucketed queue.
+
+Both implement one protocol — ``push(rank, item)``, ``pop() -> item``,
+``worst() -> (rank, item)`` (remove the lowest-priority entry, the
+overflow victim), ``__len__`` — and both are deterministic: ties and
+bucket collisions break by a monotone arrival sequence number, never by
+hash order or randomness, so paired runs are bit-identical
+(tests/test_qdisc.py locks the tie-break).
+
+Rank convention (PIFO): **smaller rank dequeues first**.  "Lowest
+priority" therefore means *numerically largest* rank; among equal worst
+ranks the most recent arrival is the victim, which makes a
+rank-everywhere-equal discipline's overflow behaviour collapse to plain
+drop-tail (the determinism requirement for PASS-everywhere rank
+functions).
+
+- :class:`PifoQueue` — binary heap keyed ``(rank, seq)``: exact total
+  order, O(log n) push/pop, O(n) victim search (bounded by the queue's
+  capacity, which substrates keep small — a socket backlog, a NIC ring).
+- :class:`BucketQueue` — Eiffel's circular bucket array with a
+  find-first-set occupancy bitmap: O(1) push/pop/victim, but ranks are
+  coarsened to ``bucket_width`` granularity and ranks beyond the horizon
+  clamp into the last bucket.  The fidelity cost of that approximation
+  is exactly what :mod:`repro.experiments.figure_order` measures.
+"""
+
+import heapq
+from collections import deque
+
+__all__ = ["BucketQueue", "PifoQueue", "make_backend"]
+
+
+class PifoQueue:
+    """Exact push-in-first-out queue: a heap of ``(rank, seq, item)``.
+
+    ``seq`` is the per-queue arrival sequence number; it makes the heap
+    order *total* (stable on rank ties by arrival) and therefore
+    deterministic across runs.
+    """
+
+    backend = "pifo"
+
+    def __init__(self):
+        self._heap = []
+        self._seq = 0
+
+    def push(self, rank, item):
+        heapq.heappush(self._heap, (rank, self._seq, item))
+        self._seq += 1
+
+    def pop(self):
+        """Remove and return the minimum-rank (oldest on ties) item."""
+        if not self._heap:
+            return None
+        return heapq.heappop(self._heap)[2]
+
+    def worst(self):
+        """Remove and return ``(rank, item)`` for the overflow victim.
+
+        The victim is the maximum-rank entry; among equals, the most
+        recent arrival (max seq) — so an all-equal-rank queue evicts the
+        newest element, i.e. behaves as drop-tail.
+        """
+        if not self._heap:
+            return None
+        index = max(range(len(self._heap)),
+                    key=lambda i: self._heap[i][:2])
+        rank, _seq, item = self._heap[index]
+        last = self._heap.pop()
+        if index < len(self._heap):
+            self._heap[index] = last
+            heapq.heapify(self._heap)
+        return (rank, item)
+
+    def __len__(self):
+        return len(self._heap)
+
+    def __repr__(self):
+        return f"<PifoQueue len={len(self._heap)}>"
+
+
+class BucketQueue:
+    """Eiffel-style approximate PIFO: FIFO buckets + an FFS bitmap.
+
+    Ranks map to bucket ``min(rank // bucket_width, num_buckets - 1)``;
+    within a bucket order is FIFO (arrival seq).  An integer occupancy
+    bitmap makes dequeue a find-first-set — O(1) for the bucket counts
+    used here — and the victim search a find-*last*-set.  Coarsening and
+    horizon clamping are the approximation Eiffel trades for constant
+    time; :mod:`repro.experiments.figure_order` reports its fidelity
+    against the exact heap.
+    """
+
+    backend = "bucket"
+
+    def __init__(self, num_buckets=256, bucket_width=8):
+        if num_buckets < 1 or bucket_width < 1:
+            raise ValueError(
+                f"need num_buckets >= 1 and bucket_width >= 1, got "
+                f"{num_buckets}/{bucket_width}"
+            )
+        self.num_buckets = num_buckets
+        self.bucket_width = bucket_width
+        self._buckets = [deque() for _ in range(num_buckets)]
+        self._occupied = 0  # bit b set <=> bucket b non-empty
+        self._seq = 0
+        self._len = 0
+
+    def _bucket_index(self, rank):
+        return min(rank // self.bucket_width, self.num_buckets - 1)
+
+    def push(self, rank, item):
+        b = self._bucket_index(rank)
+        self._buckets[b].append((rank, self._seq, item))
+        self._seq += 1
+        self._occupied |= 1 << b
+        self._len += 1
+
+    def pop(self):
+        """Remove and return an item from the lowest occupied bucket."""
+        if not self._occupied:
+            return None
+        b = (self._occupied & -self._occupied).bit_length() - 1  # ffs
+        bucket = self._buckets[b]
+        _rank, _seq, item = bucket.popleft()
+        if not bucket:
+            self._occupied &= ~(1 << b)
+        self._len -= 1
+        return item
+
+    def worst(self):
+        """Remove and return ``(rank, item)`` from the highest occupied
+        bucket — the newest entry there, so all-in-one-bucket queues
+        evict drop-tail style."""
+        if not self._occupied:
+            return None
+        b = self._occupied.bit_length() - 1  # find-last-set
+        bucket = self._buckets[b]
+        rank, _seq, item = bucket.pop()
+        if not bucket:
+            self._occupied &= ~(1 << b)
+        self._len -= 1
+        return (rank, item)
+
+    def __len__(self):
+        return self._len
+
+    def __repr__(self):
+        return (
+            f"<BucketQueue len={self._len} buckets={self.num_buckets} "
+            f"width={self.bucket_width}>"
+        )
+
+
+#: Registered backend constructors for deploy_qdisc(backend=...).
+_BACKENDS = {
+    "pifo": PifoQueue,
+    "bucket": BucketQueue,
+}
+
+
+def make_backend(name, **kwargs):
+    """Construct one ordering backend instance by registered name."""
+    factory = _BACKENDS.get(name)
+    if factory is None:
+        raise ValueError(
+            f"unknown qdisc backend {name!r}; known: {sorted(_BACKENDS)}"
+        )
+    return factory(**kwargs)

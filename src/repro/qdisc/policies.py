@@ -1,0 +1,80 @@
+"""Rank-function sources for programmable queueing disciplines.
+
+Each is a policy file in the same safe subset as the matching-function
+policies (:mod:`repro.policies.builtin`) except the entry point is named
+``rank`` — :func:`repro.qdisc.discipline.compile_rank` renames it to the
+compiler's expected ``schedule`` before running the identical
+compile/verify/JIT pipeline.  Deploy with::
+
+    app.deploy_qdisc(SRPT_BY_SIZE, layer="socket", backend="pifo")
+
+Rank semantics (PIFO): **smaller rank dequeues first**; equal ranks stay
+FIFO by arrival.  ``PASS`` means "no opinion" (rank 0 — FIFO among
+passed elements) and ``DROP`` sheds the element at enqueue time.
+
+Packet layout (see :mod:`repro.net.packet`): 8-byte UDP header, then
+u64 request type at offset 8, u64 user id at 16, u64 key hash at 24.
+"""
+
+__all__ = [
+    "EDF_BY_DEADLINE",
+    "FIFO_RANK",
+    "RANK_BY_FLAG",
+    "SRPT_BY_SIZE",
+]
+
+#: The identity discipline: every element PASSes, so the queue stays
+#: strictly FIFO.  Deploying this must be bit-identical to deploying no
+#: qdisc at all (tests/test_qdisc_integration.py locks that pairing).
+FIFO_RANK = '''
+def rank(pkt):
+    return PASS
+'''
+
+#: Shortest-Remaining-Processing-Time by *measured* size: the userspace
+#: half (RocksDbServer(mark_sizes=True)) publishes the observed service
+#: time per request type into svc_time_map — a cross-layer Map signal, the
+#: paper's §4 story extended from placement to ordering.  Unknown types
+#: PASS (rank 0), so the discipline is conservative until the app has
+#: measured each type once.
+SRPT_BY_SIZE = '''
+svc_map = syr_map("svc_time_map", 16)
+
+def rank(pkt):
+    if pkt_len(pkt) < 16:
+        return PASS
+    rtype = load_u64(pkt, 8)
+    if map_has(svc_map, rtype):
+        return map_lookup(svc_map, rtype)
+    return PASS
+'''
+
+#: Two-class priority from an app-written flag map (the SCAN-marking
+#: pattern of Figure 5b reused for ordering): flagged request types sink
+#: to a low-priority rank, everything else is served first.
+RANK_BY_FLAG = '''
+flag_map = syr_map("scan_map", 64)
+
+def rank(pkt):
+    if pkt_len(pkt) < 16:
+        return PASS
+    rtype = load_u64(pkt, 8)
+    if map_lookup(flag_map, rtype) > 0:
+        return 1000
+    return 0
+'''
+
+#: Earliest-Deadline-First: the app publishes a per-user deadline class
+#: (smaller = tighter) into deadline_map; users without an entry are
+#: best-effort and rank behind every deadline class.
+EDF_BY_DEADLINE = '''
+deadline_map = syr_map("deadline_map", 16)
+
+def rank(pkt):
+    if pkt_len(pkt) < 24:
+        return PASS
+    user = load_u64(pkt, 16)
+    if map_has(deadline_map, user):
+        return map_lookup(deadline_map, user)
+    return 100000
+'''

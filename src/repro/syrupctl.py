@@ -30,12 +30,14 @@ __all__ = [
     "render_events",
     "render_health",
     "render_maps",
+    "render_qdisc",
     "render_spans",
     "render_stats",
     "render_status",
     "render_tail",
     "render_timeline",
     "run_faults_demo",
+    "run_qdisc_demo",
     "run_spans_demo",
     "run_stats_demo",
     "run_timeline_demo",
@@ -78,6 +80,31 @@ def render_health(machine):
             f"\nfault plan: seed={injector.plan.seed} "
             f"specs={len(injector.plan)} injected={injector.injected}"
         )
+    return rendered
+
+
+def render_qdisc(machine):
+    """Installed queueing disciplines, one row per attached queue.
+
+    The ``tc qdisc show`` analogue for :mod:`repro.qdisc`: per hook and
+    per target queue (socket sid / NIC rx queue / enclave runqueue) the
+    backend, lifecycle state (``active`` or reverted-to-``fifo``),
+    current depth, enqueue/dequeue/drop counters, and a summary of the
+    rank distribution the rank function has assigned so far.
+    """
+    table = Table(
+        f"queueing disciplines t={machine.now:.0f}us",
+        ["fd", "app", "layer", "target", "backend", "state", "depth",
+         "enqueues", "dequeues", "sched_drops", "overflow_drops",
+         "evictions", "runtime_faults", "rank_mean", "rank_min",
+         "rank_max"],
+    )
+    rows = machine.syrupd.qdiscs()
+    for row in rows:
+        table.add(**{k: v for k, v in row.items() if k in table.columns})
+    rendered = table.render()
+    if not rows:
+        rendered += "\n(no disciplines installed)"
     return rendered
 
 
@@ -456,6 +483,32 @@ def run_faults_demo(load=100_000, duration_ms=80.0, seed=3,
     return testbed.machine
 
 
+def run_qdisc_demo(load=240_000, duration_ms=100.0, seed=3):
+    """Drive the canned queueing-discipline demo: one figure_order point.
+
+    The RocksDB bimodal mix with the SRPT-by-request-size rank function
+    (:data:`repro.qdisc.policies.SRPT_BY_SIZE`) deployed on the exact
+    PIFO backend at every socket backlog, metrics enabled, at a load
+    where queues actually form.  Returns the finished machine for
+    rendering (``syrupctl qdisc`` / ``python -m repro qdisc``).
+    """
+    from repro.experiments.runner import RocksDbTestbed
+    from repro.qdisc.policies import SRPT_BY_SIZE
+    from repro.workload.mixes import GET_SCAN_995_005
+
+    testbed = RocksDbTestbed(
+        qdisc=(SRPT_BY_SIZE, "socket", "pifo"), mark_sizes=True,
+        seed=seed, metrics=True,
+    )
+    duration_us = duration_ms * 1000.0
+    gen = testbed.drive(load, GET_SCAN_995_005, duration_us,
+                        warmup_us=duration_us * 0.25)
+    gen.start()
+    testbed.machine.run()
+    testbed.machine.demo_generator = gen
+    return testbed.machine
+
+
 def run_timeline_demo(load=6_000, duration_ms=600.0, seed=5,
                       interval_ms=10.0):
     """Drive the canned time-series demo: the dynamic Figure-8 scenario.
@@ -477,7 +530,8 @@ def run_timeline_demo(load=6_000, duration_ms=600.0, seed=5,
 
 
 def main(argv=None):
-    """CLI: ``syrupctl {stats,status,maps,events,timeline,health,spans,tail}``."""
+    """CLI: ``syrupctl
+    {stats,status,maps,events,timeline,health,spans,tail,qdisc}``."""
     parser = argparse.ArgumentParser(
         prog="syrupctl",
         description=(
@@ -492,7 +546,7 @@ def main(argv=None):
     parser.add_argument(
         "view",
         choices=["stats", "status", "maps", "events", "timeline", "health",
-                 "spans", "tail"],
+                 "spans", "tail", "qdisc"],
         help="which surface to render",
     )
     parser.add_argument("--load", type=int, default=None,
@@ -558,6 +612,20 @@ def main(argv=None):
             print(json.dumps(machine.syrupd.health(), indent=2))
         else:
             print(render_health(machine))
+    elif args.view == "qdisc":
+        kwargs = {}
+        if args.load is not None:
+            kwargs["load"] = args.load
+        if args.duration_ms is not None:
+            kwargs["duration_ms"] = args.duration_ms
+        if args.seed is not None:
+            kwargs["seed"] = args.seed
+        machine = run_qdisc_demo(**kwargs)
+        if args.json:
+            print(json.dumps(machine.syrupd.qdiscs(), indent=2,
+                             sort_keys=True))
+        else:
+            print(render_qdisc(machine))
     elif args.view in ("spans", "tail"):
         kwargs = {"spans_every": args.spans_every}
         if args.load is not None:

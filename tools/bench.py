@@ -5,8 +5,10 @@ The ROADMAP's "fast as the hardware allows" goal needs a trajectory:
 every optimization PR must be able to prove a speedup against numbers a
 previous PR recorded.  This harness runs the canonical simulation
 scenarios — a Figure-6 steady-state point, the dynamic Figure-8 mid-run
-policy switch, and a Figure-2 hash-imbalance point — each under
-:mod:`repro.obs.profile`, and writes ``BENCH_results.json``:
+policy switch, a Figure-2 hash-imbalance point, the fault sweep's
+quarantine variant, the tail-attribution run with every request
+span-traced, and figure_order's SRPT queueing-discipline point — each
+under :mod:`repro.obs.profile`, and writes ``BENCH_results.json``:
 
     {
       "schema_version": 1,
@@ -144,10 +146,122 @@ def _figure2_imbalance(smoke):
     return testbed.machine, collect
 
 
+def _figure_faults(smoke):
+    """Fault sweep's quarantine variant: injected VmFaults vs lifecycle."""
+    from repro.core.health import HealthPolicy
+    from repro.core.hooks import Hook
+    from repro.experiments.runner import RocksDbTestbed
+    from repro.faults import FaultPlan
+    from repro.policies.builtin import SCAN_AVOID
+    from repro.workload.mixes import GET_SCAN_995_005
+
+    load = 60_000 if smoke else 100_000
+    duration_us = 40_000.0 if smoke else 300_000.0
+    warmup_us = duration_us * 0.2
+    plan = FaultPlan(seed=11).vmfault(
+        0.02, app="rocksdb", hook=Hook.SOCKET_SELECT
+    )
+    testbed = RocksDbTestbed(
+        policy=(SCAN_AVOID, Hook.SOCKET_SELECT, {"NUM_THREADS": 6}),
+        mark_scans=True, num_threads=6, seed=3, metrics=True,
+        faults=plan,
+        health=HealthPolicy(window_us=20_000.0, max_faults=8),
+    )
+    gen = testbed.drive(load, GET_SCAN_995_005, duration_us, warmup_us)
+    gen.start()
+
+    def collect():
+        health_rows = testbed.machine.syrupd.health()
+        return {
+            "load_rps": load,
+            "p99_us": gen.latency.p99(),
+            "drop_pct": 100.0 * gen.drop_fraction(),
+            "runtime_faults": sum(
+                r.get("runtime_faults", 0) for r in health_rows
+            ),
+            "quarantined": sum(
+                1 for r in health_rows if r["state"] == "quarantined"
+            ),
+        }
+
+    return testbed.machine, collect
+
+
+def _figure_tail(smoke):
+    """Tail attribution's RSS point: every request span-traced."""
+    from repro.experiments.runner import RocksDbTestbed
+    from repro.obs.tail import critical_path
+    from repro.workload.mixes import GET_SCAN_995_005
+
+    load = 60_000 if smoke else 120_000
+    duration_us = 40_000.0 if smoke else 300_000.0
+    warmup_us = duration_us * 0.2
+    testbed = RocksDbTestbed(
+        policy=None, num_threads=6, seed=7, mark_scans=True,
+        spans=1, spans_capacity=1 << 18,
+    )
+    gen = testbed.drive(load, GET_SCAN_995_005, duration_us, warmup_us)
+    gen.start()
+
+    def collect():
+        trees = [
+            t for t in testbed.machine.obs.spans.trees(complete=True)
+            if t["start"] >= warmup_us
+        ]
+        analysis = critical_path(trees)
+        shares = {
+            row["span"]: 100.0 * row["gap_share"]
+            for row in analysis["rows"]
+        }
+        return {
+            "load_rps": load,
+            "p99_us": gen.latency.p99(),
+            "sampled_trees": len(trees),
+            "socket_wait_gap_share_pct": shares.get("socket_wait", 0.0),
+        }
+
+    return testbed.machine, collect
+
+
+def _figure_order_qdisc(smoke):
+    """figure_order's SRPT point: the PIFO qdisc on every socket backlog."""
+    from repro.experiments.runner import RocksDbTestbed
+    from repro.qdisc.policies import SRPT_BY_SIZE
+    from repro.workload.mixes import GET_SCAN_995_005
+    from repro.workload.requests import GET
+
+    load = 160_000 if smoke else 240_000
+    duration_us = 40_000.0 if smoke else 300_000.0
+    warmup_us = duration_us * 0.2
+    testbed = RocksDbTestbed(
+        qdisc=(SRPT_BY_SIZE, "socket", "pifo"), mark_sizes=True,
+        num_threads=6, seed=3,
+    )
+    gen = testbed.drive(load, GET_SCAN_995_005, duration_us, warmup_us)
+    gen.start()
+
+    def collect():
+        rows = testbed.machine.syrupd.qdiscs()
+        return {
+            "load_rps": load,
+            "get_p99_us": gen.latency.p99(tag=GET),
+            "drop_pct": 100.0 * gen.drop_fraction(),
+            "qdisc_enqueues": sum(r["enqueues"] for r in rows),
+            "qdisc_drops": sum(
+                r["sched_drops"] + r["overflow_drops"] for r in rows
+            ),
+        }
+
+    return testbed.machine, collect
+
+
 SCENARIOS = {
     "figure6_steady": _figure6_steady,
     "figure8_dynamic": _figure8_dynamic,
     "figure2_imbalance": _figure2_imbalance,
+    "figure_faults_quarantine": _figure_faults,
+    "figure_tail_spans": _figure_tail,
+    "figure_order_qdisc": _figure_order_qdisc,
 }
 
 
