@@ -1,17 +1,29 @@
 """Rack-scale ablation (§6.1): request-to-server scheduling policies.
 
-RackSched-flavoured: on a 4-server rack serving the 99.5/0.5 GET/SCAN mix,
-compare flow-hash affinity (L4 load balancer default), round robin, and
-least-outstanding power-of-two-choices at the programmable switch.  Also
-demonstrates cross-stack portability: the byte-identical verified ROUND_
-ROBIN program that schedules datagrams to sockets schedules requests to
-servers.
+Two tiers, matching :mod:`repro.cluster` (docs/cluster.md):
+
+- **Micro tier** — on a 4-server rack of *full* machines serving the
+  99.5/0.5 GET/SCAN mix, compare flow-hash affinity (L4 load balancer
+  default), round robin, and least-outstanding power-of-two-choices at
+  the programmable switch.  Also demonstrates cross-stack portability:
+  the byte-identical verified ROUND_ROBIN program that schedules
+  datagrams to sockets schedules requests to servers.
+- **Fleet tier** — a 60-machine aggregate rack under a diurnal load
+  with a mid-run machine kill, sweeping the RackSched-style steering
+  policies (random spray, per-user hash, stale JSQ, power-of-two,
+  shortest expected delay, and power-of-two as a verified program
+  deployed at the ToR).  Asserts the paper-shaped ordering: load-aware
+  sampling beats load-oblivious steering on p99 while JSQ (and SED,
+  which reduces to JSQ on a homogeneous rack) herds on the stale
+  replicated view, and every variant survives the kill via switch
+  failover without losing a request.
 """
 
 from conftest import once
 
 from repro.cluster import (
     Cluster,
+    Fleet,
     HashFlowPolicy,
     LeastOutstandingPolicy,
     ProgramPolicy,
@@ -19,6 +31,7 @@ from repro.cluster import (
 )
 from repro.ebpf.compiler import compile_policy
 from repro.ebpf.program import load_program
+from repro.experiments.figure_fleet import run_figure_fleet
 from repro.policies.builtin import ROUND_ROBIN
 from repro.stats.results import Table
 from repro.workload.mixes import GET_SCAN_995_005
@@ -27,6 +40,10 @@ SERVERS = 4
 LOAD = 900_000
 DURATION_US = 120_000.0
 WARMUP_US = 30_000.0
+
+FLEET_MACHINES = 60
+FLEET_RPS = 700_000
+FLEET_DURATION_US = 100_000.0
 
 
 def _policies():
@@ -62,6 +79,17 @@ def run_sweep():
     return table
 
 
+def run_fleet_sweep():
+    return run_figure_fleet(
+        num_machines=FLEET_MACHINES,
+        rps=FLEET_RPS,
+        num_users=500_000,
+        duration_us=FLEET_DURATION_US,
+        warmup_us=FLEET_DURATION_US * 0.2,
+        seed=7,
+    )
+
+
 def test_rack_scheduling(benchmark, report):
     table = once(benchmark, run_sweep)
     report("cluster_racksched", table)
@@ -76,3 +104,42 @@ def test_rack_scheduling(benchmark, report):
     # load-aware beats load-oblivious on the heavy-tailed mix
     assert rows["least outstanding (p2c)"]["p99_us"] \
         <= rows["round robin (program)"]["p99_us"]
+
+
+def test_fleet_steering(benchmark, report):
+    table = once(benchmark, run_fleet_sweep)
+    report("cluster_fleet", table)
+
+    rows = {r["steering"]: r for r in table}
+    # sampling the replicated load view beats blind spray on the tail
+    assert rows["power_of_two"]["p99_us"] < rows["random"]["p99_us"]
+    # the verified program deployed at the ToR matches native power-of-two
+    assert rows["program_p2c"]["p99_us"] < rows["random"]["p99_us"]
+    # JSQ herds on the stale replica: no better than the sampling policy
+    assert rows["jsq"]["p99_us"] >= rows["power_of_two"]["p99_us"]
+    # with homogeneous workers SED reduces to JSQ and herds identically
+    assert rows["sed"]["p99_us"] == rows["jsq"]["p99_us"]
+    assert rows["sed"]["p99_us"] >= rows["power_of_two"]["p99_us"]
+    # every variant survives the mid-run kill: failover re-steers,
+    # nothing is lost and nothing left in flight
+    for row in table:
+        assert row["completed"] == row["offered"]
+        assert row["resteers"] > 0
+
+
+def test_fleet_determinism(benchmark):
+    def paired():
+        outcomes = []
+        for _ in range(2):
+            fleet = Fleet(num_machines=24, seed=5, steering="power_of_two")
+            fleet.drive(duration_us=20_000.0, rps=250_000,
+                        num_users=100_000)
+            fleet.run()
+            outcomes.append(
+                (fleet.completed, tuple(m.served for m in fleet.machines),
+                 fleet.latency.p99())
+            )
+        return outcomes
+
+    first, second = once(benchmark, paired)
+    assert first == second

@@ -29,6 +29,7 @@ from repro.experiments import (
     run_figure8,
     run_figure9,
     run_figure_faults,
+    run_figure_fleet,
     run_figure_order,
     run_figure_tail,
     run_table2,
@@ -50,6 +51,8 @@ _QUICK = {
                     warmup_us=5_000.0),
     "figure_faults": dict(loads=[50_000, 100_000], duration_us=120_000.0,
                           warmup_us=30_000.0),
+    "figure_fleet": dict(num_machines=24, rps=280_000, num_users=100_000,
+                         duration_us=60_000.0, warmup_us=10_000.0),
     "figure_order": dict(loads=[120_000, 240_000], duration_us=120_000.0,
                          warmup_us=30_000.0),
     "figure_tail": dict(loads=[120_000], duration_us=120_000.0,
@@ -65,6 +68,7 @@ _RUNNERS = {
     "figure8": run_figure8,
     "figure9": run_figure9,
     "figure_faults": run_figure_faults,
+    "figure_fleet": run_figure_fleet,
     "figure_order": run_figure_order,
     "figure_tail": run_figure_tail,
     "table2": run_table2,
@@ -80,10 +84,11 @@ def _build_parser():
     parser.add_argument(
         "experiment",
         choices=sorted(_RUNNERS) + ["all", "stats", "timeline", "health",
-                                    "qdisc"],
+                                    "qdisc", "fleet"],
         help=(
             "which experiment to run ('all' runs every one; 'stats', "
-            "'timeline', 'health' and 'qdisc' render the syrupctl demos)"
+            "'timeline', 'health', 'qdisc' and 'fleet' render the "
+            "syrupctl demos)"
         ),
     )
     parser.add_argument(
@@ -122,8 +127,11 @@ def _build_parser():
 def _kwargs_for(name, args):
     kwargs = dict(_QUICK[name]) if args.quick else {}
     if args.loads is not None and name.startswith("figure"):
-        key = "ls_loads" if name == "figure7" else "loads"
-        kwargs[key] = args.loads
+        if name == "figure_fleet":
+            kwargs["rps"] = args.loads[0]  # one aggregate rack load
+        else:
+            key = "ls_loads" if name == "figure7" else "loads"
+            kwargs[key] = args.loads
     if args.duration_ms is not None and name.startswith("figure"):
         kwargs["duration_us"] = args.duration_ms * 1000.0
         kwargs["warmup_us"] = args.duration_ms * 250.0  # 25% warmup
@@ -148,7 +156,7 @@ _PLOT_AXES = {
 
 def main(argv=None):
     args = _build_parser().parse_args(argv)
-    if args.experiment in ("stats", "timeline", "health", "qdisc"):
+    if args.experiment in ("stats", "timeline", "health", "qdisc", "fleet"):
         from repro import syrupctl
 
         kwargs = {}
@@ -167,6 +175,9 @@ def main(argv=None):
         elif args.experiment == "qdisc":
             machine = syrupctl.run_qdisc_demo(**kwargs)
             text = syrupctl.render_qdisc(machine)
+        elif args.experiment == "fleet":
+            fleet = syrupctl.run_fleet_demo(**kwargs)
+            text = syrupctl.render_fleet(fleet)
         else:
             machine = syrupctl.run_timeline_demo(**kwargs)
             text = syrupctl.render_timeline(machine)

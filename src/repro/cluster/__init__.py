@@ -1,4 +1,4 @@
-"""Rack-scale extension (paper §6.1).
+"""Rack-scale extension (paper §6.1), in two tiers of fidelity.
 
 "Scheduling occurs across the data center stack, from cluster managers and
 software load balancers to programmable switches.  We can extend Syrup to
@@ -6,16 +6,48 @@ support such backends as they are fully compatible with Syrup's matching
 view of scheduling; similar to end-host components, they schedule inputs
 (jobs/requests/packets) to executors (servers)."
 
-This package implements that extension: a programmable top-of-rack switch
-(:class:`~repro.cluster.switch.ProgrammableSwitch`) whose per-port
-match/action rules select a *server* for each request — the same matching
-shape as every end-host hook, and the same isolation mechanism (per-port
-rules, §6.1's P4 match/action isolation).  Verified Syrup programs deploy
-at the switch unchanged (the paper's P4-to-eBPF unification argument,
-§6.2), alongside native load-aware policies in the RackSched style.
+This package implements that extension twice, at the two scales the
+argument needs (docs/cluster.md):
+
+- **Micro tier** (:mod:`repro.cluster.cluster`,
+  :mod:`repro.cluster.switch`): a :class:`~repro.cluster.switch.
+  ProgrammableSwitch` steering requests across a handful of *full*
+  :class:`~repro.machine.Machine` instances — every NIC queue, softirq
+  core and socket simulated.  Right for rack-policy microbenchmarks and
+  for showing a verified program deploying at the switch unchanged
+  (§6.2's P4-to-eBPF unification).
+- **Fleet tier** (:mod:`repro.cluster.fleet`,
+  :mod:`repro.cluster.steering`, :mod:`repro.cluster.sync`): aggregate
+  machines (queue + service slots) behind a :class:`~repro.cluster.
+  fleet.TorSwitch`, steered by RackSched-style policies reading
+  *replicated* load state with explicit staleness
+  (:class:`~repro.cluster.sync.MapSyncBus`), failing over on
+  ``machine_kill``/``link_down`` faults.  Right for 100s of machines
+  under millions of users (``figure_fleet``).
 """
 
 from repro.cluster.cluster import Cluster, ClusterGenerator
+from repro.cluster.fleet import (
+    FLEET_MIX,
+    Fleet,
+    FleetFaultInjector,
+    FleetGenerator,
+    FleetMachine,
+    FleetRequest,
+    TorSwitch,
+)
+from repro.cluster.steering import (
+    STEERING_FACTORIES,
+    STEER_LOCALITY,
+    STEER_POWER_OF_TWO,
+    FlowHashSteering,
+    JsqSteering,
+    LocalitySteering,
+    PowerOfKSteering,
+    RandomSteering,
+    ShortestExpectedDelaySteering,
+    SwitchProgramSteering,
+)
 from repro.cluster.switch import (
     HashFlowPolicy,
     LeastOutstandingPolicy,
@@ -23,13 +55,33 @@ from repro.cluster.switch import (
     ProgramPolicy,
     RoundRobinPolicy,
 )
+from repro.cluster.sync import MapSyncBus, SyncChannel
 
 __all__ = [
+    "FLEET_MIX",
+    "STEERING_FACTORIES",
+    "STEER_LOCALITY",
+    "STEER_POWER_OF_TWO",
     "Cluster",
     "ClusterGenerator",
+    "Fleet",
+    "FleetFaultInjector",
+    "FleetGenerator",
+    "FleetMachine",
+    "FleetRequest",
+    "FlowHashSteering",
     "HashFlowPolicy",
+    "JsqSteering",
     "LeastOutstandingPolicy",
+    "LocalitySteering",
+    "MapSyncBus",
+    "PowerOfKSteering",
     "ProgramPolicy",
     "ProgrammableSwitch",
+    "RandomSteering",
     "RoundRobinPolicy",
+    "ShortestExpectedDelaySteering",
+    "SwitchProgramSteering",
+    "SyncChannel",
+    "TorSwitch",
 ]

@@ -1,0 +1,764 @@
+"""The fleet tier: 100s of machines, millions of users, one ToR switch.
+
+:mod:`repro.cluster.cluster` co-simulates a handful of *full* Machines —
+NICs, softirq cores, sockets, policy hooks — which is the right fidelity
+for rack-policy microbenchmarks and far too expensive for rack *scale*.
+This module is the aggregate tier: each server is a
+:class:`FleetMachine` (a queue plus ``workers`` service slots), each
+request a :class:`FleetRequest` (a few slots, no packet bytes unless a
+deployed program peeks via its lazy
+:class:`~repro.net.packet.PacketView`), and each user a sampled id out
+of ``num_users`` rather than an object.  That keeps a 100-machine,
+million-user diurnal run within a few hundred thousand engine events —
+``figure_fleet`` territory — while preserving the pieces the paper's
+§6.1 extension actually argues about:
+
+- the **ToR switch** (:class:`TorSwitch`) steers every request through a
+  user-defined policy (:mod:`repro.cluster.steering`), including
+  verified Syrup programs deployed into the network;
+- steering reads **replicated** load state kept fresh by a
+  :class:`~repro.cluster.sync.MapSyncBus` — bounded staleness, not
+  omniscience;
+- whole-machine and link failures come from the standard
+  :class:`~repro.faults.FaultPlan` (``machine_kill`` / ``link_down``)
+  and the switch *fails over*: orphaned requests re-steer to live
+  machines once detection fires (at-least-once semantics);
+- per-machine :class:`~repro.qdisc.discipline.Qdisc` ordering composes
+  with switch steering (``qdisc_factory``), so a rack can run
+  shortest-expected-delay at the ToR and SRPT at each host;
+- the whole run is observable: ``switch_steer``/``xnet_wait``/
+  ``machine_queue`` spans, fleet counters, and a flight-recorder probe
+  publishing per-machine load and replica staleness over sim time.
+
+Determinism: arrivals, service draws, steering randomness and fault
+timing all pull from named :class:`~repro.sim.rng.RngStreams`; the sync
+bus and recorder only read.  Two fleets built with the same arguments
+produce bit-identical latency distributions (tests/test_fleet.py).
+"""
+
+from repro.cluster.steering import (
+    STEERING_FACTORIES,
+    FlowHashSteering,
+    SwitchProgramSteering,
+)
+from repro.cluster.sync import MapSyncBus
+from repro.constants import DROP
+from repro.ebpf import ArrayMap, compile_policy, load_program
+from repro.faults import FaultKind
+from repro.net.packet import PacketView
+from repro.obs import Observability
+from repro.obs.timeseries import DEFAULT_INTERVAL_US, FlightRecorder
+from repro.sim.engine import Engine
+from repro.sim.rng import RngStreams
+from repro.stats import LatencyRecorder
+from repro.workload.mixes import RequestMix
+from repro.workload.requests import GET, SCAN, type_name
+
+__all__ = [
+    "FLEET_MIX",
+    "Fleet",
+    "FleetFaultInjector",
+    "FleetGenerator",
+    "FleetMachine",
+    "FleetRequest",
+    "TorSwitch",
+]
+
+import math
+
+#: Default fleet workload: mostly short GETs with a heavy SCAN tail —
+#: the shape that separates load-aware steering from hashing.
+FLEET_MIX = RequestMix("fleet", [
+    (GET, 0.90, (150.0, 250.0)),
+    (SCAN, 0.10, (600.0, 1000.0)),
+])
+
+DEFAULT_WIRE_US = 5.0
+DEFAULT_FORWARD_US = 1.0
+DEFAULT_FAILOVER_DETECT_US = 500.0
+
+
+class FleetRequest:
+    """One aggregate-flow request: slots only, packet bytes on demand."""
+
+    __slots__ = ("rid", "rtype", "user_id", "service_us", "sent_at",
+                 "dst_port", "machine", "attempts", "completed_at", "_pv")
+
+    def __init__(self, rid, rtype, service_us, user_id=0, sent_at=0.0,
+                 dst_port=0):
+        self.rid = rid
+        self.rtype = rtype
+        self.user_id = user_id
+        self.service_us = service_us
+        self.sent_at = sent_at
+        self.dst_port = dst_port
+        self.machine = None       # current steering target
+        self.attempts = 0         # steer count (>1 means failover re-steer)
+        self.completed_at = None
+        self._pv = None
+
+    def packet_view(self):
+        """The lazy packet facade handed to deployed programs/qdiscs."""
+        if self._pv is None:
+            self._pv = PacketView(self.rtype, user_id=self.user_id,
+                                  rid=self.rid, dst_port=self.dst_port)
+        return self._pv
+
+    @property
+    def latency_us(self):
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.sent_at
+
+    def __repr__(self):
+        return (
+            f"<FleetRequest rid={self.rid} {type_name(self.rtype)} "
+            f"user={self.user_id} machine={self.machine}>"
+        )
+
+
+class FleetMachine:
+    """An aggregate rack server: ``workers`` service slots + one queue.
+
+    The queue is a plain FIFO deque unless the fleet's ``qdisc_factory``
+    supplies a :class:`~repro.qdisc.discipline.Qdisc` — then requests
+    are ranked by the deployed program (seeing the request's lazy
+    ``PacketView``), composing per-host ordering with ToR steering.
+    """
+
+    __slots__ = ("index", "fleet", "workers", "queue_cap", "qdisc",
+                 "_fifo", "busy", "alive", "link_up", "served",
+                 "orphans", "_service_events", "_held_responses")
+
+    def __init__(self, index, fleet, workers, queue_cap=None, qdisc=None):
+        self.index = index
+        self.fleet = fleet
+        self.workers = workers
+        self.queue_cap = queue_cap
+        self.qdisc = qdisc
+        self._fifo = [] if qdisc is None else None
+        self.busy = 0
+        self.alive = True
+        self.link_up = True
+        self.served = 0
+        self.orphans = []             # requests stranded by a kill
+        self._service_events = {}     # rid -> completion Event
+        self._held_responses = []     # responses stuck behind a dead link
+
+    # ------------------------------------------------------------------
+    def load(self):
+        """Ground truth: queued + in-service (what the sync bus snapshots)."""
+        return self.queue_depth() + self.busy
+
+    def queue_depth(self):
+        return len(self.qdisc) if self.qdisc is not None else len(self._fifo)
+
+    def expected_delay(self):
+        """RackSched's steering signal: outstanding work per worker."""
+        return self.load() / self.workers
+
+    # ------------------------------------------------------------------
+    def receive(self, request):
+        """A steered request arrives off the rack wire."""
+        fleet = self.fleet
+        fleet.spans.xnet_end(request)
+        if not self.alive:
+            # Arrived at a corpse.  Before failover detection the switch
+            # doesn't know yet: strand the request with the other
+            # orphans.  After detection, re-steer immediately.
+            if fleet.switch.is_alive(self.index):
+                self.orphans.append(request)
+            else:
+                fleet.resteer(request)
+            return
+        if self.busy < self.workers:
+            self._begin_service(request)
+            return
+        depth = self.queue_depth()
+        if self.qdisc is not None:
+            result = self.qdisc.offer(request, capacity=self.queue_cap,
+                                      ctx=request.packet_view())
+            if result.evicted is not None:
+                fleet.drop(result.evicted, "qdisc_evict")
+            if not result.accepted:
+                fleet.drop(request, result.reason or "qdisc_drop")
+                return
+        else:
+            if self.queue_cap is not None and depth >= self.queue_cap:
+                fleet.drop(request, "overflow")
+                return
+            self._fifo.append(request)
+        fleet.spans.machine_enqueued(request, self.index, depth)
+
+    def _begin_service(self, request):
+        fleet = self.fleet
+        self.busy += 1
+        fleet.spans.fleet_service_begin(request, self.index)
+        event = fleet.engine.schedule(
+            request.service_us, self._complete_service, request
+        )
+        self._service_events[request.rid] = event
+
+    def _complete_service(self, request):
+        fleet = self.fleet
+        self._service_events.pop(request.rid, None)
+        self.busy -= 1
+        self.served += 1
+        fleet.spans.fleet_service_end(request)
+        self._dispatch_next()
+        if self.link_up:
+            fleet.send_response(self.index, request)
+        else:
+            # Carrier is down; the finished response waits at the NIC.
+            self._held_responses.append(request)
+
+    def _dispatch_next(self):
+        if self.busy >= self.workers:
+            return
+        nxt = (self.qdisc.take() if self.qdisc is not None
+               else (self._fifo.pop(0) if self._fifo else None))
+        if nxt is not None:
+            self._begin_service(nxt)
+
+    # ------------------------------------------------------------------
+    def kill(self):
+        """Whole-machine failure: cancel service, strand everything."""
+        self.alive = False
+        orphans = []
+        for event in self._service_events.values():
+            event.cancel()
+            orphans.append(event.args[0])
+        self._service_events.clear()
+        self.busy = 0
+        if self.qdisc is not None:
+            orphans.extend(self.qdisc.drain())
+        else:
+            orphans.extend(self._fifo)
+            self._fifo.clear()
+        self.orphans.extend(orphans)
+        self._held_responses.clear()  # a dead machine's responses are lost
+        return orphans
+
+    def restore(self):
+        self.alive = True
+
+    def link_restore(self):
+        """Carrier back: flush every response held behind the dead link."""
+        self.link_up = True
+        held, self._held_responses = self._held_responses, []
+        for request in held:
+            self.fleet.send_response(self.index, request)
+
+    def __repr__(self):
+        state = "up" if self.alive else "DEAD"
+        return (
+            f"<FleetMachine {self.index} {state} busy={self.busy} "
+            f"queued={self.queue_depth()} served={self.served}>"
+        )
+
+
+class TorSwitch:
+    """The rack's programmable top-of-rack switch (aggregate tier).
+
+    Holds the *replicated* steering state (``load_view``,
+    ``delay_view``, and the ``machine_load_array`` Map that deployed
+    programs read), the per-port tenant rules, and the liveness view.
+    ``mark_down``/``mark_up`` model what the switch can actually see:
+    carrier loss is instant, a wedged machine takes
+    ``failover_detect_us`` of silence to notice.
+    """
+
+    def __init__(self, num_machines, default=None):
+        self.num_machines = num_machines
+        self.default = default if default is not None else FlowHashSteering()
+        #: Last-resort matcher when even the default PASSes (e.g. a
+        #: deployed program installed as the default returns PASS).
+        self.fallback = FlowHashSteering()
+        self._port_rules = {}               # port -> (policy, owner)
+        self.load_view = [0] * num_machines
+        self.delay_view = [0.0] * num_machines
+        self.load_map = ArrayMap("machine_load_array", num_machines)
+        self._down = set()
+        self._alive = list(range(num_machines))
+        self.forwarded = [0] * num_machines
+        self.dropped = 0
+        self.resteers = 0
+
+    # ------------------------------------------------------------------
+    def install(self, port, policy, owner=None):
+        """Per-port match/action rule (tenant isolation, §6.1)."""
+        existing = self._port_rules.get(port)
+        if existing is not None and owner is not None \
+                and existing[1] is not None and existing[1] != owner:
+            raise PermissionError(
+                f"port {port} rule already owned by {existing[1]!r}"
+            )
+        self._port_rules[port] = (policy, owner)
+
+    def policy_for(self, request):
+        rule = self._port_rules.get(request.dst_port)
+        return rule[0] if rule is not None else self.default
+
+    # ------------------------------------------------------------------
+    def alive_machines(self):
+        return self._alive
+
+    def is_alive(self, index):
+        return index not in self._down
+
+    def mark_down(self, index):
+        self._down.add(index)
+        self._alive = [i for i in range(self.num_machines)
+                       if i not in self._down]
+
+    def mark_up(self, index):
+        self._down.discard(index)
+        self._alive = [i for i in range(self.num_machines)
+                       if i not in self._down]
+
+    # ------------------------------------------------------------------
+    def apply_load(self, loads, workers):
+        """Sync-bus apply: refresh every replica from a snapshot."""
+        self.load_view = loads
+        self.delay_view = [load / workers[i] for i, load in enumerate(loads)]
+        for i, load in enumerate(loads):
+            self.load_map.update(i, load)
+
+    def pick(self, request):
+        """Run the matching policy; returns a machine index or None (drop)."""
+        policy = self.policy_for(request)
+        index = policy.pick(request, self)
+        if index is None and policy is not self.default:
+            index = self.default.pick(request, self)
+        if index is None:
+            index = self.fallback.pick(request, self)
+        if index is None or index == DROP:
+            return None
+        return index
+
+    def __repr__(self):
+        return (
+            f"<TorSwitch machines={self.num_machines} "
+            f"down={sorted(self._down)} dropped={self.dropped}>"
+        )
+
+
+class FleetGenerator:
+    """Aggregate open-loop load: Poisson arrivals with diurnal modulation.
+
+    Millions of users are *sampled* (``user_id = uniform(num_users)``),
+    not instantiated.  The arrival rate follows
+    ``rps * (1 - depth * 0.5 * (1 + cos(2*pi*t/period)))`` — a diurnal
+    trough at t=0 rising to the full ``rps`` mid-period — degenerate to
+    constant ``rps`` when ``diurnal_depth`` is 0.
+    """
+
+    def __init__(self, fleet, rps, duration_us, num_users=1_000_000,
+                 mix=None, diurnal_period_us=None, diurnal_depth=0.0):
+        if not 0.0 <= diurnal_depth < 1.0:
+            raise ValueError(
+                f"diurnal_depth must be in [0, 1), got {diurnal_depth}"
+            )
+        self.fleet = fleet
+        self.rps = rps
+        self.duration_us = duration_us
+        self.num_users = num_users
+        self.mix = mix if mix is not None else FLEET_MIX
+        self.diurnal_period_us = diurnal_period_us
+        self.diurnal_depth = diurnal_depth
+        self._arrivals = fleet.streams.get("arrivals")
+        self._service = fleet.streams.get("service")
+        self._users = fleet.streams.get("users")
+        self.offered = 0
+        self.done = False
+        self._next_rid = 0
+
+    def rate_per_us(self, now):
+        rate = self.rps / 1e6
+        if self.diurnal_period_us:
+            rate *= 1.0 - self.diurnal_depth * 0.5 * (
+                1.0 + math.cos(2.0 * math.pi * now / self.diurnal_period_us)
+            )
+        return rate
+
+    def start(self):
+        self._schedule_next()
+
+    def _schedule_next(self):
+        now = self.fleet.engine.now
+        rate = self.rate_per_us(now)
+        gap = self._arrivals.expovariate(rate) if rate > 0 \
+            else self.duration_us
+        if now + gap >= self.duration_us:
+            self.done = True
+            return
+        self.fleet.engine.schedule(gap, self._arrive)
+
+    def _arrive(self):
+        self._next_rid += 1
+        rtype, service_us = self.mix.sample(self._service)
+        request = FleetRequest(
+            rid=self._next_rid,
+            rtype=rtype,
+            service_us=service_us,
+            user_id=self._users.randrange(self.num_users),
+            sent_at=self.fleet.engine.now,
+        )
+        self.offered += 1
+        self.fleet.admit(request)
+        self._schedule_next()
+
+
+class FleetFaultInjector:
+    """Arms a :class:`~repro.faults.FaultPlan`'s fleet-scoped specs.
+
+    The mirror image of :class:`repro.faults.FaultInjector`: that one
+    skips ``machine_kill``/``link_down``, this one arms *only* them —
+    the same plan object can drive a Machine and a Fleet.
+    """
+
+    def __init__(self, fleet, plan):
+        self.fleet = fleet
+        self.plan = plan
+        self.injected = 0
+
+    def arm(self):
+        engine = self.fleet.engine
+        for spec in self.plan.specs:
+            if spec.kind == FaultKind.MACHINE_KILL:
+                engine.at(spec.at_us, self._inject_kill, spec)
+                if spec.restore_at_us is not None:
+                    engine.at(spec.restore_at_us, self._inject_restore, spec)
+            elif spec.kind == FaultKind.LINK_DOWN:
+                engine.at(spec.at_us, self._inject_link_down, spec)
+                engine.at(spec.at_us + spec.duration_us,
+                          self._inject_link_restore, spec)
+        return self
+
+    def _inject_kill(self, spec):
+        self._note(FaultKind.MACHINE_KILL, machine=spec.machine)
+        self.fleet.kill_machine(spec.machine)
+
+    def _inject_restore(self, spec):
+        self._note(FaultKind.MACHINE_RESTORE, machine=spec.machine)
+        self.fleet.restore_machine(spec.machine)
+
+    def _inject_link_down(self, spec):
+        self._note(FaultKind.LINK_DOWN, machine=spec.machine,
+                   duration_us=spec.duration_us)
+        self.fleet.link_down(spec.machine)
+
+    def _inject_link_restore(self, spec):
+        self._note(FaultKind.LINK_RESTORE, machine=spec.machine)
+        self.fleet.link_restore(spec.machine)
+
+    def _note(self, kind, **fields):
+        self.injected += 1
+        obs = self.fleet.obs
+        obs.registry.counter("fleet", "faults", kind).inc()
+        obs.events.emit("fault_injected", fault=kind, **fields)
+
+    def __repr__(self):
+        return f"<FleetFaultInjector injected={self.injected}>"
+
+
+class Fleet:
+    """A rack (or row) of aggregate machines behind one ToR switch.
+
+    Construction wires the same observability surface as
+    :class:`repro.machine.Machine` — ``metrics=True`` for the registry,
+    ``timeseries=`` for the flight recorder (with a fleet probe
+    publishing per-machine load + replica staleness), ``spans=N`` for
+    causal tracing — plus the sync bus and the fleet fault injector.
+
+    Steering: ``steering`` names a policy out of
+    :data:`repro.cluster.steering.STEERING_FACTORIES` (or pass a policy
+    object to :meth:`install_steering`); verified programs deploy with
+    :meth:`deploy_steering_program`.
+    """
+
+    def __init__(self, num_machines=100, workers_per_machine=4, seed=1,
+                 steering="power_of_two", queue_cap=None, qdisc_factory=None,
+                 wire_us=DEFAULT_WIRE_US, forward_us=DEFAULT_FORWARD_US,
+                 failover_detect_us=DEFAULT_FAILOVER_DETECT_US,
+                 sync_interval_us=50.0, sync_delay_us=25.0,
+                 metrics=False, timeseries=None, spans=0, faults=None,
+                 warmup_us=0.0):
+        if num_machines < 1:
+            raise ValueError(f"need at least one machine, got {num_machines}")
+        self.engine = Engine()
+        self.streams = RngStreams(seed)
+        self.seed = seed
+        self.wire_us = wire_us
+        self.forward_us = forward_us
+        self.failover_detect_us = failover_detect_us
+        self.workers_per_machine = workers_per_machine
+
+        self.obs = Observability(
+            clock=lambda: self.engine.now, enabled=metrics, spans=spans,
+        )
+        self.spans = self.obs.spans
+        if timeseries and metrics:
+            interval = (DEFAULT_INTERVAL_US if timeseries is True
+                        else float(timeseries))
+            recorder = FlightRecorder(self.obs.registry, self.engine,
+                                      interval_us=interval)
+            recorder.probes.append(self._sample_fleet_state)
+            self.obs.recorder = recorder
+
+        self.switch = TorSwitch(num_machines)
+        self.machines = [
+            FleetMachine(
+                i, self, workers_per_machine, queue_cap=queue_cap,
+                qdisc=qdisc_factory(i) if qdisc_factory is not None else None,
+            )
+            for i in range(num_machines)
+        ]
+        self._workers = [m.workers for m in self.machines]
+
+        self.generator = None
+        self.latency = LatencyRecorder(warmup_until=warmup_us)
+        self.outstanding = 0
+        self.completed = 0
+        self.dropped = 0
+
+        self.sync = MapSyncBus(
+            self.engine, interval_us=sync_interval_us,
+            delay_us=sync_delay_us, active=self._work_pending,
+        )
+        self.sync.add_channel(
+            "load",
+            snapshot=lambda: [m.load() for m in self.machines],
+            apply=lambda loads, _stamp: self.switch.apply_load(
+                loads, self._workers
+            ),
+        )
+
+        self.injector = None
+        if faults is not None:
+            self.injector = FleetFaultInjector(self, faults)
+
+        self.steering_name = None
+        if steering is not None:
+            if isinstance(steering, str):
+                factory = STEERING_FACTORIES.get(steering)
+                if factory is None:
+                    raise ValueError(
+                        f"unknown steering policy {steering!r}; known: "
+                        f"{sorted(STEERING_FACTORIES)}"
+                    )
+                self.install_steering(factory(self))
+                self.steering_name = steering  # the registry key, not .name
+            else:
+                self.install_steering(steering)
+
+        self.profiler = None  # set by repro.obs.profile.attach
+
+    # ------------------------------------------------------------------
+    @property
+    def num_machines(self):
+        return len(self.machines)
+
+    def steering_rng(self):
+        """The named stream steering policies draw from (determinism)."""
+        return self.streams.get("steering")
+
+    def _work_pending(self):
+        gen = self.generator
+        return (gen is not None and not gen.done) or self.outstanding > 0
+
+    # ------------------------------------------------------------------
+    # Steering deployment
+    # ------------------------------------------------------------------
+    def install_steering(self, policy, port=None, owner=None):
+        """Make ``policy`` the default, or a per-port tenant rule."""
+        if port is None:
+            self.switch.default = policy
+        else:
+            self.switch.install(port, policy, owner=owner)
+        if port is None:
+            self.steering_name = getattr(policy, "name", "custom")
+        return policy
+
+    def deploy_steering_program(self, source, constants=None, name="program"):
+        """Compile + verify + load a Syrup program for the ToR switch.
+
+        The program's ``machine_load_array`` Map binds to the switch's
+        replicated load replica (kept fresh by the sync bus), and
+        ``NUM_MACHINES`` / ``SPILL_THRESHOLD`` are provided as
+        compile-time constants unless overridden.
+        """
+        merged = {"NUM_MACHINES": self.num_machines, "SPILL_THRESHOLD": 8}
+        merged.update(constants or {})
+        program = compile_policy(source, name=name, constants=merged)
+        loaded = load_program(
+            program,
+            maps={"machine_load_array": self.switch.load_map},
+            rng=self.streams.get(f"switch_program/{name}"),
+        )
+        return SwitchProgramSteering(loaded, name=name)
+
+    # ------------------------------------------------------------------
+    # Request lifecycle
+    # ------------------------------------------------------------------
+    def admit(self, request):
+        """A client request reaches the rack: sample, steer, forward."""
+        self.spans.switch_arrival(request)
+        self.outstanding += 1
+        self._steer(request, resteer=False)
+
+    def resteer(self, request):
+        """Failover: re-run steering for an orphaned request."""
+        self.switch.resteers += 1
+        self.obs.registry.counter("fleet", "switch", "resteers").inc()
+        self.spans.machine_requeued(request)
+        self._steer(request, resteer=True)
+
+    def _steer(self, request, resteer):
+        index = self.switch.pick(request)
+        if index is None:
+            self.switch.dropped += 1
+            self.drop(request, "steering_drop")
+            return
+        request.machine = index
+        request.attempts += 1
+        self.switch.forwarded[index] += 1
+        self.obs.registry.counter("fleet", "switch", "forwarded").inc()
+        policy = self.switch.policy_for(request)
+        self.spans.switch_steer(request, index,
+                                getattr(policy, "name", "custom"),
+                                resteer=resteer)
+        self.spans.xnet_begin(request, "request", index)
+        self.engine.schedule(
+            self.forward_us + self.wire_us,
+            self.machines[index].receive, request,
+        )
+
+    def send_response(self, index, request):
+        """A machine's response crosses the rack wire back to the client."""
+        self.spans.xnet_begin(request, "response", index)
+        self.engine.schedule(self.wire_us, self._complete, request)
+
+    def _complete(self, request):
+        self.spans.xnet_end(request)
+        self.spans.fleet_complete(request)
+        now = self.engine.now
+        request.completed_at = now
+        self.latency.record(now, now - request.sent_at,
+                            tag=type_name(request.rtype))
+        self.outstanding -= 1
+        self.completed += 1
+        self.obs.registry.counter("fleet", "fleet", "completed").inc()
+
+    def drop(self, request, reason):
+        self.spans.fleet_drop(request, reason)
+        self.outstanding -= 1
+        self.dropped += 1
+        self.obs.registry.counter("fleet", "fleet", "dropped").inc()
+        self.obs.events.emit("fleet_drop", rid=request.rid, reason=reason)
+
+    # ------------------------------------------------------------------
+    # Failures (driven by FleetFaultInjector)
+    # ------------------------------------------------------------------
+    def kill_machine(self, index):
+        machine = self.machines[index]
+        if not machine.alive:
+            return
+        machine.kill()
+        # The switch keeps steering at the corpse until detection fires.
+        self.engine.schedule(self.failover_detect_us,
+                             self._notice_down, index)
+
+    def _notice_down(self, index):
+        machine = self.machines[index]
+        if machine.alive:
+            return            # restored before detection; nothing to do
+        self.switch.mark_down(index)
+        orphans, machine.orphans = machine.orphans, []
+        for request in orphans:
+            self.resteer(request)
+
+    def restore_machine(self, index):
+        machine = self.machines[index]
+        machine.restore()
+        if machine.link_up:
+            self.switch.mark_up(index)
+
+    def link_down(self, index):
+        machine = self.machines[index]
+        machine.link_up = False
+        # Carrier loss is visible immediately — no detection delay.
+        self.switch.mark_down(index)
+
+    def link_restore(self, index):
+        machine = self.machines[index]
+        machine.link_restore()
+        if machine.alive:
+            self.switch.mark_up(index)
+
+    # ------------------------------------------------------------------
+    # Driving
+    # ------------------------------------------------------------------
+    def drive(self, duration_us, rps, num_users=1_000_000, mix=None,
+              diurnal_period_us=None, diurnal_depth=0.0):
+        """Attach the aggregate open-loop generator (call before run)."""
+        self.generator = FleetGenerator(
+            self, rps=rps, duration_us=duration_us, num_users=num_users,
+            mix=mix, diurnal_period_us=diurnal_period_us,
+            diurnal_depth=diurnal_depth,
+        )
+        return self.generator
+
+    def run(self, until=None):
+        """Arm everything and run the engine to completion."""
+        if self.injector is not None:
+            self.injector.arm()
+        if self.generator is not None:
+            self.generator.start()
+        self.sync.arm()
+        self.obs.recorder.arm()
+        self.engine.run(until=until)
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+    def _sample_fleet_state(self):
+        """Flight-recorder probe: per-machine load + replica staleness."""
+        registry = self.obs.registry
+        for machine in self.machines:
+            registry.gauge(
+                "fleet", "machine", f"load_{machine.index}"
+            ).set(machine.load())
+        registry.gauge("fleet", "fleet", "outstanding").set(self.outstanding)
+        staleness = self.sync.staleness_us()
+        if staleness is not None:
+            registry.gauge("fleet", "sync", "staleness_us").set(staleness)
+
+    def fleet_view(self):
+        """JSON-safe operator snapshot (``syrupctl fleet``)."""
+        loads = [m.load() for m in self.machines]
+        return {
+            "machines": self.num_machines,
+            "workers_per_machine": self.workers_per_machine,
+            "steering": self.steering_name,
+            "sync_interval_us": self.sync.interval_us,
+            "sync_delay_us": self.sync.delay_us,
+            "staleness_us": self.sync.staleness_us(),
+            "down": sorted(self.switch._down),
+            "offered": self.generator.offered if self.generator else 0,
+            "completed": self.completed,
+            "dropped": self.dropped,
+            "resteers": self.switch.resteers,
+            "outstanding": self.outstanding,
+            "load_now": loads,
+            "served": [m.served for m in self.machines],
+            "forwarded": list(self.switch.forwarded),
+            "p50_us": self.latency.p50(),
+            "p99_us": self.latency.p99(),
+        }
+
+    def __repr__(self):
+        return (
+            f"<Fleet machines={self.num_machines} "
+            f"steering={self.steering_name!r} completed={self.completed}>"
+        )

@@ -46,20 +46,29 @@ class FaultKind:
     CORE_STALL = "core_stall"              # a softirq core stops serving
     SOCKET_SATURATE = "socket_saturate"    # a port's socket backlogs vanish
     SOCKET_RESTORE = "socket_restore"
+    # Fleet-scoped kinds (repro.cluster): whole-machine and rack-link
+    # failures.  A single-machine FaultInjector ignores them; the fleet's
+    # FleetFaultInjector arms them against FleetMachines and the ToR
+    # switch (docs/cluster.md, "Failure semantics").
+    MACHINE_KILL = "machine_kill"          # a rack server dies wholesale
+    MACHINE_RESTORE = "machine_restore"
+    LINK_DOWN = "link_down"                # switch<->server link loses carrier
+    LINK_RESTORE = "link_restore"
 
     ALL = (VMFAULT, AGENT_CRASH, NIC_OFFLOAD_DOWN, CORE_STALL,
-           SOCKET_SATURATE)
+           SOCKET_SATURATE, MACHINE_KILL, LINK_DOWN)
 
 
 class FaultSpec:
     """One declared injection (see the FaultPlan builder methods)."""
 
     __slots__ = ("kind", "app", "hook", "rate", "start_us", "until_us",
-                 "at_us", "restore_at_us", "duration_us", "core", "port")
+                 "at_us", "restore_at_us", "duration_us", "core", "port",
+                 "machine")
 
     def __init__(self, kind, app=None, hook=None, rate=0.0, start_us=0.0,
                  until_us=None, at_us=0.0, restore_at_us=None,
-                 duration_us=0.0, core=0, port=0):
+                 duration_us=0.0, core=0, port=0, machine=None):
         self.kind = kind
         self.app = app
         self.hook = hook
@@ -71,16 +80,19 @@ class FaultSpec:
         self.duration_us = duration_us
         self.core = core
         self.port = port
+        self.machine = machine
 
     def as_dict(self):
         """JSON-safe view (used by event payloads and docs examples)."""
         out = {"kind": self.kind}
         for field in ("app", "hook", "rate", "start_us", "until_us",
                       "at_us", "restore_at_us", "duration_us", "core",
-                      "port"):
+                      "port", "machine"):
             value = getattr(self, field)
             if value not in (None, 0, 0.0) or (
                 self.kind == FaultKind.VMFAULT and field == "rate"
+            ) or (
+                field == "machine" and value is not None
             ):
                 out[field] = value
         return out
@@ -154,6 +166,37 @@ class FaultPlan:
         """Zero the backlog of every socket on ``port`` for a window."""
         self.specs.append(FaultSpec(
             FaultKind.SOCKET_SATURATE, port=port, at_us=at_us,
+            duration_us=duration_us,
+        ))
+        return self
+
+    def machine_kill(self, machine, at_us, restore_at_us=None):
+        """Kill fleet machine ``machine`` wholesale at ``at_us``.
+
+        Fleet-scoped (:class:`repro.cluster.fleet.Fleet`): queued and
+        in-service requests orphan; once the ToR switch's failover
+        detection fires, they are re-steered to live machines and the
+        dead machine is excluded from every candidate set.  Optionally
+        restore (reboot) at ``restore_at_us``.  A single-machine
+        :class:`FaultInjector` ignores this spec.
+        """
+        self.specs.append(FaultSpec(
+            FaultKind.MACHINE_KILL, machine=machine, at_us=at_us,
+            restore_at_us=restore_at_us,
+        ))
+        return self
+
+    def link_down(self, machine, at_us, duration_us):
+        """Drop the switch<->``machine`` rack link for ``duration_us``.
+
+        The machine itself stays up and keeps draining its queue; the
+        switch sees carrier loss immediately (no detection delay) and
+        steers around it, and responses the machine finishes while the
+        link is down are buffered and flushed at restore.  Fleet-scoped,
+        like :meth:`machine_kill`.
+        """
+        self.specs.append(FaultSpec(
+            FaultKind.LINK_DOWN, machine=machine, at_us=at_us,
             duration_us=duration_us,
         ))
         return self
@@ -254,7 +297,10 @@ class FaultInjector:
                 engine.at(spec.at_us, self._inject_core_stall, spec)
             elif spec.kind == FaultKind.SOCKET_SATURATE:
                 engine.at(spec.at_us, self._inject_socket_saturate, spec)
-            # VMFAULT is armed per-deployment via wrap_program.
+            # VMFAULT is armed per-deployment via wrap_program.  Fleet
+            # kinds (MACHINE_KILL, LINK_DOWN) are skipped here: a plan
+            # can mix end-host and fleet specs and hand the same object
+            # to a Machine and a repro.cluster.fleet.Fleet.
         return self
 
     def wrap_program(self, loaded, app_name, hook):

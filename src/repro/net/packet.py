@@ -31,6 +31,7 @@ __all__ = [
     "UDP_HEADER_LEN",
     "FiveTuple",
     "Packet",
+    "PacketView",
     "build_payload",
 ]
 
@@ -99,3 +100,63 @@ class Packet:
 
     def __repr__(self):
         return f"<Packet {self.flow} len={self.length}>"
+
+
+class PacketView:
+    """A packet facade over an aggregate-flow request (no bytes up front).
+
+    The fleet tier (:mod:`repro.cluster.fleet`) simulates hundreds of
+    machines under millions of users, so it cannot afford to serialize a
+    :class:`Packet` per request just in case a verified program wants to
+    peek at it.  A ``PacketView`` carries only the header fields and
+    materializes the standard wire layout lazily, the first time policy
+    code calls ``load`` — which only happens for requests that actually
+    reach a deployed program (a ToR steering program or a per-machine
+    rank function).  Duck-type-compatible with :class:`Packet` for the
+    VM, the JIT and :class:`repro.qdisc.discipline.Qdisc`.
+    """
+
+    __slots__ = ("src_port", "dst_port", "rtype", "user_id", "key_hash",
+                 "rid", "_data")
+
+    def __init__(self, rtype, user_id=0, key_hash=0, rid=0,
+                 src_port=0, dst_port=0):
+        self.src_port = src_port
+        self.dst_port = dst_port
+        self.rtype = rtype
+        self.user_id = user_id
+        self.key_hash = key_hash
+        self.rid = rid
+        self._data = None
+
+    @property
+    def length(self):
+        return UDP_HEADER_LEN + _APP.size
+
+    @property
+    def data(self):
+        if self._data is None:
+            payload = build_payload(self.rtype, self.user_id,
+                                    self.key_hash, self.rid)
+            header = _HEADER.pack(
+                self.src_port, self.dst_port,
+                UDP_HEADER_LEN + len(payload), 0,
+            )
+            self._data = header + payload
+        return self._data
+
+    def load(self, offset, width):
+        """Read ``width`` bytes at ``offset``, materializing lazily."""
+        end = offset + width
+        if offset < 0 or end > self.length:
+            raise IndexError(
+                f"packet load [{offset}:{end}) out of bounds "
+                f"(len={self.length})"
+            )
+        return int.from_bytes(self.data[offset:end], "little")
+
+    def __repr__(self):
+        return (
+            f"<PacketView rid={self.rid} rtype={self.rtype} "
+            f"user={self.user_id}>"
+        )

@@ -140,10 +140,16 @@ def attach(machine, profiler):
     and JIT split), provisioned hook sites, pinned maps, and live ghOSt
     agents; ``machine.profiler`` is set so syrupd wires the same profiler
     into anything deployed *after* this call (mid-run policy switches).
+
+    Also accepts engine-owning objects without a syrupd — the fleet tier
+    (:class:`repro.cluster.fleet.Fleet`) — in which case only the engine
+    loop is bracketed (aggregate fleet machines run no hook sites).
     """
     machine.profiler = profiler
     machine.engine.profiler = profiler
-    syrupd = machine.syrupd
+    syrupd = getattr(machine, "syrupd", None)
+    if syrupd is None:
+        return profiler
     for site in syrupd._sites.values():
         site.profiler = profiler
     for deployed in syrupd.deployed:

@@ -23,6 +23,12 @@ simulated microseconds:
   commit+IPI latency of the agent's transaction.
 - ``service`` — work pulled until the item completes (context switch +
   syscalls + application service time).
+- ``switch_steer`` / ``xnet_wait`` / ``machine_queue`` — fleet-tier
+  spans (:mod:`repro.cluster.fleet`): the ToR steering decision (with
+  the chosen machine and policy name, and ``resteer`` on failover), a
+  cross-rack wire transit (request or response direction), and the
+  chosen machine's aggregate queue wait.  Sampling for fleet requests
+  happens at :meth:`SpanTracer.switch_arrival` instead of the NIC.
 
 **Head sampling is deterministic**: every ``sample_every``-th
 request-bearing packet at NIC arrival is traced — a counter, no RNG.
@@ -233,6 +239,117 @@ class SpanTracer:
         self._close(tree, "qdisc_wait", self.clock())
 
     # ------------------------------------------------------------------
+    # Fleet tier (repro.cluster.fleet): ToR steering + cross-rack wires
+    # ------------------------------------------------------------------
+    def _rtree(self, request):
+        """Tree lookup keyed directly by a request (no packet wrapper)."""
+        if request is None:
+            return None
+        return self._live.get(request.rid)
+
+    def switch_arrival(self, request):
+        """Fleet head-sampling point: every Nth request at the ToR switch.
+
+        The fleet analogue of :meth:`nic_arrival` — the switch is the
+        first hop a fleet request touches, so sampling happens here.
+        """
+        self.seen += 1
+        if (self.seen - 1) % self.sample_every:
+            return
+        if request.rid in self._live:
+            return
+        self.sampled += 1
+        now = self.clock()
+        tree = {
+            "rid": request.rid,
+            "rtype": request.rtype,
+            "start": now,
+            "end": None,
+            "complete": False,
+            "abort_reason": None,
+            "spans": [],
+            "_open": {},
+        }
+        self._live[request.rid] = tree
+
+    def switch_steer(self, request, machine, policy, resteer=False):
+        """The ToR picked ``machine`` for this request: a zero-duration
+        span carrying the policy name and whether this was a failover
+        re-steer of an orphaned request."""
+        tree = self._rtree(request)
+        if tree is None:
+            return
+        now = self.clock()
+        attrs = {"machine": machine, "policy": policy}
+        if resteer:
+            attrs["resteer"] = True
+        self._add(tree, "switch_steer", now, now, **attrs)
+
+    def xnet_begin(self, request, direction, machine):
+        """The request (or its response) went onto a rack wire."""
+        tree = self._rtree(request)
+        if tree is None:
+            return
+        self._open(tree, "xnet_wait", self.clock(), direction=direction,
+                   machine=machine)
+
+    def xnet_end(self, request):
+        """The rack wire delivered; close the in-flight ``xnet_wait``."""
+        tree = self._rtree(request)
+        if tree is None:
+            return
+        self._close(tree, "xnet_wait", self.clock())
+
+    def machine_enqueued(self, request, machine, depth):
+        """The request joined a fleet machine's queue ``depth`` deep."""
+        tree = self._rtree(request)
+        if tree is None:
+            return
+        self._open(tree, "machine_queue", self.clock(), machine=machine,
+                   depth=depth)
+
+    def machine_requeued(self, request):
+        """The machine died with this request queued; reopen the clock.
+
+        Closes any open ``machine_queue``/``service`` span so the
+        re-steered attempt gets fresh ones.
+        """
+        tree = self._rtree(request)
+        if tree is None:
+            return
+        now = self.clock()
+        self._close(tree, "machine_queue", now, orphaned=True)
+        self._close(tree, "service", now, orphaned=True)
+
+    def fleet_service_begin(self, request, machine):
+        tree = self._rtree(request)
+        if tree is None:
+            return
+        now = self.clock()
+        self._close(tree, "machine_queue", now)
+        self._open(tree, "service", now, machine=machine)
+
+    def fleet_service_end(self, request):
+        tree = self._rtree(request)
+        if tree is None:
+            return
+        self._close(tree, "service", self.clock())
+
+    def fleet_complete(self, request):
+        """The response reached the client; the tree is complete."""
+        tree = self._rtree(request)
+        if tree is None:
+            return
+        self._finalize(tree, complete=True)
+
+    def fleet_drop(self, request, reason):
+        """The fleet shed this request; the tree ends incomplete."""
+        tree = self._rtree(request)
+        if tree is None:
+            return
+        self._finalize(tree, complete=False, reason=reason)
+
+    # ------------------------------------------------------------------
     # Thread scheduling (repro.kernel.sched / cfs, repro.ghost)
     # ------------------------------------------------------------------
     def thread_runnable(self, thread):
@@ -387,6 +504,36 @@ class NullSpanTracer:
         pass
 
     def qdisc_dequeued(self, packet):
+        pass
+
+    def switch_arrival(self, request):
+        pass
+
+    def switch_steer(self, request, machine, policy, resteer=False):
+        pass
+
+    def xnet_begin(self, request, direction, machine):
+        pass
+
+    def xnet_end(self, request):
+        pass
+
+    def machine_enqueued(self, request, machine, depth):
+        pass
+
+    def machine_requeued(self, request):
+        pass
+
+    def fleet_service_begin(self, request, machine):
+        pass
+
+    def fleet_service_end(self, request):
+        pass
+
+    def fleet_complete(self, request):
+        pass
+
+    def fleet_drop(self, request, reason):
         pass
 
     def thread_runnable(self, thread):

@@ -28,6 +28,7 @@ __all__ = [
     "main",
     "render_deployments",
     "render_events",
+    "render_fleet",
     "render_health",
     "render_maps",
     "render_qdisc",
@@ -37,6 +38,7 @@ __all__ = [
     "render_tail",
     "render_timeline",
     "run_faults_demo",
+    "run_fleet_demo",
     "run_qdisc_demo",
     "run_spans_demo",
     "run_stats_demo",
@@ -106,6 +108,45 @@ def render_qdisc(machine):
     if not rows:
         rendered += "\n(no disciplines installed)"
     return rendered
+
+
+def render_fleet(fleet, width=60):
+    """The rack console: steering, staleness, liveness, load balance.
+
+    Renders a :class:`repro.cluster.fleet.Fleet` — the header shows the
+    installed steering policy and the sync-bus staleness window, then
+    per-machine sparklines over *machine index* (served totals and
+    instantaneous load) expose how evenly the policy spread the rack,
+    and a footer reports failover activity and the client-observed tail.
+    """
+    view = fleet.fleet_view()
+    staleness = view["staleness_us"]
+    lines = [
+        f"== syrup fleet t={fleet.engine.now:.0f}us ==",
+        (
+            f"machines={view['machines']} x{view['workers_per_machine']} "
+            f"workers  steering={view['steering']}  "
+            f"sync={view['sync_delay_us']:g}+{view['sync_interval_us']:g}us"
+            + (f"  staleness={staleness:.0f}us" if staleness is not None
+               else "")
+        ),
+    ]
+    if view["down"]:
+        lines.append(f"DOWN: machines {view['down']}")
+    lines.append(
+        f"offered={view['offered']}  completed={view['completed']}  "
+        f"dropped={view['dropped']}  resteers={view['resteers']}  "
+        f"outstanding={view['outstanding']}"
+    )
+    served = view["served"]
+    lines.append(f"served/machine   {_sparkline(served, width)}  "
+                 f"min={min(served)} max={max(served)}")
+    lines.append(f"load now         {_sparkline(view['load_now'], width)}  "
+                 f"total={sum(view['load_now'])}")
+    p50, p99 = view["p50_us"], view["p99_us"]
+    if p50 == p50:  # not NaN
+        lines.append(f"latency  p50={p50:.0f}us  p99={p99:.0f}us")
+    return "\n".join(lines)
 
 
 def render_maps(machine, max_entries=8):
@@ -529,9 +570,41 @@ def run_timeline_demo(load=6_000, duration_ms=600.0, seed=5,
     return testbed.machine
 
 
+def run_fleet_demo(load=500_000, duration_ms=60.0, seed=7,
+                   num_machines=48, steering="power_of_two"):
+    """Drive the canned rack demo: one figure_fleet-style run.
+
+    ``num_machines`` aggregate machines under a diurnal open-loop load
+    from a million sampled users, power-of-two-choices steering at the
+    ToR, metrics + flight recorder on, and a mid-run machine kill (with
+    reboot) so the failover path shows up in the console.  Returns the
+    finished :class:`repro.cluster.fleet.Fleet` for rendering
+    (``syrupctl fleet`` / ``python -m repro fleet``).
+    """
+    from repro.cluster.fleet import Fleet
+    from repro.faults import FaultPlan
+
+    duration_us = duration_ms * 1000.0
+    plan = FaultPlan(seed=11).machine_kill(
+        num_machines // 3, at_us=duration_us * 0.4,
+        restore_at_us=duration_us * 0.75,
+    )
+    fleet = Fleet(
+        num_machines=num_machines, seed=seed, steering=steering,
+        metrics=True, timeseries=True, faults=plan,
+        warmup_us=duration_us * 0.2,
+    )
+    fleet.drive(
+        duration_us=duration_us, rps=load, num_users=1_000_000,
+        diurnal_period_us=duration_us, diurnal_depth=0.4,
+    )
+    fleet.run()
+    return fleet
+
+
 def main(argv=None):
     """CLI: ``syrupctl
-    {stats,status,maps,events,timeline,health,spans,tail,qdisc}``."""
+    {stats,status,maps,events,timeline,health,spans,tail,qdisc,fleet}``."""
     parser = argparse.ArgumentParser(
         prog="syrupctl",
         description=(
@@ -546,7 +619,7 @@ def main(argv=None):
     parser.add_argument(
         "view",
         choices=["stats", "status", "maps", "events", "timeline", "health",
-                 "spans", "tail", "qdisc"],
+                 "spans", "tail", "qdisc", "fleet"],
         help="which surface to render",
     )
     parser.add_argument("--load", type=int, default=None,
@@ -626,6 +699,20 @@ def main(argv=None):
                              sort_keys=True))
         else:
             print(render_qdisc(machine))
+    elif args.view == "fleet":
+        kwargs = {}
+        if args.load is not None:
+            kwargs["load"] = args.load
+        if args.duration_ms is not None:
+            kwargs["duration_ms"] = args.duration_ms
+        if args.seed is not None:
+            kwargs["seed"] = args.seed
+        fleet = run_fleet_demo(**kwargs)
+        if args.json:
+            print(json.dumps(fleet.fleet_view(), indent=2, sort_keys=True))
+        else:
+            print(render_fleet(fleet))
+        return 0
     elif args.view in ("spans", "tail"):
         kwargs = {"spans_every": args.spans_every}
         if args.load is not None:

@@ -1,0 +1,368 @@
+"""Tests for the fleet tier: sync staleness, steering, failover, qdiscs."""
+
+import pytest
+
+from repro.cluster import (
+    FLEET_MIX,
+    STEERING_FACTORIES,
+    STEER_LOCALITY,
+    STEER_POWER_OF_TWO,
+    Fleet,
+    FleetRequest,
+    JsqSteering,
+    MapSyncBus,
+    PowerOfKSteering,
+)
+from repro.constants import DROP
+from repro.experiments.figure_fleet import run_figure_fleet
+from repro.faults import FaultKind, FaultPlan
+from repro.net.packet import APP_USER_OFF, PacketView, UDP_HEADER_LEN
+from repro.qdisc import LAYER_SOCKET, Qdisc
+from repro.sim.engine import Engine
+from repro.workload.requests import GET
+
+
+# ----------------------------------------------------------------------
+# MapSyncBus: the staleness model
+# ----------------------------------------------------------------------
+class TestMapSyncBus:
+    def test_snapshot_applies_after_propagation_delay(self):
+        engine = Engine()
+        truth = {"v": 1}
+        replica = {}
+        bus = MapSyncBus(engine, interval_us=50.0, delay_us=25.0,
+                         active=lambda: engine.now < 200.0)
+        bus.add_channel("v", snapshot=lambda: truth["v"],
+                        apply=lambda value, stamp: replica.update(
+                            v=value, stamp=stamp))
+        bus.arm()
+        # Tick at t=50 snapshots v=1; the apply lands at t=75.
+        engine.run(until=60.0)
+        assert replica == {}
+        engine.run(until=80.0)
+        assert replica == {"v": 1, "stamp": 50.0}
+
+    def test_replica_sees_the_past_within_the_staleness_window(self):
+        engine = Engine()
+        truth = {"v": 0}
+        replica = {"v": 0}
+        bus = MapSyncBus(engine, interval_us=50.0, delay_us=25.0,
+                         active=lambda: engine.now < 500.0)
+        bus.add_channel("v", snapshot=lambda: truth["v"],
+                        apply=lambda value, _stamp: replica.update(v=value))
+        bus.arm()
+        engine.schedule(60.0, lambda: truth.update(v=7))
+        # At t=100 the latest applied snapshot was taken at t=50 (v=0):
+        # the write at t=60 is invisible until the t=100 snapshot lands
+        # at t=125.
+        engine.run(until=110.0)
+        assert replica["v"] == 0
+        assert bus.staleness_us() == engine.now - 50.0
+        engine.run(until=130.0)
+        assert replica["v"] == 7
+
+    def test_applies_preserve_registration_then_fifo_order(self):
+        engine = Engine()
+        order = []
+        bus = MapSyncBus(engine, interval_us=10.0, delay_us=5.0,
+                         active=lambda: engine.now < 25.0)
+        bus.add_channel("a", snapshot=lambda: 0,
+                        apply=lambda *_: order.append("a"))
+        bus.add_channel("b", snapshot=lambda: 0,
+                        apply=lambda *_: order.append("b"))
+        bus.arm()
+        engine.run()
+        # Same-instant applies land in registration order, every tick.
+        assert order[:2] == ["a", "b"] and order[2:4] == ["a", "b"]
+
+    def test_bus_stops_rearming_when_inactive(self):
+        engine = Engine()
+        bus = MapSyncBus(engine, interval_us=10.0, delay_us=1.0,
+                         active=lambda: False)
+        bus.add_channel("x", snapshot=lambda: 0, apply=lambda *_: None)
+        bus.arm()
+        engine.run()
+        assert bus.ticks == 1           # one tick, no re-arm, run ended
+        assert engine.now == 11.0       # tick at 10 + last apply at 11
+
+    def test_rejects_bad_intervals(self):
+        engine = Engine()
+        with pytest.raises(ValueError):
+            MapSyncBus(engine, interval_us=0.0)
+        with pytest.raises(ValueError):
+            MapSyncBus(engine, delay_us=-1.0)
+
+
+# ----------------------------------------------------------------------
+# PacketView: the lazy packet facade
+# ----------------------------------------------------------------------
+class TestPacketView:
+    def test_lazy_materialization_matches_wire_layout(self):
+        view = PacketView(GET, user_id=42, rid=9, dst_port=5000)
+        assert view._data is None               # nothing built yet
+        assert view.load(APP_USER_OFF, 8) == 42
+        assert view._data is not None           # built on first load
+        assert view.load(UDP_HEADER_LEN, 8) == GET
+
+    def test_bounds_checked_like_a_real_packet(self):
+        view = PacketView(GET)
+        with pytest.raises(IndexError):
+            view.load(view.length - 4, 8)
+
+
+# ----------------------------------------------------------------------
+# Steering policies
+# ----------------------------------------------------------------------
+class _FakeSwitch:
+    def __init__(self, loads, down=()):
+        self.num_machines = len(loads)
+        self.load_view = list(loads)
+        self.delay_view = [float(v) for v in loads]
+        self._down = set(down)
+        self._alive = [i for i in range(len(loads)) if i not in self._down]
+
+    def alive_machines(self):
+        return self._alive
+
+    def is_alive(self, index):
+        return index not in self._down
+
+
+class TestSteering:
+    def test_jsq_joins_the_shortest_replicated_queue(self):
+        switch = _FakeSwitch([5, 2, 9, 2])
+        request = FleetRequest(1, GET, 100.0, user_id=3)
+        assert JsqSteering().pick(request, switch) == 1  # lowest index ties
+
+    def test_jsq_skips_down_machines(self):
+        switch = _FakeSwitch([5, 0, 9], down={1})
+        request = FleetRequest(1, GET, 100.0)
+        assert JsqSteering().pick(request, switch) == 0
+
+    def test_power_of_k_drops_when_rack_is_dark(self):
+        switch = _FakeSwitch([1, 1], down={0, 1})
+
+        class _Rng:
+            def randrange(self, n):  # pragma: no cover - never reached
+                raise AssertionError("no candidates to sample")
+
+        assert PowerOfKSteering(_Rng()).pick(
+            FleetRequest(1, GET, 100.0), switch) == DROP
+
+    def test_factories_cover_every_registered_name(self):
+        fleet = Fleet(num_machines=4, seed=1, steering=None)
+        for name, factory in STEERING_FACTORIES.items():
+            policy = factory(fleet)
+            assert hasattr(policy, "pick"), name
+
+
+# ----------------------------------------------------------------------
+# Programs at the ToR
+# ----------------------------------------------------------------------
+class TestSwitchPrograms:
+    def test_power_of_two_program_reads_replicated_load_map(self):
+        fleet = Fleet(num_machines=8, seed=3, steering="program_p2c")
+        fleet.drive(duration_us=10_000.0, rps=150_000, num_users=1_000)
+        fleet.run()
+        assert fleet.completed == fleet.generator.offered > 0
+        # The program's map is the switch's replica, refreshed by the bus.
+        assert fleet.switch.load_map.lookup(0) is not None
+
+    def test_locality_program_homes_users_until_overload(self):
+        fleet = Fleet(num_machines=4, seed=3, steering=None)
+        policy = fleet.deploy_steering_program(STEER_LOCALITY,
+                                               name="locality_prog")
+        fleet.install_steering(policy)
+        # Load replica all-zero: every user must land on user_id % 4.
+        for user in range(8):
+            request = FleetRequest(user + 1, GET, 100.0, user_id=user)
+            assert fleet.switch.pick(request) == user % 4
+
+    def test_tenant_isolation_at_the_switch(self):
+        fleet = Fleet(num_machines=4, seed=3)
+        fleet.install_steering(JsqSteering(), port=7000, owner="tenant_a")
+        with pytest.raises(PermissionError):
+            fleet.install_steering(JsqSteering(), port=7000,
+                                   owner="tenant_b")
+
+
+# ----------------------------------------------------------------------
+# Failure semantics
+# ----------------------------------------------------------------------
+class TestFailover:
+    def test_machine_kill_resteers_orphans_without_loss(self):
+        plan = FaultPlan(seed=9).machine_kill(2, at_us=5_000.0)
+        fleet = Fleet(num_machines=8, seed=5, steering="power_of_two",
+                      metrics=True, faults=plan)
+        fleet.drive(duration_us=20_000.0, rps=200_000, num_users=10_000)
+        fleet.run()
+        assert fleet.completed == fleet.generator.offered
+        assert fleet.outstanding == 0
+        assert fleet.switch.resteers > 0
+        assert not fleet.machines[2].alive
+        assert not fleet.switch.is_alive(2)
+        # Injections are observable, like every single-machine fault.
+        snapshot = {
+            (r["app"], r["scope"], r["metric"]): r["value"]
+            for r in fleet.obs.snapshot()
+        }
+        assert snapshot[("fleet", "faults", FaultKind.MACHINE_KILL)] == 1
+
+    def test_restore_rejoins_the_candidate_set(self):
+        plan = FaultPlan(seed=9).machine_kill(1, at_us=4_000.0,
+                                              restore_at_us=10_000.0)
+        fleet = Fleet(num_machines=4, seed=5, steering="power_of_two",
+                      faults=plan)
+        fleet.drive(duration_us=25_000.0, rps=120_000, num_users=1_000)
+        fleet.run()
+        assert fleet.machines[1].alive
+        assert fleet.switch.is_alive(1)
+        # The rebooted machine served traffic after its restore.
+        assert fleet.machines[1].served > 0
+        assert fleet.completed == fleet.generator.offered
+
+    def test_link_down_excludes_immediately_and_buffers_responses(self):
+        plan = FaultPlan(seed=9).link_down(0, at_us=5_000.0,
+                                           duration_us=5_000.0)
+        fleet = Fleet(num_machines=3, seed=5, steering="jsq", faults=plan)
+        fleet.drive(duration_us=20_000.0, rps=60_000, num_users=1_000)
+        fleet.run()
+        # The machine never died: no re-steers, no losses — responses
+        # finished behind the dead link were buffered, then flushed.
+        assert fleet.switch.resteers == 0
+        assert fleet.completed == fleet.generator.offered
+        assert fleet.machines[0].link_up
+        assert fleet.switch.is_alive(0)
+
+    def test_fleet_plan_is_inert_on_a_single_machine(self):
+        # The same plan object can drive a Machine and a Fleet: the
+        # machine-side injector skips fleet-scoped kinds entirely.
+        from repro.machine import Machine
+
+        plan = (FaultPlan(seed=9)
+                .machine_kill(0, at_us=1_000.0)
+                .link_down(1, at_us=1_000.0, duration_us=500.0))
+        machine = Machine(seed=3, faults=plan)
+        machine.run()
+        assert machine.faults.injected == 0
+        assert machine.engine.events_dispatched == 0
+
+
+# ----------------------------------------------------------------------
+# Qdisc composition
+# ----------------------------------------------------------------------
+class TestQdiscComposition:
+    def test_per_machine_qdisc_orders_the_backlog(self):
+        from repro.ebpf import load_program
+        from repro.qdisc import compile_rank
+
+        # Rank by request type: SCANs (type 2) sort after GETs (type 1),
+        # read out of the PacketView bytes like any Syrup program.
+        source = '''
+def rank(pkt):
+    if pkt_len(pkt) < 16:
+        return PASS
+    return load_u64(pkt, 8)
+'''
+        loaded = load_program(compile_rank(source, name="by_type"))
+
+        def qdisc_factory(index):
+            return Qdisc("fleet", LAYER_SOCKET, backend="pifo",
+                         program=loaded)
+
+        fleet = Fleet(num_machines=2, workers_per_machine=1, seed=5,
+                      steering="jsq", qdisc_factory=qdisc_factory)
+        fleet.drive(duration_us=30_000.0, rps=40_000, num_users=100,
+                    mix=FLEET_MIX)
+        fleet.run()
+        assert fleet.completed == fleet.generator.offered > 0
+        ranked = sum(m.qdisc.enqueues for m in fleet.machines)
+        assert ranked > 0
+        for machine in fleet.machines:
+            assert machine.qdisc.runtime_faults == 0
+
+    def test_queue_cap_sheds_with_fifo_droptail(self):
+        fleet = Fleet(num_machines=1, workers_per_machine=1, seed=5,
+                      steering="jsq", queue_cap=2)
+        fleet.drive(duration_us=20_000.0, rps=30_000, num_users=10)
+        fleet.run()
+        assert fleet.dropped > 0
+        assert fleet.completed + fleet.dropped == fleet.generator.offered
+
+
+# ----------------------------------------------------------------------
+# Determinism and observability
+# ----------------------------------------------------------------------
+def _run_once(**overrides):
+    kwargs = dict(num_machines=16, seed=5, steering="power_of_two",
+                  faults=FaultPlan(seed=9).machine_kill(
+                      3, at_us=8_000.0, restore_at_us=16_000.0))
+    kwargs.update(overrides)
+    fleet = Fleet(**kwargs)
+    fleet.drive(duration_us=25_000.0, rps=220_000, num_users=50_000,
+                diurnal_period_us=25_000.0, diurnal_depth=0.4)
+    fleet.run()
+    return fleet
+
+
+class TestDeterminismAndObs:
+    def test_paired_runs_are_bit_identical(self):
+        a, b = _run_once(), _run_once()
+        assert a.completed == b.completed
+        assert a.switch.resteers == b.switch.resteers
+        assert a.latency._samples == b.latency._samples
+        assert [m.served for m in a.machines] \
+            == [m.served for m in b.machines]
+        assert a.engine.events_dispatched == b.engine.events_dispatched
+
+    def test_observability_does_not_change_results(self):
+        plain = _run_once()
+        observed = _run_once(metrics=True, timeseries=True, spans=10)
+        assert plain.latency._samples == observed.latency._samples
+        assert [m.served for m in plain.machines] \
+            == [m.served for m in observed.machines]
+
+    def test_fleet_spans_cover_the_request_path(self):
+        fleet = _run_once(spans=25)
+        trees = fleet.obs.spans.trees(complete=True)
+        assert trees
+        names = {s["name"] for t in trees for s in t["spans"]}
+        assert {"switch_steer", "xnet_wait", "service"} <= names
+        steer = next(s for t in trees for s in t["spans"]
+                     if s["name"] == "switch_steer")
+        assert steer["attrs"]["policy"] == "power_of_k"
+        assert "machine" in steer["attrs"]
+
+    def test_flight_recorder_probe_publishes_fleet_load(self):
+        fleet = _run_once(metrics=True, timeseries=2_000.0)
+        recorder = fleet.obs.recorder
+        assert recorder.points("fleet", "machine", "load_0")
+        assert recorder.points("fleet", "sync", "staleness_us")
+        assert recorder.points("fleet", "fleet", "outstanding")
+
+    def test_fleet_view_is_json_safe(self):
+        import json
+
+        fleet = _run_once()
+        view = fleet.fleet_view()
+        json.dumps(view)
+        assert view["machines"] == 16
+        assert view["completed"] == fleet.completed
+        assert view["steering"] == "power_of_two"
+
+
+# ----------------------------------------------------------------------
+# The experiment harness (miniature figure_fleet)
+# ----------------------------------------------------------------------
+def test_figure_fleet_miniature():
+    table = run_figure_fleet(
+        variants=("random", "power_of_two", "sed"),
+        num_machines=12, rps=140_000, num_users=20_000,
+        duration_us=40_000.0, warmup_us=8_000.0, seed=7,
+    )
+    rows = {r["steering"]: r for r in table}
+    assert set(rows) == {"random", "power_of_two", "sed"}
+    for row in table:
+        assert row["completed"] == row["offered"] > 0
+        assert row["resteers"] > 0          # the mid-run kill fired
+    assert rows["power_of_two"]["p99_us"] < rows["random"]["p99_us"]

@@ -7,7 +7,8 @@ previous PR recorded.  This harness runs the canonical simulation
 scenarios — a Figure-6 steady-state point, the dynamic Figure-8 mid-run
 policy switch, a Figure-2 hash-imbalance point, the fault sweep's
 quarantine variant, the tail-attribution run with every request
-span-traced, and figure_order's SRPT queueing-discipline point — each
+span-traced, figure_order's SRPT queueing-discipline point, and
+figure_fleet's rack-scale power-of-two steering run — each
 under :mod:`repro.obs.profile`, and writes ``BENCH_results.json``:
 
     {
@@ -223,6 +224,48 @@ def _figure_tail(smoke):
     return testbed.machine, collect
 
 
+def _figure_fleet(smoke):
+    """figure_fleet's power-of-two point: a rack of aggregate machines.
+
+    100 machines (40 in smoke) under a diurnal open-loop load from a
+    million sampled users, power-of-two-choices steering at the ToR
+    switch reading sync-bus-replicated load, and a mid-run machine kill
+    (with reboot) exercising the failover path.
+    """
+    from repro.cluster.fleet import Fleet
+    from repro.faults import FaultPlan
+
+    machines = 40 if smoke else 100
+    rps = 450_000 if smoke else 1_200_000
+    duration_us = 40_000.0 if smoke else 120_000.0
+    warmup_us = duration_us * 0.2
+    plan = FaultPlan(seed=11).machine_kill(
+        machines // 3, at_us=duration_us * 0.4,
+        restore_at_us=duration_us * 0.75,
+    )
+    fleet = Fleet(
+        num_machines=machines, seed=7, steering="power_of_two",
+        faults=plan, warmup_us=warmup_us,
+    )
+    fleet.drive(
+        duration_us=duration_us, rps=rps, num_users=1_000_000,
+        diurnal_period_us=duration_us, diurnal_depth=0.4,
+    )
+
+    def collect():
+        return {
+            "load_rps": rps,
+            "machines": machines,
+            "offered": fleet.generator.offered,
+            "completed": fleet.completed,
+            "dropped": fleet.dropped,
+            "resteers": fleet.switch.resteers,
+            "p99_us": fleet.latency.p99(),
+        }
+
+    return fleet, collect
+
+
 def _figure_order_qdisc(smoke):
     """figure_order's SRPT point: the PIFO qdisc on every socket backlog."""
     from repro.experiments.runner import RocksDbTestbed
@@ -262,6 +305,7 @@ SCENARIOS = {
     "figure_faults_quarantine": _figure_faults,
     "figure_tail_spans": _figure_tail,
     "figure_order_qdisc": _figure_order_qdisc,
+    "figure_fleet_steering": _figure_fleet,
 }
 
 
