@@ -62,6 +62,12 @@ class RocksDbServer(UdpServer):
             if mark_sizes
             else None
         )
+        #: Optional service-time sketch (repro.obs.sketch.DDSketch or a
+        #: registry Sketch): when set by the owner, every enqueued
+        #: request's calibrated service time is folded in — the signal
+        #: the SRPT auto-threshold controller tunes from.  None (the
+        #: default) costs one attribute test and changes nothing.
+        self.svc_sketch = None
 
     # ------------------------------------------------------------------
     def on_enqueue(self, thread_index, packet):
@@ -76,6 +82,8 @@ class RocksDbServer(UdpServer):
             # functions.  The very first request of a type is ranked
             # before this lands (PASS -> FIFO) — conservative start.
             self.svc_time_map.update(request.rtype, int(request.service_us))
+        if self.svc_sketch is not None:
+            self.svc_sketch.add(packet.request.service_us)
 
     def on_request_start(self, thread_index, request):
         super().on_request_start(thread_index, request)

@@ -15,8 +15,9 @@ metric counters from a Figure-6-style run with metrics enabled),
 ``python -m repro timeline`` the flight-recorder demo (the dynamic
 Figure-8 run with a mid-run policy switch), and ``python -m repro
 qdisc`` the queueing-discipline view (an SRPT figure_order point; see
-docs/scheduling-order.md); all are the same surfaces as the
-``syrupctl`` console script — see docs/observability.md.
+docs/scheduling-order.md), and ``python -m repro slo`` the SLO/signal
+view (one closed-loop figure_adaptive point); all are the same surfaces
+as the ``syrupctl`` console script — see docs/observability.md.
 """
 
 import argparse
@@ -28,6 +29,7 @@ from repro.experiments import (
     run_figure7,
     run_figure8,
     run_figure9,
+    run_figure_adaptive,
     run_figure_faults,
     run_figure_fleet,
     run_figure_order,
@@ -49,6 +51,9 @@ _QUICK = {
                     warmup_us=75_000.0),
     "figure9": dict(loads=[1_000_000, 2_500_000], duration_us=20_000.0,
                     warmup_us=5_000.0),
+    "figure_adaptive": dict(loads=[240_000], duration_us=120_000.0,
+                            warmup_us=30_000.0,
+                            variants=["fifo", "adaptive"]),
     "figure_faults": dict(loads=[50_000, 100_000], duration_us=120_000.0,
                           warmup_us=30_000.0),
     "figure_fleet": dict(num_machines=24, rps=280_000, num_users=100_000,
@@ -67,6 +72,7 @@ _RUNNERS = {
     "figure7": run_figure7,
     "figure8": run_figure8,
     "figure9": run_figure9,
+    "figure_adaptive": run_figure_adaptive,
     "figure_faults": run_figure_faults,
     "figure_fleet": run_figure_fleet,
     "figure_order": run_figure_order,
@@ -84,11 +90,11 @@ def _build_parser():
     parser.add_argument(
         "experiment",
         choices=sorted(_RUNNERS) + ["all", "stats", "timeline", "health",
-                                    "qdisc", "fleet"],
+                                    "qdisc", "fleet", "slo"],
         help=(
             "which experiment to run ('all' runs every one; 'stats', "
-            "'timeline', 'health', 'qdisc' and 'fleet' render the "
-            "syrupctl demos)"
+            "'timeline', 'health', 'qdisc', 'fleet' and 'slo' render "
+            "the syrupctl demos)"
         ),
     )
     parser.add_argument(
@@ -149,6 +155,7 @@ _PLOT_AXES = {
     "figure7": ("policy", "ls_load_rps", "ls_p99_us"),
     "figure8": ("variant", "load_rps", "get_p99_us"),
     "figure9": ("mode", "load_rps", "p999_us"),
+    "figure_adaptive": ("variant", "load_rps", "get_p99_us"),
     "figure_faults": ("variant", "load_rps", "p99_us"),
     "figure_order": ("discipline", "load_rps", "get_p99_us"),
 }
@@ -156,7 +163,8 @@ _PLOT_AXES = {
 
 def main(argv=None):
     args = _build_parser().parse_args(argv)
-    if args.experiment in ("stats", "timeline", "health", "qdisc", "fleet"):
+    if args.experiment in ("stats", "timeline", "health", "qdisc", "fleet",
+                           "slo"):
         from repro import syrupctl
 
         kwargs = {}
@@ -178,6 +186,9 @@ def main(argv=None):
         elif args.experiment == "fleet":
             fleet = syrupctl.run_fleet_demo(**kwargs)
             text = syrupctl.render_fleet(fleet)
+        elif args.experiment == "slo":
+            machine = syrupctl.run_slo_demo(**kwargs)
+            text = syrupctl.render_slo(machine)
         else:
             machine = syrupctl.run_timeline_demo(**kwargs)
             text = syrupctl.render_timeline(machine)

@@ -40,6 +40,7 @@ from repro.cluster.steering import (
     STEERING_FACTORIES,
     STEER_LOCALITY,
     STEER_POWER_OF_TWO,
+    STEER_TAIL_P2C,
     FlowHashSteering,
     JsqSteering,
     LocalitySteering,
@@ -62,6 +63,7 @@ __all__ = [
     "STEERING_FACTORIES",
     "STEER_LOCALITY",
     "STEER_POWER_OF_TWO",
+    "STEER_TAIL_P2C",
     "Cluster",
     "ClusterGenerator",
     "Fleet",

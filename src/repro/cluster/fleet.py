@@ -47,6 +47,7 @@ from repro.ebpf import ArrayMap, compile_policy, load_program
 from repro.faults import FaultKind
 from repro.net.packet import PacketView
 from repro.obs import Observability
+from repro.obs.sketch import DDSketch
 from repro.obs.timeseries import DEFAULT_INTERVAL_US, FlightRecorder
 from repro.sim.engine import Engine
 from repro.sim.rng import RngStreams
@@ -278,6 +279,8 @@ class TorSwitch:
         self.load_view = [0] * num_machines
         self.delay_view = [0.0] * num_machines
         self.load_map = ArrayMap("machine_load_array", num_machines)
+        self.p99_view = [0] * num_machines
+        self.p99_map = ArrayMap("machine_p99_array", num_machines)
         self._down = set()
         self._alive = list(range(num_machines))
         self.forwarded = [0] * num_machines
@@ -323,6 +326,12 @@ class TorSwitch:
         self.delay_view = [load / workers[i] for i, load in enumerate(loads)]
         for i, load in enumerate(loads):
             self.load_map.update(i, load)
+
+    def apply_p99(self, p99s):
+        """Sync-bus apply: refresh the per-machine tail-latency replica."""
+        self.p99_view = p99s
+        for i, p99 in enumerate(p99s):
+            self.p99_map.update(i, p99)
 
     def pick(self, request):
         """Run the matching policy; returns a machine index or None (drop)."""
@@ -483,7 +492,7 @@ class Fleet:
                  failover_detect_us=DEFAULT_FAILOVER_DETECT_US,
                  sync_interval_us=50.0, sync_delay_us=25.0,
                  metrics=False, timeseries=None, spans=0, faults=None,
-                 warmup_us=0.0):
+                 warmup_us=0.0, latency_signals=False):
         if num_machines < 1:
             raise ValueError(f"need at least one machine, got {num_machines}")
         self.engine = Engine()
@@ -533,6 +542,20 @@ class Fleet:
                 loads, self._workers
             ),
         )
+        #: Per-machine completion-latency DDSketches feeding the switch's
+        #: ``machine_p99_array`` replica over the sync bus — the fleet
+        #: half of the closed telemetry loop.  Opt-in: off, no sketch is
+        #: allocated and the p99 replica stays all-zero (tail-aware
+        #: steering degrades to plain power-of-two).
+        self.machine_sketches = None
+        if latency_signals:
+            self.machine_sketches = [DDSketch()
+                                     for _ in range(num_machines)]
+            self.sync.add_channel(
+                "p99",
+                snapshot=self._snapshot_p99,
+                apply=lambda p99s, _stamp: self.switch.apply_p99(p99s),
+            )
 
         self.injector = None
         if faults is not None:
@@ -567,6 +590,11 @@ class Fleet:
         gen = self.generator
         return (gen is not None and not gen.done) or self.outstanding > 0
 
+    def _snapshot_p99(self):
+        """Per-machine p99 (int us) from the completion sketches."""
+        return [int(s.percentile(99.0)) if s.count else 0
+                for s in self.machine_sketches]
+
     # ------------------------------------------------------------------
     # Steering deployment
     # ------------------------------------------------------------------
@@ -583,17 +611,20 @@ class Fleet:
     def deploy_steering_program(self, source, constants=None, name="program"):
         """Compile + verify + load a Syrup program for the ToR switch.
 
-        The program's ``machine_load_array`` Map binds to the switch's
-        replicated load replica (kept fresh by the sync bus), and
-        ``NUM_MACHINES`` / ``SPILL_THRESHOLD`` are provided as
+        The program's ``machine_load_array`` / ``machine_p99_array``
+        Maps bind to the switch's replicated load and tail-latency
+        replicas (kept fresh by the sync bus), and ``NUM_MACHINES`` /
+        ``SPILL_THRESHOLD`` / ``TAIL_LOAD_WEIGHT_US`` are provided as
         compile-time constants unless overridden.
         """
-        merged = {"NUM_MACHINES": self.num_machines, "SPILL_THRESHOLD": 8}
+        merged = {"NUM_MACHINES": self.num_machines, "SPILL_THRESHOLD": 8,
+                  "TAIL_LOAD_WEIGHT_US": 100}
         merged.update(constants or {})
         program = compile_policy(source, name=name, constants=merged)
         loaded = load_program(
             program,
-            maps={"machine_load_array": self.switch.load_map},
+            maps={"machine_load_array": self.switch.load_map,
+                  "machine_p99_array": self.switch.p99_map},
             rng=self.streams.get(f"switch_program/{name}"),
         )
         return SwitchProgramSteering(loaded, name=name)
@@ -646,6 +677,8 @@ class Fleet:
         request.completed_at = now
         self.latency.record(now, now - request.sent_at,
                             tag=type_name(request.rtype))
+        if self.machine_sketches is not None and request.machine is not None:
+            self.machine_sketches[request.machine].add(now - request.sent_at)
         self.outstanding -= 1
         self.completed += 1
         self.obs.registry.counter("fleet", "fleet", "completed").inc()

@@ -13,11 +13,13 @@ Two deployment forms exist, mirroring the paper's portability claim:
 
 - native Python policy objects below (the fast path for 100s of
   machines), and
-- verified Syrup programs (``STEER_POWER_OF_TWO``, ``STEER_LOCALITY``)
-  compiled through the standard :mod:`repro.ebpf` pipeline and run at
-  the switch, reading the replicated ``machine_load_array`` Map that the
-  sync bus keeps fresh — user-defined scheduling deployed *into the
-  network*, not just onto a host.
+- verified Syrup programs (``STEER_POWER_OF_TWO``, ``STEER_TAIL_P2C``,
+  ``STEER_LOCALITY``) compiled through the standard :mod:`repro.ebpf`
+  pipeline and run at the switch, reading the replicated
+  ``machine_load_array`` (and, for the tail-aware program, the
+  sketch-fed ``machine_p99_array``) Maps that the sync bus keeps fresh —
+  user-defined scheduling deployed *into the network*, not just onto a
+  host.
 
 ``STEERING_FACTORIES`` maps policy names to constructors so experiments
 and the CLI can sweep them by name.
@@ -29,6 +31,7 @@ __all__ = [
     "STEERING_FACTORIES",
     "STEER_LOCALITY",
     "STEER_POWER_OF_TWO",
+    "STEER_TAIL_P2C",
     "FlowHashSteering",
     "JsqSteering",
     "LocalitySteering",
@@ -212,6 +215,32 @@ def schedule(pkt):
     return a
 '''
 
+#: Tail-aware power-of-two-choices: probe two machines and compare a
+#: combined cost of instantaneous backlog (the load replica, weighted at
+#: ``TAIL_LOAD_WEIGHT_US`` per queued request) plus the machine's
+#: recent p99 latency in microseconds (``machine_p99_array``, published
+#: from per-machine DDSketches over the sync bus when the fleet runs
+#: with ``latency_signals=True``).  Load alone is instantaneous but
+#: memoryless; p99 alone is sticky but slow — the sum steers away from
+#: machines whose *tail* is bad even when their queue happens to look
+#: short right now.  With an all-zero p99 replica this is exactly
+#: ``STEER_POWER_OF_TWO``.
+STEER_TAIL_P2C = '''
+machine_load_array = syr_map("machine_load_array", NUM_MACHINES)
+machine_p99_array = syr_map("machine_p99_array", NUM_MACHINES)
+
+def schedule(pkt):
+    a = get_random() % NUM_MACHINES
+    b = get_random() % NUM_MACHINES
+    cost_a = map_lookup(machine_load_array, a) * TAIL_LOAD_WEIGHT_US
+    cost_a = cost_a + map_lookup(machine_p99_array, a)
+    cost_b = map_lookup(machine_load_array, b) * TAIL_LOAD_WEIGHT_US
+    cost_b = cost_b + map_lookup(machine_p99_array, b)
+    if cost_b < cost_a:
+        return b
+    return a
+'''
+
 #: Locality with spill as a verified Syrup program: home machine by
 #: user id unless its replicated load exceeds SPILL_THRESHOLD, then one
 #: random alternative.  (User id is u64 at packet offset 16.)
@@ -260,6 +289,12 @@ def _make_program_p2c(fleet):
     )
 
 
+def _make_program_tail(fleet):
+    return fleet.deploy_steering_program(
+        STEER_TAIL_P2C, name="program_tail"
+    )
+
+
 #: name -> callable(fleet) -> policy instance, for sweeping by name.
 STEERING_FACTORIES = {
     "random": _make_random,
@@ -269,4 +304,5 @@ STEERING_FACTORIES = {
     "sed": _make_sed,
     "locality": _make_locality,
     "program_p2c": _make_program_p2c,
+    "program_tail": _make_program_tail,
 }

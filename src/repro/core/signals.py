@@ -1,0 +1,183 @@
+"""The SignalBus: telemetry snapshots published into Syrup Maps.
+
+The observability plane (PR 1–4) is operator-facing — counters, rings,
+span trees an engineer reads after the fact.  Closing the loop (ROADMAP
+"closed-loop adaptive scheduling"; RackSched's core argument) needs the
+*datapath* to read telemetry, and in Syrup the one channel a verified
+policy can read at decision time is a **Map**.  The
+:class:`SignalBus` is the bridge: on a fixed simulated-time cadence it
+
+1. reads each registered **signal** (a zero-arg callable over registry
+   sketches/gauges, the SLO tracker, the tail analyzer — anything) and
+   optionally publishes the value into a designated Map via syrupd's
+   normal map-update path (so map-op metrics and placement costs apply
+   like any other update), then
+2. runs each registered **controller** — a closure implementing a
+   control law (SLO-aware shed level, SRPT threshold auto-tuning,
+   blame-aware steering weights) over the freshly read signals.
+
+Fleet runs compose this with :class:`repro.cluster.sync.MapSyncBus`:
+per-machine SignalBuses publish into local Maps and the sync bus
+replicates them to the ToR with bounded staleness.
+
+Determinism contract: the bus only ever runs when explicitly
+constructed (``Machine(signals=...)``).  Its ticks ride the engine like
+the flight recorder's and **do** change behavior — that is the point:
+controllers write Maps the datapath reads.  When absent, the
+:data:`NULL_SIGNALS` twin is a no-op and simulation output is
+bit-identical to builds without this module (the audit test in
+``tests/test_adaptive.py`` holds this line).
+"""
+
+__all__ = ["NULL_SIGNALS", "NullSignalBus", "SignalBus"]
+
+DEFAULT_INTERVAL_US = 5_000.0
+
+
+class SignalBus:
+    """Periodic signal sampling + control laws over simulated time.
+
+    ``active`` is an optional zero-arg predicate; the bus re-arms only
+    while it returns True (and the engine heap is non-empty), so a
+    drained simulation still terminates — the
+    :class:`~repro.cluster.sync.MapSyncBus` idiom.
+    """
+
+    enabled = True
+
+    def __init__(self, engine, interval_us=DEFAULT_INTERVAL_US, active=None):
+        if interval_us <= 0:
+            raise ValueError(f"interval_us must be positive, got {interval_us}")
+        self.engine = engine
+        self.interval_us = float(interval_us)
+        self.active = active
+        self.ticks = 0
+        self.signals = []       # (name, read, publish-or-None)
+        self.controllers = []   # (name, control)
+        self.last = {}          # signal name -> last read value
+        self.last_tick_at = None
+        self._armed = None
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def add_signal(self, name, read, publish=None):
+        """Register a signal: ``read()`` every tick, value cached in
+        ``last[name]`` and handed to ``publish(value)`` when given.
+
+        ``publish`` is typically a Map write — e.g.
+        ``lambda v: shed_map.update(0, int(v))`` — which routes through
+        the normal syrupd map-op accounting.
+        """
+        self.signals.append((name, read, publish))
+        return self
+
+    def add_controller(self, name, control):
+        """Register a control law run (in order) after every sample.
+
+        Controllers are zero-arg closures; they read ``bus.last`` or
+        whatever telemetry they captured, decide, and write their
+        actuation Maps.
+        """
+        self.controllers.append((name, control))
+        return self
+
+    # ------------------------------------------------------------------
+    # Ticking
+    # ------------------------------------------------------------------
+    def arm(self):
+        """Schedule the next tick (idempotent)."""
+        if self._armed is not None and not self._armed.cancelled:
+            return
+        self._armed = self.engine.schedule(self.interval_us, self._tick)
+
+    def disarm(self):
+        if self._armed is not None:
+            self._armed.cancel()
+            self._armed = None
+
+    def _tick(self):
+        self._armed = None
+        self.tick_once()
+        # Re-arm while work remains (and the owner says so): the same
+        # drain-to-termination rule as FlightRecorder / MapSyncBus.
+        if len(self.engine._heap) > 0 and (
+            self.active is None or self.active()
+        ):
+            self.arm()
+
+    def tick_once(self):
+        """One sample + control pass, outside the schedule (tests too)."""
+        self.ticks += 1
+        self.last_tick_at = self.engine.now
+        for name, read, publish in self.signals:
+            value = read()
+            self.last[name] = value
+            if publish is not None:
+                publish(value)
+        for _name, control in self.controllers:
+            control()
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def view(self):
+        """JSON-safe operator snapshot (``syrupctl slo`` footer)."""
+        return {
+            "interval_us": self.interval_us,
+            "ticks": self.ticks,
+            "last_tick_at": self.last_tick_at,
+            "signals": [name for name, _r, _p in self.signals],
+            "controllers": [name for name, _c in self.controllers],
+            "last": {
+                name: value for name, value in sorted(self.last.items())
+                if isinstance(value, (int, float, str, bool, type(None)))
+            },
+        }
+
+    def __repr__(self):
+        return (
+            f"<SignalBus interval={self.interval_us:g}us "
+            f"signals={len(self.signals)} "
+            f"controllers={len(self.controllers)} ticks={self.ticks}>"
+        )
+
+
+class NullSignalBus:
+    """Disabled bus: registration and arming are no-ops, views empty."""
+
+    enabled = False
+    interval_us = 0.0
+    ticks = 0
+    signals = ()
+    controllers = ()
+    last = {}
+    last_tick_at = None
+
+    def add_signal(self, name, read, publish=None):
+        return self
+
+    def add_controller(self, name, control):
+        return self
+
+    def arm(self):
+        pass
+
+    def disarm(self):
+        pass
+
+    def tick_once(self):
+        pass
+
+    def view(self):
+        return {
+            "interval_us": 0.0, "ticks": 0, "last_tick_at": None,
+            "signals": [], "controllers": [], "last": {},
+        }
+
+    def __repr__(self):
+        return "<NullSignalBus>"
+
+
+#: Shared singleton used whenever the signal plane is disabled.
+NULL_SIGNALS = NullSignalBus()

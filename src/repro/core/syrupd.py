@@ -811,6 +811,15 @@ class Syrupd:
             rows.append(row)
         return rows
 
+    def slo(self):
+        """SLO objective rows (``syrupctl slo``); [] when untracked."""
+        tracker = getattr(self.machine, "slo", None)
+        return tracker.snapshot() if tracker is not None else []
+
+    def signals(self):
+        """SignalBus view (``syrupctl slo`` footer; empty when absent)."""
+        return self.machine.signals.view()
+
     def health(self):
         """Per-deployment health rows (``syrupctl health``)."""
         now = self.machine.now

@@ -40,12 +40,14 @@ class RocksDbTestbed:
         health=None,
         spans=None,
         spans_capacity=4096,
+        signals=None,
+        slo=None,
     ):
         self.machine = Machine(
             config if config is not None else set_a(), seed=seed,
             scheduler=scheduler, metrics=metrics, timeseries=timeseries,
             faults=faults, health=health, spans=spans,
-            spans_capacity=spans_capacity,
+            spans_capacity=spans_capacity, signals=signals, slo=slo,
         )
         self.app = self.machine.register_app("rocksdb", ports=[port])
         self.server = RocksDbServer(

@@ -10,8 +10,14 @@ This is the top-level object experiments build on::
 """
 
 from repro.config import MachineConfig
+from repro.core.signals import (
+    DEFAULT_INTERVAL_US as SIGNAL_INTERVAL_US,
+    NULL_SIGNALS,
+    SignalBus,
+)
 from repro.core.syrupd import Syrupd
 from repro.obs import Observability
+from repro.obs.slo import SloTracker
 from repro.obs.timeseries import FlightRecorder
 from repro.ghost.sched import GhostScheduler
 from repro.kernel.cfs import CfsScheduler
@@ -38,7 +44,7 @@ class Machine:
     def __init__(self, config=None, seed=0, scheduler="pinned", engine=None,
                  metrics=False, event_capacity=4096, timeseries=None,
                  timeseries_capacity=1024, faults=None, health=None,
-                 spans=None, spans_capacity=4096):
+                 spans=None, spans_capacity=4096, signals=None, slo=None):
         if scheduler not in _SCHEDULERS:
             raise ValueError(
                 f"scheduler must be one of {sorted(_SCHEDULERS)}, "
@@ -77,6 +83,23 @@ class Machine:
                 self.obs.registry, self.engine, interval_us=interval,
                 capacity=timeseries_capacity,
             )
+        # The signal plane (repro.core.signals): signals=True (5 ms
+        # cadence) or an interval in simulated us arms a SignalBus that
+        # samples telemetry into Maps and runs control laws; slo=True
+        # attaches an SloTracker (repro.obs.slo) for objectives fed by
+        # the workload.  Both are OFF by default and, when absent, the
+        # null twin / None leaves every simulation output bit-identical
+        # — controllers only exist (and only then change behavior) when
+        # explicitly requested.
+        self.signals = NULL_SIGNALS
+        if signals:
+            interval = (
+                SIGNAL_INTERVAL_US if signals is True else float(signals)
+            )
+            self.signals = SignalBus(self.engine, interval_us=interval)
+        self.slo = None
+        if slo:
+            self.slo = SloTracker(clock=lambda: self.engine.now)
         # Wall-clock self-profiling handle (repro.obs.profile.attach);
         # syrupd propagates it into policies deployed later.
         self.profiler = None
@@ -178,6 +201,7 @@ class Machine:
     def run(self, until=None):
         """Advance the simulation (time in microseconds)."""
         self.obs.recorder.arm()
+        self.signals.arm()
         self.engine.run(until=until)
 
     def __repr__(self):

@@ -15,7 +15,10 @@ Two things live here:
   text-format parsers.  Counters become ``syrup_<metric>_total``, gauges
   ``syrup_<metric>``, histograms the standard ``_bucket``/``_sum``/
   ``_count`` triplet over the registry's geometric (power-of-two)
-  buckets; the ``(app, scope)`` key becomes ``app``/``scope`` labels.
+  buckets, and sketches (:mod:`repro.obs.sketch`) a ``summary`` family
+  with one series per ``quantile`` label (:data:`SUMMARY_QUANTILES`)
+  plus ``_sum``/``_count``; the ``(app, scope)`` key becomes
+  ``app``/``scope`` labels.
 """
 
 import contextlib
@@ -26,6 +29,10 @@ from repro.obs.registry import N_BUCKETS
 __all__ = ["open_destination", "to_openmetrics", "write_openmetrics"]
 
 _INVALID = re.compile(r"[^a-zA-Z0-9_:]")
+
+#: Quantiles emitted for ``sketch`` series (the ``quantile`` label of a
+#: ``summary`` family, per the exposition-format convention).
+SUMMARY_QUANTILES = (0.5, 0.9, 0.99)
 
 
 @contextlib.contextmanager
@@ -68,10 +75,12 @@ def _escape(value):
     )
 
 
-def _labels(app, scope, le=None):
+def _labels(app, scope, le=None, quantile=None):
     out = f'{{app="{_escape(app)}",scope="{_escape(scope)}"'
     if le is not None:
         out += f',le="{le}"'
+    if quantile is not None:
+        out += f',quantile="{quantile}"'
     return out + "}"
 
 
@@ -98,6 +107,14 @@ def to_openmetrics(registry, prefix="syrup"):
         elif kind == "gauge":
             family = families.setdefault(base, ("gauge", []))
             family[1].append(f"{base}{labels} {metric.value}")
+        elif kind == "sketch":  # summary: one series per tracked quantile
+            family = families.setdefault(base, ("summary", []))
+            lines = family[1]
+            for q in SUMMARY_QUANTILES:
+                q_labels = _labels(app, scope, quantile=q)
+                lines.append(f"{base}{q_labels} {metric.quantile(q)}")
+            lines.append(f"{base}_sum{labels} {metric.sum}")
+            lines.append(f"{base}_count{labels} {metric.count}")
         else:  # histogram: cumulative buckets up to the last occupied one
             family = families.setdefault(base, ("histogram", []))
             lines = family[1]

@@ -11,6 +11,11 @@ classic metric kinds —
 - :class:`Histogram` — geometric-bucket distributions with approximate
   percentiles (map op latencies, batch sizes),
 
+plus a fourth, :class:`~repro.obs.sketch.Sketch` — a mergeable
+DDSketch-style streaming quantile sketch with a guaranteed relative
+error bound (registered via ``registry.sketch(...)``; see
+:mod:`repro.obs.sketch`) —
+
 all registered in a :class:`MetricsRegistry` under a three-part key:
 the owning **app**, a **scope** (a hook name like ``socket_select``, or a
 subsystem like ``maps`` / ``syrupd`` / ``thread_sched``), and the metric
@@ -26,6 +31,8 @@ RNG draws, no event scheduling, no behavioral change).
 """
 
 import math
+
+from repro.obs.sketch import Sketch
 
 __all__ = [
     "CardinalityError",
@@ -179,6 +186,9 @@ class NullMetric:
     def percentile(self, q):
         return 0.0
 
+    def quantile(self, p):
+        return 0.0
+
     def summary(self):
         return {}
 
@@ -208,7 +218,8 @@ class MetricsRegistry:
     """
 
     enabled = True
-    _KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+    _KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram,
+              "sketch": Sketch}
 
     def __init__(self, clock=None, max_series=4096):
         self.clock = clock if clock is not None else _zero_clock
@@ -244,6 +255,10 @@ class MetricsRegistry:
     def histogram(self, app, scope, name):
         return self._get_or_create("histogram", app, scope, name)
 
+    def sketch(self, app, scope, name):
+        """A mergeable streaming quantile sketch (see repro.obs.sketch)."""
+        return self._get_or_create("sketch", app, scope, name)
+
     # ------------------------------------------------------------------
     def get(self, app, scope, name):
         """The metric at a key, or None (never creates)."""
@@ -254,7 +269,7 @@ class MetricsRegistry:
         metric = self._series.get((app, scope, name))
         if metric is None:
             return default
-        if metric.kind == "histogram":
+        if metric.kind in ("histogram", "sketch"):
             return metric.count
         return metric.value
 
@@ -264,7 +279,8 @@ class MetricsRegistry:
         for (m_app, m_scope, name), metric in self._series.items():
             if m_app == app and m_scope == scope:
                 out[name] = (
-                    metric.summary() if metric.kind == "histogram"
+                    metric.summary()
+                    if metric.kind in ("histogram", "sketch")
                     else metric.value
                 )
         return out
@@ -285,7 +301,7 @@ class MetricsRegistry:
                 "kind": metric.kind,
                 "updated_at": metric.updated_at,
             }
-            if metric.kind == "histogram":
+            if metric.kind in ("histogram", "sketch"):
                 row.update(metric.summary())
             else:
                 row["value"] = metric.value
@@ -308,6 +324,9 @@ class NullRegistry:
         return NULL_METRIC
 
     def histogram(self, app, scope, name):
+        return NULL_METRIC
+
+    def sketch(self, app, scope, name):
         return NULL_METRIC
 
     def get(self, app, scope, name):

@@ -10,8 +10,9 @@ interval and keeps, per metric series, a bounded ring of samples:
 - **counters** — the per-interval *delta* (turn into a rate with
   :meth:`FlightRecorder.rate_per_s` or read raw deltas),
 - **gauges** — the value at sample time,
-- **histograms** — the per-interval observation-count delta plus the
-  cumulative p50/p99 at sample time.
+- **histograms / sketches** — the per-interval observation-count delta
+  plus the cumulative p50/p99 at sample time (sketch percentiles carry
+  the DDSketch relative-error guarantee; see :mod:`repro.obs.sketch`).
 
 Determinism contract (same as the rest of :mod:`repro.obs`): sampling
 rides the engine's event loop but only *reads* — it draws no randomness,
@@ -145,7 +146,7 @@ class FlightRecorder:
                 series.samples.append((now, metric.value - last))
             elif kind == "gauge":
                 series.samples.append((now, metric.value))
-            else:  # histogram
+            else:  # histogram or sketch: both expose count/percentile
                 last = self._last_cumulative.get(key, 0)
                 self._last_cumulative[key] = metric.count
                 series.samples.append((now, {

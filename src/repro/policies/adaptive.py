@@ -1,0 +1,218 @@
+"""Adaptive (closed-loop) policies: telemetry-driven datapath sources.
+
+The static policies in :mod:`repro.policies.builtin` and
+:mod:`repro.qdisc.policies` read Maps that *applications* write (scan
+flags, measured sizes).  The sources here read Maps that **controllers**
+write — small control laws registered on a
+:class:`~repro.core.signals.SignalBus` that watch the live telemetry
+plane (sketch quantiles, SLO burn rates, queue depths) and actuate by
+updating a Map the verified datapath program consults on every decision.
+The division of labor is the paper's §4 cross-layer story turned into a
+feedback loop: sensing in userspace on a sim-time cadence, actuation in
+the datapath at per-packet cost.
+
+Datapath sources (safe subset):
+
+- :data:`ADAPTIVE_SELECT` — socket select that (a) sheds the designated
+  ``SHED_RTYPE`` with probability ``shed_map[0]`` percent (the SLO-aware
+  load-shedding valve) and (b) steers admitted requests by
+  power-of-two-choices over ``blame_map`` (per-executor blame scores the
+  tail controller refreshes from queue-depth telemetry).
+- :data:`SRPT_AUTO_THRESHOLD` — the SRPT rank function with the
+  short/long size boundary read from ``srpt_thresh_map[0]`` instead of
+  baked in at compile time; requests at or above the threshold sink
+  behind every short request (rank ``LONG_PENALTY + est``).
+- :data:`SRPT_FIXED_THRESHOLD` — the static strawman: the same rank
+  shape with a compile-time ``THRESHOLD_US`` (the best you can do
+  without a loop; ``figure_adaptive`` shows where it goes wrong).
+
+Controllers (plain Python, run by the SignalBus):
+
+- :class:`ShedController` — burn-rate-proportional shedding: raise the
+  shed level while the latency objective pages, decay it while healthy,
+  and back off whenever the availability objective's own budget runs
+  out (shedding must spend the *availability* budget to buy latency).
+- :class:`SrptThresholdController` — sets the SRPT boundary from the
+  observed service-time sketch (``2x`` the streaming median): anything
+  twice the typical request is "long".
+- :class:`BlameController` — refreshes per-executor blame from
+  instantaneous socket backlogs so the power-of-two steering avoids the
+  executors where the tail is forming.
+"""
+
+__all__ = [
+    "ADAPTIVE_SELECT",
+    "BlameController",
+    "SRPT_AUTO_THRESHOLD",
+    "SRPT_FIXED_THRESHOLD",
+    "ShedController",
+    "SrptThresholdController",
+]
+
+#: Rank offset that sinks over-threshold ("long") requests behind every
+#: short one while preserving SRPT order among themselves.
+LONG_PENALTY = 1_000_000
+
+#: SLO-aware shedding + blame-aware power-of-two steering.  Constants:
+#: ``NUM_THREADS`` (executor count) and ``SHED_RTYPE`` (the request type
+#: the controller is allowed to sacrifice).  Two telemetry timescales
+#: meet here: ``blame_map`` / ``shed_map`` are controller-written on the
+#: SignalBus cadence (milliseconds), while ``scan_map`` — the app's
+#: live Fig-5b flag — is read per decision, because a ~700 us SCAN is
+#: over before the next controller tick can report it.  With all-zero
+#: Maps (no controller running) this degrades to uniform random
+#: power-of-two steering.
+ADAPTIVE_SELECT = '''
+shed_map = syr_map("shed_map", 1)
+blame_map = syr_map("blame_map", 64)
+scan_map = syr_map("scan_map", 64)
+
+def schedule(pkt):
+    if pkt_len(pkt) >= 16:
+        level = map_lookup(shed_map, 0)
+        if level > 0:
+            rtype = load_u64(pkt, 8)
+            if rtype == SHED_RTYPE:
+                if get_random() % 100 < level:
+                    return DROP
+    a = get_random() % NUM_THREADS
+    b = get_random() % NUM_THREADS
+    blame_a = map_lookup(blame_map, a) + 100 * map_lookup(scan_map, a)
+    blame_b = map_lookup(blame_map, b) + 100 * map_lookup(scan_map, b)
+    if blame_b < blame_a:
+        return b
+    return a
+'''
+
+#: SRPT with a *fixed* compile-time size threshold (``THRESHOLD_US``):
+#: short requests rank by measured size, long ones sink uniformly.
+SRPT_FIXED_THRESHOLD = '''
+svc_map = syr_map("svc_time_map", 16)
+
+def rank(pkt):
+    if pkt_len(pkt) < 16:
+        return PASS
+    rtype = load_u64(pkt, 8)
+    if map_has(svc_map, rtype):
+        est = map_lookup(svc_map, rtype)
+        if est >= THRESHOLD_US:
+            return 1000000 + est
+        return est
+    return PASS
+'''
+
+#: SRPT with the threshold read from ``srpt_thresh_map[0]`` at decision
+#: time — the controller retunes it from the service-time sketch with no
+#: redeploy (the DYNAMIC_ROUND_ROBIN pattern applied to ordering).  A
+#: zero threshold (controller not yet run) means plain SRPT.
+SRPT_AUTO_THRESHOLD = '''
+svc_map = syr_map("svc_time_map", 16)
+thresh_map = syr_map("srpt_thresh_map", 1)
+
+def rank(pkt):
+    if pkt_len(pkt) < 16:
+        return PASS
+    rtype = load_u64(pkt, 8)
+    if map_has(svc_map, rtype):
+        est = map_lookup(svc_map, rtype)
+        thresh = map_lookup(thresh_map, 0)
+        if thresh > 0:
+            if est >= thresh:
+                return 1000000 + est
+        return est
+    return PASS
+'''
+
+
+class ShedController:
+    """Burn-rate-driven load shedding into ``shed_map[0]`` (percent).
+
+    Control law, evaluated once per SignalBus tick:
+
+    - latency objective **page** -> raise by ``step_up`` (tail is
+      burning budget several times too fast; act now),
+    - **warn** -> raise by ``warn_step`` (burning faster than
+      sustainable; keep leaning in — holding here would park the tail
+      exactly at the objective boundary),
+    - **ok** with long-window burn under ``decay_burn`` -> decay by
+      ``step_down`` (reclaim goodput, but only once there is real
+      margin, not the moment burn dips below 1),
+    - availability budget exhausted -> decay fast regardless (shedding
+      pays for latency out of the availability budget; once that budget
+      is gone the trade is no longer allowed).
+    """
+
+    def __init__(self, latency_slo, availability_slo, shed_map,
+                 step_up=20, warn_step=5, step_down=2, decay_burn=0.5,
+                 max_level=100):
+        self.latency_slo = latency_slo
+        self.availability_slo = availability_slo
+        self.shed_map = shed_map
+        self.step_up = step_up
+        self.warn_step = warn_step
+        self.step_down = step_down
+        self.decay_burn = decay_burn
+        self.max_level = max_level
+        self.level = 0
+
+    def __call__(self):
+        slo = self.latency_slo
+        state = slo.state()
+        if self.availability_slo.budget_remaining() <= 0.0:
+            self.level = max(0, self.level - self.step_up)
+        elif state == "page":
+            self.level = min(self.max_level, self.level + self.step_up)
+        elif state == "warn":
+            self.level = min(self.max_level, self.level + self.warn_step)
+        elif slo.burn_rate(slo.long_window_us) < self.decay_burn:
+            self.level = max(0, self.level - self.step_down)
+        self.shed_map.update(0, self.level)
+
+
+class SrptThresholdController:
+    """Auto-tune the SRPT boundary from the service-time sketch.
+
+    ``threshold = factor x streaming-median``: with a bimodal mix the
+    median sits on the short mode, so any request ``factor`` times the
+    typical one is long.  Written to ``srpt_thresh_map[0]``; zero until
+    the sketch has seen at least ``min_count`` observations (the rank
+    function treats zero as "no threshold yet").
+    """
+
+    def __init__(self, sketch, thresh_map, factor=2.0, min_count=50):
+        self.sketch = sketch
+        self.thresh_map = thresh_map
+        self.factor = factor
+        self.min_count = min_count
+
+    def __call__(self):
+        if self.sketch.count < self.min_count:
+            return
+        threshold = max(1, int(self.factor * self.sketch.quantile(0.5)))
+        self.thresh_map.update(0, threshold)
+
+
+class BlameController:
+    """Per-executor blame scores from queue depth + long-job occupancy.
+
+    The online stand-in for the span analyzer's queue-wait blame: the
+    executor whose backlog is deepest — or that is pinned under a SCAN
+    right now (the app's Fig-5b ``scan_map`` signal, when provided) —
+    is where the next tail request will form.  ``scan_weight`` converts
+    "a SCAN is in service" into backlog-equivalent units (about one
+    SCAN's worth of queued GETs).  Scores land in ``blame_map[i]`` for
+    the power-of-two choice in :data:`ADAPTIVE_SELECT`.
+    """
+
+    def __init__(self, sockets, blame_map, scan_map=None, scan_weight=64):
+        self.sockets = sockets
+        self.blame_map = blame_map
+        self.scan_map = scan_map
+        self.scan_weight = scan_weight
+
+    def __call__(self):
+        for index, socket in enumerate(self.sockets):
+            blame = len(socket)
+            if self.scan_map is not None and self.scan_map.lookup(index):
+                blame += self.scan_weight
+            self.blame_map.update(index, blame)

@@ -32,6 +32,7 @@ __all__ = [
     "render_health",
     "render_maps",
     "render_qdisc",
+    "render_slo",
     "render_spans",
     "render_stats",
     "render_status",
@@ -40,6 +41,7 @@ __all__ = [
     "run_faults_demo",
     "run_fleet_demo",
     "run_qdisc_demo",
+    "run_slo_demo",
     "run_spans_demo",
     "run_stats_demo",
     "run_timeline_demo",
@@ -147,6 +149,45 @@ def render_fleet(fleet, width=60):
     if p50 == p50:  # not NaN
         lines.append(f"latency  p50={p50:.0f}us  p99={p99:.0f}us")
     return "\n".join(lines)
+
+
+def render_slo(machine):
+    """Per-objective SLO table plus the signal-bus footer.
+
+    One row per objective from :meth:`repro.obs.slo.SloTracker.snapshot`
+    — lifetime compliance, short/long-window burn rates, remaining error
+    budget, and the alert state — followed by what the
+    :class:`~repro.core.signals.SignalBus` last observed (tick count and
+    the latest scalar signal values).
+    """
+    rows = machine.syrupd.slo()
+    if not rows:
+        return (
+            "no SLO objectives on this machine "
+            "(construct it with Machine(slo=True) and register "
+            "objectives on machine.slo)"
+        )
+    table = Table(
+        f"syrup slo t={machine.now:.0f}us",
+        ["name", "kind", "target", "good", "total", "compliance",
+         "burn_short", "burn_long", "budget_remaining", "state"],
+    )
+    for row in rows:
+        table.add(**{k: v for k, v in row.items() if k in table.columns})
+    view = machine.syrupd.signals()
+    footer = (
+        f"signals: interval={view['interval_us']:g}us "
+        f"ticks={view['ticks']} "
+        f"controllers={view['controllers']}"
+    )
+    last = view["last"]
+    if last:
+        footer += "\nlast: " + "  ".join(
+            f"{name}={value:g}" if isinstance(value, float)
+            else f"{name}={value}"
+            for name, value in last.items()
+        )
+    return table.render() + "\n" + footer
 
 
 def render_maps(machine, max_entries=8):
@@ -570,6 +611,30 @@ def run_timeline_demo(load=6_000, duration_ms=600.0, seed=5,
     return testbed.machine
 
 
+def run_slo_demo(load=240_000, duration_ms=120.0, seed=3):
+    """Drive the canned closed-loop demo: one adaptive figure point.
+
+    One ``figure_adaptive`` load point past the knee with the full
+    control loop — streaming sketches and SLO objectives sampled by the
+    :class:`~repro.core.signals.SignalBus`, burn-rate-driven shedding,
+    SRPT threshold auto-tuning, and blame steering — so ``syrupctl slo``
+    shows live burn rates, budget spend, and the controllers' last
+    actuation.  Returns the finished machine for rendering.
+    """
+    from repro.experiments.figure_adaptive import _build, _wire_adaptive
+    from repro.workload.mixes import GET_SCAN_995_005
+
+    duration_us = duration_ms * 1000.0
+    testbed = _build("adaptive", seed)
+    gen = testbed.drive(load, GET_SCAN_995_005, duration_us,
+                        warmup_us=duration_us * 0.25)
+    gen.start()
+    _wire_adaptive(testbed, gen, duration_us, shedding=True)
+    testbed.machine.run()
+    testbed.machine.demo_generator = gen
+    return testbed.machine
+
+
 def run_fleet_demo(load=500_000, duration_ms=60.0, seed=7,
                    num_machines=48, steering="power_of_two"):
     """Drive the canned rack demo: one figure_fleet-style run.
@@ -603,8 +668,8 @@ def run_fleet_demo(load=500_000, duration_ms=60.0, seed=7,
 
 
 def main(argv=None):
-    """CLI: ``syrupctl
-    {stats,status,maps,events,timeline,health,spans,tail,qdisc,fleet}``."""
+    """CLI: ``syrupctl {stats,status,maps,events,timeline,health,spans,
+    tail,qdisc,fleet,slo}``."""
     parser = argparse.ArgumentParser(
         prog="syrupctl",
         description=(
@@ -619,7 +684,7 @@ def main(argv=None):
     parser.add_argument(
         "view",
         choices=["stats", "status", "maps", "events", "timeline", "health",
-                 "spans", "tail", "qdisc", "fleet"],
+                 "spans", "tail", "qdisc", "fleet", "slo"],
         help="which surface to render",
     )
     parser.add_argument("--load", type=int, default=None,
@@ -699,6 +764,23 @@ def main(argv=None):
                              sort_keys=True))
         else:
             print(render_qdisc(machine))
+    elif args.view == "slo":
+        kwargs = {}
+        if args.load is not None:
+            kwargs["load"] = args.load
+        if args.duration_ms is not None:
+            kwargs["duration_ms"] = args.duration_ms
+        if args.seed is not None:
+            kwargs["seed"] = args.seed
+        machine = run_slo_demo(**kwargs)
+        if args.json:
+            print(json.dumps(
+                {"slo": machine.syrupd.slo(),
+                 "signals": machine.syrupd.signals()},
+                indent=2, sort_keys=True,
+            ))
+        else:
+            print(render_slo(machine))
     elif args.view == "fleet":
         kwargs = {}
         if args.load is not None:

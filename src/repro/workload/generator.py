@@ -74,6 +74,12 @@ class OpenLoopGenerator:
         self._next_rid = 0
         self._mean_gap_us = 1e6 / rate_rps
         self._stopped = False
+        #: Optional per-completion callback ``fn(request, latency_us)``
+        #: fired at client receipt — the feed for SLO objectives and
+        #: registry latency sketches (repro.obs.slo / repro.obs.sketch).
+        #: None (the default) costs one attribute test and changes
+        #: nothing.
+        self.on_latency = None
 
     # ------------------------------------------------------------------
     def start(self):
@@ -128,6 +134,8 @@ class OpenLoopGenerator:
         self.completed.add(request.sent_at, request.rtype)
         self.latency.record(request.sent_at, now - request.sent_at,
                             tag=request.rtype)
+        if self.on_latency is not None:
+            self.on_latency(request, now - request.sent_at)
 
     # ------------------------------------------------------------------
     def sent_in_window(self):

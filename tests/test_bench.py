@@ -20,10 +20,18 @@ spec.loader.exec_module(bench)
 
 
 @pytest.fixture(scope="module")
-def smoke_results(tmp_path_factory):
+def bench_dir(tmp_path_factory):
+    return tmp_path_factory.mktemp("bench")
+
+
+@pytest.fixture(scope="module")
+def smoke_results(bench_dir):
     """One --smoke run shared by the assertions below (it costs seconds)."""
-    out = tmp_path_factory.mktemp("bench") / "BENCH_results.json"
-    assert bench.main(["--smoke", "--out", str(out)]) == 0
+    out = bench_dir / "BENCH_results.json"
+    assert bench.main([
+        "--smoke", "--out", str(out),
+        "--history-dir", str(bench_dir / "history"),
+    ]) == 0
     with open(out) as fh:
         return json.load(fh)
 
@@ -60,6 +68,34 @@ def test_figure8_scenario_metrics(smoke_results):
     # the dynamic scenario reports both request classes
     assert metrics["get_p99_us"] > 0
     assert metrics["scan_p99_us"] > metrics["get_p99_us"]
+
+
+def test_history_appends_trajectory(smoke_results, bench_dir):
+    """Each run lands one sha-stamped, schema-valid file in history/."""
+    entries = sorted((bench_dir / "history").glob("*.json"))
+    assert len(entries) == 1
+    stamp, _, sha = entries[0].stem.partition("_")
+    assert len(stamp) == 16 and stamp.endswith("Z")  # YYYYMMDDTHHMMSSZ
+    assert sha  # short git sha, or "nogit" outside a checkout
+    with open(entries[0]) as fh:
+        entry = json.load(fh)
+    assert entry["git_sha"] == sha
+    assert bench.validate_results(entry)
+    assert entry["scenarios"].keys() == smoke_results["scenarios"].keys()
+    # a second run appends rather than overwrites
+    second = dict(smoke_results, created_unix=smoke_results["created_unix"] + 1)
+    bench.append_history(second, history_dir=str(bench_dir / "history"))
+    assert len(sorted((bench_dir / "history").glob("*.json"))) == 2
+
+
+def test_repo_history_entries_validate_if_present():
+    """Committed trajectory entries must match the current schema."""
+    entries = sorted((REPO_ROOT / "benchmarks" / "history").glob("*.json"))
+    for path in entries:
+        with open(path) as fh:
+            doc = json.load(fh)
+        bench.validate_results(doc)
+        assert "git_sha" in doc, path.name
 
 
 def test_scenario_selection():

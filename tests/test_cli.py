@@ -39,3 +39,10 @@ def test_cli_figure7_loads_map_to_ls_loads(capsys):
     assert main(["figure7", "--loads", "200000", "--duration-ms", "60"]) == 0
     out = capsys.readouterr().out
     assert "token_based" in out
+
+
+def test_cli_slo_view_runs(capsys):
+    assert main(["slo", "--duration-ms", "60"]) == 0
+    out = capsys.readouterr().out
+    assert "get_p99" in out
+    assert "signals: interval=" in out

@@ -7,6 +7,7 @@ from repro.cluster import (
     STEERING_FACTORIES,
     STEER_LOCALITY,
     STEER_POWER_OF_TWO,
+    STEER_TAIL_P2C,
     Fleet,
     FleetRequest,
     JsqSteering,
@@ -178,6 +179,20 @@ class TestSwitchPrograms:
             request = FleetRequest(user + 1, GET, 100.0, user_id=user)
             assert fleet.switch.pick(request) == user % 4
 
+    def test_tail_program_prefers_the_lower_cost_machine(self):
+        fleet = Fleet(num_machines=4, seed=3, steering=None,
+                      latency_signals=True)
+        policy = fleet.deploy_steering_program(STEER_TAIL_P2C,
+                                               name="tail_prog")
+        fleet.install_steering(policy)
+        # Make machine 2 the obvious tail offender on the replica: the
+        # two-choice draw picks it only when both candidates are it, so
+        # its share collapses from 1/4 toward 1/16.
+        fleet.switch.apply_p99([0, 0, 50_000, 0])
+        picks = [fleet.switch.pick(FleetRequest(1, GET, 100.0))
+                 for _ in range(400)]
+        assert picks.count(2) / len(picks) < 0.15
+
     def test_tenant_isolation_at_the_switch(self):
         fleet = Fleet(num_machines=4, seed=3)
         fleet.install_steering(JsqSteering(), port=7000, owner="tenant_a")
@@ -288,6 +303,49 @@ def rank(pkt):
         fleet.run()
         assert fleet.dropped > 0
         assert fleet.completed + fleet.dropped == fleet.generator.offered
+
+
+# ----------------------------------------------------------------------
+# Latency signals: per-machine sketches feeding the ToR p99 replica
+# ----------------------------------------------------------------------
+class TestLatencySignals:
+    def _run(self, **overrides):
+        kwargs = dict(num_machines=8, workers_per_machine=2, seed=7,
+                      steering="program_tail", latency_signals=True)
+        kwargs.update(overrides)
+        fleet = Fleet(**kwargs)
+        fleet.drive(duration_us=100_000.0, rps=60_000, num_users=5_000)
+        fleet.run()
+        return fleet
+
+    def test_signals_are_off_by_default(self):
+        fleet = Fleet(num_machines=4, seed=3, steering="power_of_two")
+        fleet.drive(duration_us=10_000.0, rps=60_000, num_users=500)
+        fleet.run()
+        assert fleet.machine_sketches is None
+        assert fleet.switch.p99_view == [0, 0, 0, 0]
+        assert fleet.completed > 0
+
+    def test_completions_populate_sketches_and_the_replica(self):
+        fleet = self._run()
+        assert fleet.completed == fleet.generator.offered > 0
+        # every machine saw traffic, every sketch saw completions
+        assert all(s.count > 0 for s in fleet.machine_sketches)
+        # the sync bus pushed per-machine p99s to the switch replica
+        assert all(v > 0 for v in fleet.switch.p99_view)
+        for index, sketch in enumerate(fleet.machine_sketches):
+            assert fleet.machine_sketches[index].vmax \
+                >= fleet.switch.p99_view[index] > 0
+        # the replica trails the truth by at most the sync staleness
+        assert fleet.sync.staleness_us() <= 2 * fleet.sync.interval_us
+
+    def test_tail_steering_is_deterministic(self):
+        a, b = self._run(), self._run()
+        assert a.latency._samples == b.latency._samples
+        assert a.switch.p99_view == b.switch.p99_view
+        assert [m.served for m in a.machines] \
+            == [m.served for m in b.machines]
+        assert a.engine.events_dispatched == b.engine.events_dispatched
 
 
 # ----------------------------------------------------------------------

@@ -477,6 +477,7 @@ def test_openmetrics_label_escaping_round_trip():
     nasty = 'app"with\\quotes\nand newline'
     reg.counter(nasty, "scope", "hits").inc(3)
     reg.histogram(nasty, "scope", "lat").observe(2.0)
+    reg.sketch(nasty, "scope", "svc").observe(5.0)
     text = to_openmetrics(reg)
     assert '\\"' in text            # quote escaped
     assert "\\\\" in text           # backslash escaped
@@ -499,6 +500,13 @@ def test_openmetrics_label_escaping_round_trip():
     assert bucket_lines
     assert all(f'app="{escaped}"' in l for l in bucket_lines)
     assert any('le="+Inf"' in l for l in bucket_lines)
+    # sketch summary quantile series route through the same escaping
+    assert "# TYPE syrup_svc summary" in text
+    quantile_lines = [l for l in text.splitlines() if "quantile=" in l]
+    assert len(quantile_lines) == 3  # SUMMARY_QUANTILES
+    assert all(f'app="{escaped}"' in l for l in quantile_lines)
+    assert any('quantile="0.99"' in l for l in quantile_lines)
+    assert 'syrup_svc_count{app="' in text and 'syrup_svc_sum{app="' in text
     # simple labels stay byte-identical to the historical format
     reg2 = MetricsRegistry()
     reg2.counter("rocksdb", "socket_select", "pass").inc()

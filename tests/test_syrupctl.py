@@ -6,7 +6,14 @@ from repro import Hook, Machine, set_a
 from repro.apps.rocksdb import RocksDbServer
 from repro.core.maps import PermissionDenied
 from repro.policies.builtin import SCAN_AVOID
-from repro.syrupctl import dump_map, render_deployments, render_maps, render_status
+from repro.syrupctl import (
+    dump_map,
+    render_deployments,
+    render_maps,
+    render_slo,
+    render_status,
+    run_slo_demo,
+)
 from repro.workload.generator import OpenLoopGenerator
 from repro.workload.mixes import GET_SCAN_995_005
 
@@ -71,3 +78,17 @@ def test_render_status_idle_machine():
 def test_render_status_shows_ghost_agent_core():
     machine = Machine(set_a(), seed=103, scheduler="ghost")
     assert "[ghOSt agent]" in render_status(machine)
+
+
+def test_render_slo_without_objectives(busy_machine):
+    assert "no SLO objectives" in render_slo(busy_machine)
+
+
+def test_slo_demo_renders_objectives_and_signal_footer():
+    machine = run_slo_demo(duration_ms=60.0)
+    text = render_slo(machine)
+    assert "get_p99" in text and "served" in text
+    assert "burn_short" in text and "budget_remaining" in text
+    # the signal-bus footer: cadence, tick count, controllers
+    assert "signals: interval=" in text
+    assert "shed" in text and "srpt_thresh" in text

@@ -7,8 +7,9 @@ previous PR recorded.  This harness runs the canonical simulation
 scenarios — a Figure-6 steady-state point, the dynamic Figure-8 mid-run
 policy switch, a Figure-2 hash-imbalance point, the fault sweep's
 quarantine variant, the tail-attribution run with every request
-span-traced, figure_order's SRPT queueing-discipline point, and
-figure_fleet's rack-scale power-of-two steering run — each
+span-traced, figure_order's SRPT queueing-discipline point,
+figure_adaptive's closed-loop SignalBus run, and figure_fleet's
+rack-scale power-of-two steering run — each
 under :mod:`repro.obs.profile`, and writes ``BENCH_results.json``:
 
     {
@@ -31,6 +32,11 @@ Wall-clock fields vary run to run; ``sim_metrics`` are seeded and exact,
 so a perf regression and a behavior regression are distinguishable from
 the same file.  Validate any results document with
 :func:`validate_results` (the tier-1 smoke test does).
+
+Every run (unless ``--no-history``) is also appended to the
+``benchmarks/history/`` trajectory — one file per run, named by UTC
+timestamp + git sha — so the perf record accumulates across PRs instead
+of being overwritten.
 
 Usage::
 
@@ -55,10 +61,12 @@ from repro.obs.export import open_destination          # noqa: E402
 from repro.obs.profile import WallClockProfiler, attach, profile_run  # noqa: E402
 
 __all__ = [
+    "DEFAULT_HISTORY_DIR",
     "DEFAULT_OUT",
     "SCENARIOS",
     "SCHEMA_VERSION",
     "BenchSchemaError",
+    "append_history",
     "main",
     "run_benchmarks",
     "validate_results",
@@ -66,6 +74,7 @@ __all__ = [
 
 SCHEMA_VERSION = 1
 DEFAULT_OUT = os.path.join(REPO_ROOT, "BENCH_results.json")
+DEFAULT_HISTORY_DIR = os.path.join(REPO_ROOT, "benchmarks", "history")
 
 
 # ----------------------------------------------------------------------
@@ -266,6 +275,40 @@ def _figure_fleet(smoke):
     return fleet, collect
 
 
+def _figure_adaptive(smoke):
+    """figure_adaptive's closed loop: SignalBus controllers past the knee.
+
+    The adaptive variant at a load where the static policies violate the
+    SLO — streaming sketches and SLO burn rates sampled every 2 ms of
+    sim time, shed/threshold/blame controllers actuating through Maps.
+    Exercises the whole signal plane (sketch updates per request, SLO
+    bins, controller ticks) under the profiler.
+    """
+    from repro.experiments.figure_adaptive import _build, _wire_adaptive
+    from repro.workload.mixes import GET_SCAN_995_005
+    from repro.workload.requests import GET
+
+    load = 200_000 if smoke else 280_000
+    duration_us = 40_000.0 if smoke else 300_000.0
+    warmup_us = duration_us * 0.2
+    testbed = _build("adaptive", 3)
+    gen = testbed.drive(load, GET_SCAN_995_005, duration_us, warmup_us)
+    gen.start()
+    loop = _wire_adaptive(testbed, gen, duration_us, shedding=True)
+
+    def collect():
+        return {
+            "load_rps": load,
+            "get_p99_us": gen.latency.p99(tag=GET),
+            "drop_pct": 100.0 * gen.drop_fraction(),
+            "shed_level": loop["shed"].level,
+            "srpt_thresh_us": loop["thresh_map"].lookup(0),
+            "signal_ticks": testbed.machine.signals.ticks,
+        }
+
+    return testbed.machine, collect
+
+
 def _figure_order_qdisc(smoke):
     """figure_order's SRPT point: the PIFO qdisc on every socket backlog."""
     from repro.experiments.runner import RocksDbTestbed
@@ -302,6 +345,7 @@ SCENARIOS = {
     "figure6_steady": _figure6_steady,
     "figure8_dynamic": _figure8_dynamic,
     "figure2_imbalance": _figure2_imbalance,
+    "figure_adaptive_loop": _figure_adaptive,
     "figure_faults_quarantine": _figure_faults,
     "figure_tail_spans": _figure_tail,
     "figure_order_qdisc": _figure_order_qdisc,
@@ -338,6 +382,52 @@ def run_benchmarks(names=None, smoke=False, echo=print):
         "created_unix": time.time(),
         "scenarios": scenarios,
     }
+
+
+# ----------------------------------------------------------------------
+# History: the accumulating perf trajectory (benchmarks/history/)
+# ----------------------------------------------------------------------
+def _git_sha():
+    """Short HEAD sha, or ``"nogit"`` outside a repository."""
+    import subprocess
+
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=REPO_ROOT, capture_output=True, text=True, timeout=10,
+        )
+    except OSError:
+        return "nogit"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "nogit"
+
+
+def append_history(results, history_dir=DEFAULT_HISTORY_DIR, sha=None):
+    """Append one results document to the perf trajectory.
+
+    ``BENCH_results.json`` is overwritten every run; the trajectory the
+    ROADMAP asks for lives in ``history_dir`` instead — one file per
+    run, named ``<UTC-timestamp>_<git-sha>.json`` so entries sort
+    chronologically and each one pins the commit it measured.  The sha
+    is also recorded inside the document (``git_sha``).  Returns the
+    path written.
+    """
+    sha = sha if sha is not None else _git_sha()
+    stamp = time.strftime(
+        "%Y%m%dT%H%M%SZ", time.gmtime(results["created_unix"])
+    )
+    os.makedirs(history_dir, exist_ok=True)
+    entry = dict(results)
+    entry["git_sha"] = sha
+    path = os.path.join(history_dir, f"{stamp}_{sha}.json")
+    suffix = 1
+    while os.path.exists(path):  # same commit, same second: still append
+        path = os.path.join(history_dir, f"{stamp}_{sha}.{suffix}.json")
+        suffix += 1
+    with open(path, "w") as fh:
+        json.dump(entry, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
 
 
 # ----------------------------------------------------------------------
@@ -436,6 +526,15 @@ def main(argv=None):
         "--out", type=str, default=DEFAULT_OUT,
         help="output path for the results JSON ('-' for stdout)",
     )
+    parser.add_argument(
+        "--history-dir", type=str, default=DEFAULT_HISTORY_DIR,
+        metavar="DIR",
+        help="where the per-run trajectory accumulates",
+    )
+    parser.add_argument(
+        "--no-history", action="store_true",
+        help="skip appending this run to the history trajectory",
+    )
     args = parser.parse_args(argv)
 
     results = run_benchmarks(
@@ -449,6 +548,9 @@ def main(argv=None):
         fh.write("\n")
     if args.out != "-":
         print(f"wrote {args.out}", file=sys.stderr)
+    if not args.no_history:
+        path = append_history(results, history_dir=args.history_dir)
+        print(f"appended {path}", file=sys.stderr)
     return 0
 
 
