@@ -15,9 +15,11 @@ metric counters from a Figure-6-style run with metrics enabled),
 ``python -m repro timeline`` the flight-recorder demo (the dynamic
 Figure-8 run with a mid-run policy switch), and ``python -m repro
 qdisc`` the queueing-discipline view (an SRPT figure_order point; see
-docs/scheduling-order.md), and ``python -m repro slo`` the SLO/signal
-view (one closed-loop figure_adaptive point); all are the same surfaces
-as the ``syrupctl`` console script — see docs/observability.md.
+docs/scheduling-order.md), ``python -m repro slo`` the SLO/signal
+view (one closed-loop figure_adaptive point), and ``python -m repro
+promote`` the shadow/canary promotion pipeline (a figure_canary-style
+run; see docs/robustness.md); all are the same surfaces as the
+``syrupctl`` console script — see docs/observability.md.
 """
 
 import argparse
@@ -30,6 +32,7 @@ from repro.experiments import (
     run_figure8,
     run_figure9,
     run_figure_adaptive,
+    run_figure_canary,
     run_figure_faults,
     run_figure_fleet,
     run_figure_order,
@@ -54,6 +57,7 @@ _QUICK = {
     "figure_adaptive": dict(loads=[240_000], duration_us=120_000.0,
                             warmup_us=30_000.0,
                             variants=["fifo", "adaptive"]),
+    "figure_canary": dict(duration_us=250_000.0, warmup_us=60_000.0),
     "figure_faults": dict(loads=[50_000, 100_000], duration_us=120_000.0,
                           warmup_us=30_000.0),
     "figure_fleet": dict(num_machines=24, rps=280_000, num_users=100_000,
@@ -73,6 +77,7 @@ _RUNNERS = {
     "figure8": run_figure8,
     "figure9": run_figure9,
     "figure_adaptive": run_figure_adaptive,
+    "figure_canary": run_figure_canary,
     "figure_faults": run_figure_faults,
     "figure_fleet": run_figure_fleet,
     "figure_order": run_figure_order,
@@ -90,11 +95,11 @@ def _build_parser():
     parser.add_argument(
         "experiment",
         choices=sorted(_RUNNERS) + ["all", "stats", "timeline", "health",
-                                    "qdisc", "fleet", "slo"],
+                                    "qdisc", "fleet", "slo", "promote"],
         help=(
             "which experiment to run ('all' runs every one; 'stats', "
-            "'timeline', 'health', 'qdisc', 'fleet' and 'slo' render "
-            "the syrupctl demos)"
+            "'timeline', 'health', 'qdisc', 'fleet', 'slo' and "
+            "'promote' render the syrupctl demos)"
         ),
     )
     parser.add_argument(
@@ -135,6 +140,8 @@ def _kwargs_for(name, args):
     if args.loads is not None and name.startswith("figure"):
         if name == "figure_fleet":
             kwargs["rps"] = args.loads[0]  # one aggregate rack load
+        elif name == "figure_canary":
+            kwargs["load"] = args.loads[0]  # one calibrated load point
         else:
             key = "ls_loads" if name == "figure7" else "loads"
             kwargs[key] = args.loads
@@ -164,7 +171,7 @@ _PLOT_AXES = {
 def main(argv=None):
     args = _build_parser().parse_args(argv)
     if args.experiment in ("stats", "timeline", "health", "qdisc", "fleet",
-                           "slo"):
+                           "slo", "promote"):
         from repro import syrupctl
 
         kwargs = {}
@@ -189,6 +196,9 @@ def main(argv=None):
         elif args.experiment == "slo":
             machine = syrupctl.run_slo_demo(**kwargs)
             text = syrupctl.render_slo(machine)
+        elif args.experiment == "promote":
+            machine = syrupctl.run_promote_demo(**kwargs)
+            text = syrupctl.render_promote(machine)
         else:
             machine = syrupctl.run_timeline_demo(**kwargs)
             text = syrupctl.render_timeline(machine)

@@ -46,6 +46,7 @@ from repro.cluster.steering import (
     LocalitySteering,
     PowerOfKSteering,
     RandomSteering,
+    ShadowSteering,
     ShortestExpectedDelaySteering,
     SwitchProgramSteering,
 )
@@ -82,6 +83,7 @@ __all__ = [
     "ProgrammableSwitch",
     "RandomSteering",
     "RoundRobinPolicy",
+    "ShadowSteering",
     "ShortestExpectedDelaySteering",
     "SwitchProgramSteering",
     "SyncChannel",

@@ -39,6 +39,7 @@ produce bit-identical latency distributions (tests/test_fleet.py).
 from repro.cluster.steering import (
     STEERING_FACTORIES,
     FlowHashSteering,
+    ShadowSteering,
     SwitchProgramSteering,
 )
 from repro.cluster.sync import MapSyncBus
@@ -83,7 +84,8 @@ class FleetRequest:
     """One aggregate-flow request: slots only, packet bytes on demand."""
 
     __slots__ = ("rid", "rtype", "user_id", "service_us", "sent_at",
-                 "dst_port", "machine", "attempts", "completed_at", "_pv")
+                 "dst_port", "machine", "attempts", "completed_at", "_pv",
+                 "cohort")
 
     def __init__(self, rid, rtype, service_us, user_id=0, sent_at=0.0,
                  dst_port=0):
@@ -97,6 +99,7 @@ class FleetRequest:
         self.attempts = 0         # steer count (>1 means failover re-steer)
         self.completed_at = None
         self._pv = None
+        self.cohort = None        # canary-split bucket, stamped once
 
     def packet_view(self):
         """The lazy packet facade handed to deployed programs/qdiscs."""
@@ -628,6 +631,35 @@ class Fleet:
             rng=self.streams.get(f"switch_program/{name}"),
         )
         return SwitchProgramSteering(loaded, name=name)
+
+    def deploy_shadow_steering(self, candidate, port=None, owner=None,
+                               canary_pct=10, salt=0x5EED,
+                               name="candidate"):
+        """Shadow a candidate steering policy behind the live one.
+
+        Wraps the currently-installed policy for ``port`` (or the rack
+        default) in a :class:`~repro.cluster.steering.ShadowSteering`
+        and installs the wrapper in its place — the candidate sees every
+        live steering decision, its picks are diffed, and the canary
+        stage enforces it on the deterministic flow-hash cohort.
+        Returns the wrapper; call ``promote()`` / ``reject()`` on it and
+        re-install the result via :meth:`install_steering` to finish.
+
+        Candidate policies needing randomness should draw from their own
+        stream (e.g. ``fleet.streams.get("shadow_steering")``) — sharing
+        the active policy's stream would perturb the very control
+        decisions the diff judges against.
+        """
+        if port is None:
+            active = self.switch.default
+        else:
+            rule = self.switch._port_rules.get(port)
+            active = rule[0] if rule is not None else self.switch.default
+        wrapper = ShadowSteering(
+            active, candidate, canary_pct=canary_pct, salt=salt, name=name,
+        )
+        self.install_steering(wrapper, port=port, owner=owner)
+        return wrapper
 
     # ------------------------------------------------------------------
     # Request lifecycle

@@ -26,6 +26,7 @@ and the CLI can sweep them by name.
 """
 
 from repro.constants import DROP, PASS
+from repro.core.promote import CanarySplit, DecisionDiff, steer_label
 
 __all__ = [
     "STEERING_FACTORIES",
@@ -37,6 +38,7 @@ __all__ = [
     "LocalitySteering",
     "PowerOfKSteering",
     "RandomSteering",
+    "ShadowSteering",
     "ShortestExpectedDelaySteering",
     "SwitchProgramSteering",
 ]
@@ -196,6 +198,75 @@ class SwitchProgramSteering:
         if not switch.is_alive(index):
             return None          # failover: fall through to the default
         return index
+
+
+class ShadowSteering:
+    """Shadow/canary wrapper around the live ToR steering policy.
+
+    Installed *in place of* the active policy (the wrapper forwards to
+    it), so the candidate sees every steering decision the rack makes.
+    In the ``shadow`` stage the candidate's pick is recorded into a
+    :class:`~repro.core.promote.DecisionDiff` and discarded; in the
+    ``canary`` stage the deterministic flow-hash cohort (stamped once
+    on the request by :class:`~repro.core.promote.CanarySplit`, so
+    per-port ToR rules never double-hash a flow) is steered by the
+    candidate for real.  Give the candidate its own RNG stream — a
+    candidate drawing from the active policy's stream would perturb the
+    control decisions it is being judged against.
+    """
+
+    def __init__(self, active, candidate, canary_pct=10, salt=0x5EED,
+                 name="candidate"):
+        self.active = active
+        self.candidate = candidate
+        self.canary_pct = canary_pct
+        self.split = CanarySplit(salt)
+        self.diff = DecisionDiff()
+        self.stage = "shadow"
+        self.canary_enforced = 0
+        self.canary_faults = 0
+        self.candidate_name = name
+        self.name = f"shadow:{getattr(active, 'name', 'policy')}"
+
+    def pick(self, request, switch):
+        bucket = self.split.bucket(request)
+        if self.stage == "canary" and bucket < self.canary_pct:
+            self.canary_enforced += 1
+            try:
+                return self.candidate.pick(request, switch)
+            except Exception:  # noqa: BLE001 - candidate contained
+                self.canary_faults += 1
+                return self.active.pick(request, switch)
+        value = self.active.pick(request, switch)
+        if self.stage in ("shadow", "canary"):
+            try:
+                shadow_value = self.candidate.pick(request, switch)
+            except Exception:  # noqa: BLE001 - candidate contained
+                self.diff.shadow_faults += 1
+                return value
+            self.diff.record(value, shadow_value, steer_label(value),
+                             steer_label(shadow_value), 0.0)
+        return value
+
+    def promote(self):
+        """Enforce the candidate everywhere (the caller re-installs)."""
+        self.stage = "active"
+        return self.candidate
+
+    def reject(self):
+        """Stop shadowing (the caller re-installs ``active``)."""
+        self.stage = "rejected"
+        return self.active
+
+    def snapshot(self):
+        return {
+            "name": self.candidate_name,
+            "stage": self.stage,
+            "canary_pct": self.canary_pct,
+            "canary_enforced": self.canary_enforced,
+            "canary_faults": self.canary_faults,
+            "diff": self.diff.snapshot(),
+        }
 
 
 #: Power-of-two-choices as a verified Syrup program: probe two random

@@ -64,6 +64,15 @@ class App:
 
         return self.syrupd.undeploy(self, qdisc_hook(layer))
 
+    def deploy_shadow(self, policy, hook=None, layer=None, **kwargs):
+        """Run a candidate policy in shadow against this app's active
+        deployment at ``hook`` or qdisc ``layer``; returns the
+        :class:`~repro.core.promote.PromotionRecord` (see
+        :meth:`repro.core.syrupd.Syrupd.deploy_shadow`)."""
+        return self.syrupd.deploy_shadow(
+            self, policy, hook=hook, layer=layer, **kwargs
+        )
+
     # ------------------------------------------------------------------
     # Maps
     # ------------------------------------------------------------------

@@ -144,6 +144,24 @@ class LifecycleManager:
         if breach and self.policy.quarantine:
             self.syrupd.quarantine(deployed, reason="fault_window")
 
+    # -- canary demotion -----------------------------------------------
+    def demote(self, deployed, reason):
+        """Back out a freshly-promoted policy (canary probation breach).
+
+        The enforcement is the same machinery as a runtime-fault
+        reaction — last-known-good rollback when one exists, quarantine
+        otherwise — but driven by the :class:`CanaryController`'s SLO
+        gate rather than a fault window, so ``reason`` carries the gate
+        that fired.  Emits one structured ``lifecycle`` event through
+        whichever path runs (the unified schema satellite).
+        """
+        if deployed.state != "active":
+            return
+        if deployed.last_good is not None:
+            self.syrupd.rollback(deployed, reason=reason)
+        elif self.policy.quarantine:
+            self.syrupd.quarantine(deployed, reason=reason)
+
     # -- ghOSt agent watchdog ------------------------------------------
     def note_agent_crash(self, deployed):
         """The agent for ``deployed`` crashed; restart or fall back."""

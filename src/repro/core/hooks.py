@@ -68,7 +68,7 @@ class Hook:
 class _Attachment:
     __slots__ = ("app_name", "program", "executors", "prog_index", "fd",
                  "m_sched", "m_pass", "m_drop", "m_steer", "m_miss",
-                 "m_fault")
+                 "m_fault", "shadow")
 
     def __init__(self, app_name, program, executors, prog_index, registry,
                  hook):
@@ -77,6 +77,9 @@ class _Attachment:
         self.executors = executors
         self.prog_index = prog_index
         self.fd = None  # deployed-policy fd, stamped by syrupd post-install
+        # Optional repro.core.promote.ShadowTap running a candidate
+        # policy side-by-side; installed/cleared by Syrupd.deploy_shadow.
+        self.shadow = None
         self.m_sched = registry.counter(app_name, hook, "schedule_calls")
         self.m_pass = registry.counter(app_name, hook, "pass")
         self.m_drop = registry.counter(app_name, hook, "drop")
@@ -98,9 +101,10 @@ class HookSite:
         self.pass_decisions = 0
         self.drop_decisions = 0
         self.runtime_faults = 0
-        # Optional callback fn(attachment, exc) invoked after a program
-        # raises VmFault; syrupd wires this to the lifecycle manager so
-        # repeated faults can quarantine/roll back the deployment.
+        # Optional callback fn(attachment, exc, program) invoked after a
+        # program raises VmFault; syrupd wires this to the lifecycle
+        # manager so repeated faults can quarantine/roll back the
+        # deployment (or charge a canary candidate's promotion record).
         self.fault_listener = None
         self._events = self.obs.events
         self._spans = self.obs.spans
@@ -159,6 +163,15 @@ class HookSite:
     def attachment_for_port(self, port):
         return self._port_rules.get(port)
 
+    def attachments_for(self, app_name):
+        """The app's distinct attachments, in port order (shadow taps)."""
+        seen = []
+        for port in sorted(self._port_rules):
+            attachment = self._port_rules[port]
+            if attachment.app_name == app_name and attachment not in seen:
+                seen.append(attachment)
+        return seen
+
     # -- substrate-facing protocol --------------------------------------
     def decide(self, packet):
         profiler = self.profiler
@@ -177,6 +190,11 @@ class HookSite:
             return ("none", None)
         # root dispatcher tail call
         program = self.prog_array.lookup(attachment.prog_index)
+        shadow = attachment.shadow
+        if shadow is not None:
+            # Canary stage: cohort flows run the candidate *enforced*;
+            # everything else stays on the active program.
+            program = shadow.pick_program(program, packet)
         try:
             value = program.run(packet)
         except VmFault as exc:
@@ -184,7 +202,12 @@ class HookSite:
             # XDP_ABORTED analogue — and never escapes the dispatcher
             # (§4.3 isolation).  The lifecycle manager may quarantine
             # the deployment after repeated faults (docs/robustness.md).
-            return self._on_fault(attachment, packet, exc)
+            return self._on_fault(attachment, packet, exc, program)
+        if shadow is not None and program is attachment.program:
+            # Shadow-execute the candidate on the same input; its
+            # verdict is recorded in the decision diff, never enforced,
+            # and its faults are contained inside the tap.
+            shadow.observe(value, packet)
         attachment.m_sched.inc()
         events = self._events
         spans = self._spans
@@ -234,8 +257,15 @@ class HookSite:
                            seq=events.emitted if events.enabled else None)
         return ("target", executor)
 
-    def _on_fault(self, attachment, packet, exc):
-        """Contain a runtime fault: count, trace, notify, drop the input."""
+    def _on_fault(self, attachment, packet, exc, program=None):
+        """Contain a runtime fault: count, trace, notify, drop the input.
+
+        ``program`` is the program that actually raised — normally the
+        attachment's active program, but during a canary stage it may
+        be the shadow candidate, and the listener uses the distinction
+        to charge the fault to the promotion record instead of the
+        active deployment's health window.
+        """
         self.runtime_faults += 1
         self.drop_decisions += 1
         attachment.m_sched.inc()
@@ -254,7 +284,7 @@ class HookSite:
             )
         listener = self.fault_listener
         if listener is not None:
-            listener(attachment, exc)
+            listener(attachment, exc, program)
         return ("drop", None)
 
     def cost_us(self, packet):

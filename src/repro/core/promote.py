@@ -1,0 +1,466 @@
+"""Shadow deployment and SLO-gated canary promotion.
+
+The PR-3 health layer (:mod:`repro.core.health`) can quarantine and
+roll *back*; this module is the missing production primitive for
+rolling *forward* safely.  A candidate policy enters the system in
+**shadow**: it sees every live input the active policy sees — hook
+events, qdisc rank calls, ToR steering decisions — but its verdicts
+are only *recorded*, never enforced.  A :class:`DecisionDiff`
+accumulates the agreement rate, a per-action confusion matrix, and the
+would-have-dropped / would-have-kept deltas, plus a shadow latency
+estimate from the candidate's cycle profile.  A
+:class:`CanaryController` registered on the PR-7 ``SignalBus`` then
+walks the candidate through the stages
+
+    shadow → canary (N% of flows) → active
+
+gating every transition on an SLO guard (burn rate ok, agreement ≥
+threshold, zero candidate runtime faults in the window) and rejecting
+— or, post-promotion, demoting through the PR-3 ``LifecycleManager``
+— on any breach.  The canary split is a **deterministic flow hash**:
+one request is in the cohort on every machine and at every layer, and
+the bucket is stamped on the request the first time it is computed so
+per-port ToR rules never double-hash a flow.
+
+Nothing here touches a default run: taps, records, and controllers are
+only allocated by ``Syrupd.deploy_shadow`` /
+``Fleet.deploy_shadow_steering``, and runs with no shadow deployments
+are bit-identical to pre-shadow builds (audited in
+``tests/test_promote.py``).
+"""
+
+from repro.constants import DROP, PASS
+from repro.obs.sketch import DDSketch
+
+__all__ = [
+    "STAGES",
+    "STAGE_CODES",
+    "CanaryController",
+    "CanarySplit",
+    "DecisionDiff",
+    "PromotionRecord",
+    "ShadowTap",
+    "cohort_bucket",
+    "hook_label",
+    "rank_label",
+    "steer_label",
+]
+
+#: Stages a candidate can be in.  ``rejected`` and ``demoted`` are
+#: terminal; ``active`` becomes terminal once probation expires.
+STAGES = ("shadow", "canary", "active", "rejected", "demoted")
+STAGE_CODES = {stage: i for i, stage in enumerate(STAGES)}
+
+#: Distinct golden-ratio multiplier (plus an avalanche finisher) so the
+#: canary split is statistically independent of ``FlowHashSteering``'s
+#: placement hash — a flow's machine must not predict its cohort.
+_CANARY_GOLDEN = 0x9E3779B9
+_DEFAULT_SALT = 0x5EED
+
+
+def cohort_bucket(key, salt=_DEFAULT_SALT):
+    """Deterministic bucket in [0, 100) for one flow key."""
+    h = ((key ^ salt) * _CANARY_GOLDEN) & 0xFFFFFFFF
+    h ^= h >> 13
+    h = (h * 0xC2B2AE35) & 0xFFFFFFFF
+    h ^= h >> 16
+    return h % 100
+
+
+def hook_label(value):
+    """Classify a network-hook verdict for the confusion matrix."""
+    if value == PASS:
+        return "pass"
+    if value == DROP:
+        return "drop"
+    return "steer"
+
+
+def rank_label(value):
+    """Classify a qdisc rank verdict for the confusion matrix."""
+    if value == PASS:
+        return "fifo"
+    if value == DROP:
+        return "shed"
+    return "rank"
+
+
+def steer_label(value):
+    """Classify a ToR steering verdict for the confusion matrix."""
+    if value is None or value == PASS:
+        return "pass"
+    if value == DROP:
+        return "drop"
+    return "steer"
+
+
+class CanarySplit:
+    """Deterministic flow-hash cohort assignment, stamped once.
+
+    The bucket is computed from the flow identity — ``(src_ip,
+    src_port)`` for packets, ``user_id`` for fleet requests — and
+    written to ``request.cohort`` on first use.  Every later layer
+    (per-port ToR rules, qdisc taps, the controller's latency
+    bookkeeping) reads the stamp instead of re-hashing, which is what
+    keeps per-port switch isolation from double-hashing canary flows.
+    """
+
+    __slots__ = ("salt",)
+
+    def __init__(self, salt=_DEFAULT_SALT):
+        self.salt = salt
+
+    def bucket(self, element):
+        request = getattr(element, "request", None)
+        if request is not None:
+            if request.cohort is None:
+                request.cohort = self._bucket_of(element)
+            return request.cohort
+        cohort = getattr(element, "cohort", None)
+        if cohort is not None:
+            return cohort
+        bucket = self._bucket_of(element)
+        try:
+            element.cohort = bucket
+        except AttributeError:
+            pass  # bare test inputs without a cohort slot
+        return bucket
+
+    def _bucket_of(self, element):
+        flow = getattr(element, "flow", None)
+        if flow is not None:
+            key = ((flow.src_ip & 0xFFFFFFFF) << 16) ^ flow.src_port
+        else:
+            key = getattr(element, "user_id", None)
+            if key is None:
+                return 100  # no flow identity: never in any cohort
+        return cohort_bucket(key, self.salt)
+
+
+class DecisionDiff:
+    """Shadow-vs-active decision log: agreement, confusion, deltas."""
+
+    __slots__ = ("decisions", "agreements", "confusion",
+                 "would_drop", "would_keep", "shadow_faults",
+                 "shadow_cycles")
+
+    def __init__(self):
+        self.decisions = 0
+        self.agreements = 0
+        #: ``(active_label, shadow_label) -> count``
+        self.confusion = {}
+        #: active kept it, shadow would have dropped/shed it
+        self.would_drop = 0
+        #: active dropped/shed it, shadow would have kept it
+        self.would_keep = 0
+        self.shadow_faults = 0
+        self.shadow_cycles = 0.0
+
+    def record(self, active_value, shadow_value, active_label,
+               shadow_label, cycles):
+        self.decisions += 1
+        if active_value == shadow_value:
+            self.agreements += 1
+        key = (active_label, shadow_label)
+        self.confusion[key] = self.confusion.get(key, 0) + 1
+        dropped = ("drop", "shed")
+        if shadow_label in dropped and active_label not in dropped:
+            self.would_drop += 1
+        elif active_label in dropped and shadow_label not in dropped:
+            self.would_keep += 1
+        self.shadow_cycles += cycles
+
+    def agreement(self):
+        return self.agreements / self.decisions if self.decisions else 1.0
+
+    def mean_cycles(self):
+        return self.shadow_cycles / self.decisions if self.decisions else 0.0
+
+    def snapshot(self):
+        return {
+            "decisions": self.decisions,
+            "agreement": round(self.agreement(), 4),
+            "confusion": {f"{a}->{s}": n
+                          for (a, s), n in sorted(self.confusion.items())},
+            "would_drop": self.would_drop,
+            "would_keep": self.would_keep,
+            "shadow_faults": self.shadow_faults,
+            "mean_cycles": round(self.mean_cycles(), 1),
+        }
+
+
+class ShadowTap:
+    """Per-attachment (or per-qdisc) tap running one candidate.
+
+    ``pick_program`` sits on the dispatch path: during the canary
+    stage it swaps the candidate in for cohort flows (enforced, so its
+    faults surface through the normal ``fault_listener`` path with the
+    faulting program attached); otherwise the active program runs.
+    ``observe`` then shadow-executes the candidate on every input the
+    active program decided, with exceptions contained and counted —
+    a shadow fault can never drop a live packet.
+    """
+
+    __slots__ = ("record", "candidate", "classify", "split")
+
+    def __init__(self, record, classify):
+        self.record = record
+        self.candidate = record.candidate
+        self.classify = classify
+        self.split = record.split
+
+    def pick_program(self, active_program, element):
+        record = self.record
+        if record.stage != "canary":
+            return active_program
+        if self.split.bucket(element) < record.canary_pct:
+            record.canary_enforced += 1
+            return self.candidate
+        return active_program
+
+    def observe(self, active_value, element, ctx=None):
+        record = self.record
+        try:
+            shadow_value = self.candidate.run(
+                ctx if ctx is not None else element)
+        except Exception as exc:  # VmFault or candidate bug: contained
+            record.note_candidate_fault(exc, enforced=False)
+            return
+        classify = self.classify
+        record.diff.record(
+            active_value, shadow_value,
+            classify(active_value), classify(shadow_value),
+            self.candidate.cycle_estimate,
+        )
+
+
+class PromotionRecord:
+    """One candidate's journey through the promotion pipeline."""
+
+    def __init__(self, name, app_name, hook, candidate, deployed,
+                 canary_pct=10, salt=_DEFAULT_SALT, created_at=0.0):
+        self.name = name
+        self.app_name = app_name
+        self.hook = hook
+        self.candidate = candidate
+        #: the active ``DeployedPolicy`` being challenged
+        self.deployed = deployed
+        self.stage = "shadow"
+        self.stage_since = created_at
+        self.canary_pct = canary_pct
+        self.split = CanarySplit(salt)
+        self.diff = DecisionDiff()
+        self.canary_enforced = 0
+        #: faults while *enforced* (canary cohort); shadow-stage faults
+        #: are contained and counted in ``diff.shadow_faults``.
+        self.canary_faults = 0
+        self.outcome_reason = None
+        self.history = [(created_at, "shadow", "deployed")]
+        #: dispatch points (attachments / qdiscs / steering wrappers)
+        #: carrying this record's tap; cleared on promote/reject.
+        self.tap_points = []
+        self.controller = None
+
+    def note_candidate_fault(self, exc, enforced):
+        if enforced:
+            self.canary_faults += 1
+        else:
+            self.diff.shadow_faults += 1
+
+    def total_faults(self):
+        return self.canary_faults + self.diff.shadow_faults
+
+    def advance(self, stage, now, reason):
+        self.stage = stage
+        self.stage_since = now
+        if stage in ("rejected", "demoted"):
+            self.outcome_reason = reason
+        self.history.append((now, stage, reason))
+
+    def snapshot(self):
+        return {
+            "name": self.name,
+            "app": self.app_name,
+            "hook": self.hook,
+            "stage": self.stage,
+            "stage_since_us": self.stage_since,
+            "canary_pct": self.canary_pct,
+            "canary_enforced": self.canary_enforced,
+            "canary_faults": self.canary_faults,
+            "reason": self.outcome_reason,
+            "diff": self.diff.snapshot(),
+            "history": [{"t_us": t, "stage": s, "reason": r}
+                        for t, s, r in self.history],
+        }
+
+
+class CanaryController:
+    """SLO-gated promotion state machine, run on the SignalBus cadence.
+
+    Registered as a zero-arg controller named ``promo:<name>``.  Each
+    tick it publishes ``(promo, <name>, *)`` gauges, then evaluates the
+    current stage's gate:
+
+    - **shadow → canary** once ``min_decisions`` decisions accumulated
+      with agreement ≥ ``agreement_min``, zero candidate faults, the
+      SLO guard green, and ``hold_ticks`` ticks in stage.  Agreement
+      below threshold or any shadow fault rejects immediately.
+    - **canary → active** once ``min_canary`` cohort latencies are
+      recorded and the cohort p99 is within ``latency_ratio`` × the
+      control cohort's p99 (plus ``latency_slack_us``), still
+      zero candidate faults and guard green.  A cohort p99 blowout,
+      a candidate fault while enforced, or a guard breach rejects.
+    - **active (probation)** for ``probation_ticks`` ticks a guard
+      breach demotes through ``LifecycleManager`` (last-known-good
+      rollback); after probation the controller unregisters itself.
+    """
+
+    def __init__(self, syrupd, record, guard=None, agreement_min=0.98,
+                 min_decisions=200, min_canary=100, latency_ratio=1.5,
+                 latency_slack_us=50.0, hold_ticks=2, probation_ticks=4,
+                 registry=None):
+        self.syrupd = syrupd
+        self.record = record
+        self.guard = guard
+        self.agreement_min = agreement_min
+        self.min_decisions = min_decisions
+        self.min_canary = min_canary
+        self.latency_ratio = latency_ratio
+        self.latency_slack_us = latency_slack_us
+        self.hold_ticks = hold_ticks
+        self.probation_ticks = probation_ticks
+        self.registry = registry
+        self.control_sketch = DDSketch()
+        self.canary_sketch = DDSketch()
+        self.bus = None
+        self._ticks_in_stage = 0
+        self._probation_left = probation_ticks
+        self._done = False
+
+    @property
+    def ctl_name(self):
+        return f"promo:{self.record.name}"
+
+    # ------------------------------------------------------------------
+    # latency bookkeeping (wired to the generator's on_latency callback)
+
+    def observe(self, request, latency_us):
+        """Record one completed request into its cohort sketch."""
+        record = self.record
+        if record.stage != "canary":
+            return
+        cohort = getattr(request, "cohort", None)
+        if cohort is None:
+            return
+        if cohort < record.canary_pct:
+            self.canary_sketch.add(latency_us)
+        else:
+            self.control_sketch.add(latency_us)
+
+    # ------------------------------------------------------------------
+    # gate evaluation
+
+    def guard_ok(self):
+        return True if self.guard is None else bool(self.guard())
+
+    def __call__(self):
+        if self._done:
+            return
+        record = self.record
+        self._ticks_in_stage += 1
+        stage = record.stage
+        if stage == "shadow":
+            self._tick_shadow(record)
+        elif stage == "canary":
+            self._tick_canary(record)
+        elif stage == "active":
+            self._tick_probation(record)
+        else:  # rejected / demoted behind our back
+            self._finish()
+        self.publish()
+
+    def _tick_shadow(self, record):
+        if record.total_faults() > 0:
+            self._reject("shadow_fault")
+            return
+        diff = record.diff
+        if diff.decisions < self.min_decisions:
+            return
+        if diff.agreement() < self.agreement_min:
+            self._reject("agreement")
+            return
+        if self._ticks_in_stage >= self.hold_ticks and self.guard_ok():
+            self.syrupd.advance_shadow(record, "canary")
+            self._ticks_in_stage = 0
+
+    def _tick_canary(self, record):
+        if record.canary_faults > 0:
+            self._reject("canary_fault")
+            return
+        if record.diff.shadow_faults > 0:
+            self._reject("shadow_fault")
+            return
+        if not self.guard_ok():
+            self._reject("slo_guard")
+            return
+        if (self.canary_sketch.count < self.min_canary
+                or self.control_sketch.count < self.min_canary
+                or self._ticks_in_stage < self.hold_ticks):
+            return
+        canary_p99 = self.canary_sketch.percentile(99.0)
+        control_p99 = self.control_sketch.percentile(99.0)
+        ceiling = self.latency_ratio * control_p99 + self.latency_slack_us
+        if canary_p99 > ceiling:
+            self._reject("canary_p99")
+            return
+        self.syrupd.promote_shadow(record)
+        self._ticks_in_stage = 0
+        self._probation_left = self.probation_ticks
+        if self._probation_left == 0:
+            self._finish()
+
+    def _tick_probation(self, record):
+        if not self.guard_ok():
+            self.syrupd.demote_shadow(record, "slo_breach")
+            self._finish()
+            return
+        self._probation_left -= 1
+        if self._probation_left <= 0:
+            self._finish()
+
+    def _reject(self, reason):
+        self.syrupd.reject_shadow(self.record, reason)
+        self._finish()
+
+    def _finish(self):
+        self._done = True
+        if self.bus is not None:
+            self.bus.remove_controller(self.ctl_name)
+
+    # ------------------------------------------------------------------
+    # gauges
+
+    def publish(self):
+        registry = self.registry
+        if registry is None:
+            return
+        record = self.record
+        name = record.name
+        diff = record.diff
+        gauge = registry.gauge
+        gauge("promo", name, "stage").set(STAGE_CODES[record.stage])
+        gauge("promo", name, "decisions").set(diff.decisions)
+        gauge("promo", name, "agreement").set(round(diff.agreement(), 4))
+        gauge("promo", name, "shadow_faults").set(diff.shadow_faults)
+        gauge("promo", name, "canary_faults").set(record.canary_faults)
+        gauge("promo", name, "canary_enforced").set(record.canary_enforced)
+        if self.canary_sketch.count:
+            gauge("promo", name, "canary_p99_us").set(
+                round(self.canary_sketch.percentile(99.0), 1))
+        if self.control_sketch.count:
+            gauge("promo", name, "control_p99_us").set(
+                round(self.control_sketch.percentile(99.0), 1))
+        costs = getattr(self.syrupd.machine, "costs", None)
+        if costs is not None:
+            gauge("promo", name, "shadow_cost_us").set(
+                round(costs.cycles_to_us(diff.mean_cycles()), 4))

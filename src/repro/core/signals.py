@@ -82,6 +82,18 @@ class SignalBus:
         self.controllers.append((name, control))
         return self
 
+    def remove_controller(self, name):
+        """Unregister every controller called ``name`` (missing is ok).
+
+        Rebuilds the list, so a controller may remove *itself* from
+        inside a tick — the in-flight pass finishes over the old list
+        (the CanaryController's self-unregistration idiom).
+        """
+        self.controllers = [
+            (n, control) for n, control in self.controllers if n != name
+        ]
+        return self
+
     # ------------------------------------------------------------------
     # Ticking
     # ------------------------------------------------------------------
@@ -158,6 +170,9 @@ class NullSignalBus:
         return self
 
     def add_controller(self, name, control):
+        return self
+
+    def remove_controller(self, name):
         return self
 
     def arm(self):

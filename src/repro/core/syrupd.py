@@ -35,7 +35,15 @@ the live per-``(app, hook)`` values that ``syrupctl stats`` /
 
 from repro.core.health import LifecycleManager
 from repro.core.hooks import ROOT_APP, Hook, HookSite
+from repro.core.loader import PolicyValidationError, check_policy_source
 from repro.core.maps import HOST, OFFLOAD, MapRegistry
+from repro.core.promote import (
+    CanaryController,
+    PromotionRecord,
+    ShadowTap,
+    hook_label,
+    rank_label,
+)
 from repro.ebpf.compiler import compile_policy
 from repro.ebpf.errors import CompileError, VerifierError
 from repro.ebpf.insn import Program
@@ -104,6 +112,8 @@ class Syrupd:
         self._port_owner = {}
         self._sites = {}
         self.deployed = []
+        #: PromotionRecords, in deploy_shadow order (``syrupctl promote``).
+        self._promotions = []
         self._next_fd = 3
         # Self-healing lifecycle: health is a HealthPolicy (or None for
         # the defaults).  Purely event-driven — with no faults injected
@@ -214,10 +224,20 @@ class Syrupd:
             return self._deploy_thread_policy(app, policy)
         return self._deploy_network_policy(app, policy, hook, constants, ports)
 
-    def _load_network_policy(self, app, policy, hook, constants):
+    def _load_network_policy(self, app, policy, hook, constants,
+                             scope=None, stream=None):
         """Compile → create/pin maps → verify + JIT.  Shared by deploy
         and redeploy; raises CompileError/VerifierError after counting
-        the rejection."""
+        the rejection.
+
+        ``scope`` / ``stream`` override the metrics + fault-plan scope
+        and RNG stream name — shadow candidates load under
+        ``shadow:<hook>`` / ``shadow/<app>/<hook>`` so their metrics,
+        injected faults, and random draws never mix with the active
+        deployment's.
+        """
+        scope = scope if scope is not None else hook
+        stream = stream if stream is not None else f"policy/{app.name}"
         try:
             if isinstance(policy, Program):
                 program = policy
@@ -232,18 +252,18 @@ class Syrupd:
                 maps[map_name] = syrup_map.bpf_map
             loaded = load_program(
                 program, maps=maps,
-                rng=self.machine.streams.get(f"policy/{app.name}"),
+                rng=self.machine.streams.get(stream),
             )
         except (CompileError, VerifierError) as exc:
             self.obs.registry.counter(
                 app.name, "syrupd", "verifier_rejections"
             ).inc()
             self.obs.events.emit(
-                "verifier_reject", app=app.name, hook=hook,
+                "verifier_reject", app=app.name, hook=scope,
                 error=type(exc).__name__, detail=str(exc),
             )
             raise
-        self._attach_program_metrics(app.name, hook, loaded)
+        self._attach_program_metrics(app.name, scope, loaded)
         # Propagate the machine's wall-clock profiler (if attached) so
         # mid-run deploys are profiled like boot-time ones.
         loaded.profiler = self.machine.profiler
@@ -251,7 +271,7 @@ class Syrupd:
         # metrics/profiler attachment so the proxy delegates everything.
         injector = getattr(self.machine, "faults", None)
         if injector is not None:
-            loaded = injector.wrap_program(loaded, app.name, hook)
+            loaded = injector.wrap_program(loaded, app.name, scope)
         return loaded
 
     def _deploy_network_policy(self, app, policy, hook, constants, ports):
@@ -399,10 +419,18 @@ class Syrupd:
         )
         return deployed
 
-    def _load_rank_policy(self, app, policy, layer, constants):
+    def _load_rank_policy(self, app, policy, layer, constants,
+                          scope=None, stream=None):
         """Compile a rank function through the policy pipeline (rename
-        ``rank`` → ``schedule``, then the standard verify + maps + JIT)."""
+        ``rank`` → ``schedule``, then the standard verify + maps + JIT).
+
+        ``scope`` / ``stream`` override the metrics + fault-plan scope
+        and RNG stream name (shadow candidates; see
+        :meth:`_load_network_policy`).
+        """
         hook = qdisc_hook(layer)
+        scope = scope if scope is not None else hook
+        stream = stream if stream is not None else f"qdisc/{app.name}/{layer}"
         try:
             if isinstance(policy, Program):
                 program = policy
@@ -416,22 +444,22 @@ class Syrupd:
                 maps[map_name] = syrup_map.bpf_map
             loaded = load_program(
                 program, maps=maps,
-                rng=self.machine.streams.get(f"qdisc/{app.name}/{layer}"),
+                rng=self.machine.streams.get(stream),
             )
         except (CompileError, VerifierError) as exc:
             self.obs.registry.counter(
                 app.name, "syrupd", "verifier_rejections"
             ).inc()
             self.obs.events.emit(
-                "verifier_reject", app=app.name, hook=hook,
+                "verifier_reject", app=app.name, hook=scope,
                 error=type(exc).__name__, detail=str(exc),
             )
             raise
-        self._attach_program_metrics(app.name, hook, loaded)
+        self._attach_program_metrics(app.name, scope, loaded)
         loaded.profiler = self.machine.profiler
         injector = getattr(self.machine, "faults", None)
         if injector is not None:
-            loaded = injector.wrap_program(loaded, app.name, hook)
+            loaded = injector.wrap_program(loaded, app.name, scope)
         return loaded
 
     def _new_qdisc(self, deployed, layer, backend, loaded, ports,
@@ -546,6 +574,21 @@ class Syrupd:
     # ------------------------------------------------------------------
     # Lifecycle: undeploy / redeploy / rollback / quarantine
     # ------------------------------------------------------------------
+    def _lifecycle_event(self, action, deployed, reason=None, **fields):
+        """One schema for every lifecycle transition (kind ``lifecycle``).
+
+        Quarantine, rollback, demotion, and every promotion-stage change
+        emit through here, so ``syrupctl health`` and ``syrupctl
+        promote`` render from a single shape: ``action`` names the
+        transition, ``reason`` why it fired, plus the deployment's
+        app/hook/fd/state.
+        """
+        self.obs.events.emit(
+            "lifecycle", app=deployed.app_name, hook=deployed.hook,
+            action=action, fd=deployed.fd, state=deployed.state,
+            reason=reason, **fields,
+        )
+
     def _deployments(self, app_name, hook, states=("active",)):
         return [
             d for d in self.deployed
@@ -617,9 +660,9 @@ class Syrupd:
             self.obs.registry.counter(
                 app.name, "syrupd", "rollbacks"
             ).inc()
-            self.obs.events.emit(
-                "rollback", app=app.name, hook=hook, fd=deployed.fd,
-                reason="verify_failed", error=type(exc).__name__,
+            self._lifecycle_event(
+                "rollback", deployed, reason="verify_failed",
+                error=type(exc).__name__,
             )
             raise
         site = self._site(hook)
@@ -634,22 +677,23 @@ class Syrupd:
         return deployed
 
     def rollback(self, deployed, reason):
-        """Swap ``last_good`` back in after a bad redeploy."""
+        """Swap ``last_good`` back in after a bad redeploy/promotion."""
         if deployed.last_good is None:
             raise ValueError(f"{deployed!r} has no last-known-good program")
         site = self._sites.get(deployed.hook)
         if site is not None:
             site.replace(deployed.app_name, deployed.last_good)
+        for qdisc in deployed.qdiscs:
+            # Qdisc deployments (hook "qdisc:<layer>") have no HookSite;
+            # swap the rank function on every attached queue directly.
+            qdisc.program = deployed.last_good
         deployed.program = deployed.last_good
         deployed.last_good = None
         deployed.health.rollbacks += 1
         self.obs.registry.counter(
             deployed.app_name, "syrupd", "rollbacks"
         ).inc()
-        self.obs.events.emit(
-            "rollback", app=deployed.app_name, hook=deployed.hook,
-            fd=deployed.fd, reason=reason,
-        )
+        self._lifecycle_event("rollback", deployed, reason=reason)
         return deployed
 
     def quarantine(self, deployed, reason):
@@ -670,20 +714,226 @@ class Syrupd:
         self.obs.registry.counter(
             deployed.app_name, "syrupd", "quarantines"
         ).inc()
-        self.obs.events.emit(
-            "quarantine", app=deployed.app_name, hook=deployed.hook,
-            fd=deployed.fd, reason=reason,
+        self._lifecycle_event(
+            "quarantine", deployed, reason=reason,
             runtime_faults=deployed.health.runtime_faults,
         )
         return deployed
 
-    def _on_runtime_fault(self, attachment, exc):
-        """HookSite fault listener: route the fault to the lifecycle."""
+    def _on_runtime_fault(self, attachment, exc, program=None):
+        """HookSite fault listener: route the fault to the lifecycle.
+
+        ``program`` is the program that actually raised.  When it is a
+        canary candidate running enforced on cohort flows, the fault is
+        charged to its promotion record (the controller rejects on the
+        next tick) — the *active* deployment's health window is not
+        touched, because the active program did nothing wrong.
+        """
+        if program is not None:
+            for record in self._promotions:
+                if (record.candidate is program
+                        and record.stage in ("shadow", "canary")):
+                    record.note_candidate_fault(exc, enforced=True)
+                    return
         for deployed in self.deployed:
             if (deployed.program is attachment.program
                     and deployed.app_name == attachment.app_name):
                 self.lifecycle.note_runtime_fault(deployed, exc)
                 return
+
+    # ------------------------------------------------------------------
+    # Shadow deployment + canary promotion (docs/robustness.md)
+    # ------------------------------------------------------------------
+    def deploy_shadow(self, app, policy, hook=None, layer=None,
+                      constants=None, name=None, canary_pct=10,
+                      salt=0x5EED, validate=True, allow_imports=(),
+                      guard=None, **gates):
+        """Run a candidate policy in shadow against an active deployment.
+
+        Exactly one of ``hook`` (a network hook) or ``layer`` (a qdisc
+        layer) selects the target, which must already have an active
+        deployment for ``app`` — the candidate taps its dispatch path,
+        sees every live input, and has its verdicts recorded into a
+        decision diff, never enforced.  A
+        :class:`~repro.core.promote.CanaryController` registered on the
+        machine's SignalBus then walks it shadow → canary-``canary_pct``%
+        of flows (deterministic flow-hash split) → active, gating each
+        step on the SLO ``guard`` (default: the machine tracker's
+        :meth:`~repro.obs.slo.SloTracker.guard`), the agreement
+        threshold, and zero candidate faults; extra ``gates`` kwargs are
+        forwarded to the controller.
+
+        When ``validate`` is on, source text runs through the hardened
+        restricted loader (:mod:`repro.core.loader`) *before* touching
+        the compile pipeline; a rejected source counts
+        ``loader_rejections`` and raises
+        :class:`~repro.core.loader.PolicyValidationError`.
+
+        Returns the :class:`~repro.core.promote.PromotionRecord`.
+        """
+        if (hook is None) == (layer is None):
+            raise ValueError("deploy_shadow takes exactly one of hook/layer")
+        if validate and isinstance(policy, str):
+            try:
+                check_policy_source(policy, allow_imports=allow_imports)
+            except PolicyValidationError as exc:
+                self.obs.registry.counter(
+                    app.name, "syrupd", "loader_rejections"
+                ).inc()
+                self.obs.events.emit(
+                    "loader_reject", app=app.name,
+                    hook=hook if hook is not None else qdisc_hook(layer),
+                    issues=list(exc.issues),
+                )
+                raise
+        if hook is not None:
+            if hook not in Hook.NETWORK:
+                raise ValueError(
+                    f"deploy_shadow targets network hooks or qdisc "
+                    f"layers, got {hook!r}"
+                )
+            target_hook = hook
+        else:
+            target_hook = qdisc_hook(layer)
+        deployed = self._active_deployment(app.name, target_hook)
+        if deployed is None or deployed.program is None:
+            raise ValueError(
+                f"app {app.name!r} has no active program at {target_hook} "
+                "to shadow"
+            )
+        scope = f"shadow:{target_hook}"
+        stream = f"shadow/{app.name}/{target_hook}"
+        if hook is not None:
+            candidate = self._load_network_policy(
+                app, policy, hook, constants, scope=scope, stream=stream,
+            )
+            classify = hook_label
+        else:
+            candidate = self._load_rank_policy(
+                app, policy, layer, constants, scope=scope, stream=stream,
+            )
+            classify = rank_label
+        record = PromotionRecord(
+            name if name is not None else candidate.name,
+            app.name, target_hook, candidate, deployed,
+            canary_pct=canary_pct, salt=salt,
+            created_at=self.machine.now,
+        )
+        tap = ShadowTap(record, classify)
+        if hook is not None:
+            site = self._site(target_hook)
+            for attachment in site.attachments_for(app.name):
+                attachment.shadow = tap
+                record.tap_points.append(attachment)
+        else:
+            for qdisc in deployed.qdiscs:
+                qdisc.shadow = tap
+                record.tap_points.append(qdisc)
+        if guard is None:
+            tracker = getattr(self.machine, "slo", None)
+            if tracker is not None:
+                guard = tracker.guard()
+        controller = CanaryController(
+            self, record, guard=guard,
+            registry=self.obs.registry if self.obs.enabled else None,
+            **gates,
+        )
+        record.controller = controller
+        signals = self.machine.signals
+        if signals.enabled:
+            signals.add_controller(controller.ctl_name, controller)
+            controller.bus = signals
+        self._promotions.append(record)
+        self.obs.registry.counter(
+            app.name, "syrupd", "shadow_deploys"
+        ).inc()
+        self._lifecycle_event(
+            "shadow", deployed, reason="deployed", candidate=record.name,
+        )
+        return record
+
+    def _clear_taps(self, record):
+        for point in record.tap_points:
+            shadow = point.shadow
+            if shadow is not None and shadow.record is record:
+                point.shadow = None
+        record.tap_points = []
+
+    def advance_shadow(self, record, stage):
+        """Shadow → canary: start enforcing on the cohort flows."""
+        if stage != "canary" or record.stage != "shadow":
+            raise ValueError(
+                f"cannot advance {record.name!r} from {record.stage!r} "
+                f"to {stage!r}"
+            )
+        record.advance("canary", self.machine.now, "shadow_gates_passed")
+        self.obs.registry.counter(
+            record.app_name, "syrupd", "canary_starts"
+        ).inc()
+        self._lifecycle_event(
+            "canary", record.deployed, reason="shadow_gates_passed",
+            candidate=record.name, canary_pct=record.canary_pct,
+        )
+        return record
+
+    def promote_shadow(self, record):
+        """Canary → active: the candidate becomes the deployed program.
+
+        The displaced program is kept as ``last_good``, so a probation
+        breach (or any later runtime fault) rolls straight back through
+        the normal lifecycle path.
+        """
+        deployed = record.deployed
+        self._clear_taps(record)
+        site = self._sites.get(deployed.hook)
+        if site is not None:
+            site.replace(deployed.app_name, record.candidate)
+        for qdisc in deployed.qdiscs:
+            qdisc.program = record.candidate
+        deployed.last_good = deployed.program
+        deployed.program = record.candidate
+        record.advance("active", self.machine.now, "slo_gates_passed")
+        self.obs.registry.counter(
+            record.app_name, "syrupd", "promotions"
+        ).inc()
+        self._lifecycle_event(
+            "promote", deployed, reason="slo_gates_passed",
+            candidate=record.name,
+        )
+        return record
+
+    def reject_shadow(self, record, reason):
+        """Remove the candidate's taps; the record keeps the verdict."""
+        self._clear_taps(record)
+        record.advance("rejected", self.machine.now, reason)
+        self.obs.registry.counter(
+            record.app_name, "syrupd", "shadow_rejects"
+        ).inc()
+        self._lifecycle_event(
+            "reject", record.deployed, reason=reason, candidate=record.name,
+        )
+        return record
+
+    def demote_shadow(self, record, reason):
+        """Back out a promoted candidate (probation breach).
+
+        Marks the record demoted, then enforces through
+        :meth:`~repro.core.health.LifecycleManager.demote` — last-known-
+        good rollback when available, quarantine otherwise.
+        """
+        record.advance("demoted", self.machine.now, reason)
+        self.obs.registry.counter(
+            record.app_name, "syrupd", "demotions"
+        ).inc()
+        self._lifecycle_event(
+            "demote", record.deployed, reason=reason, candidate=record.name,
+        )
+        self.lifecycle.demote(record.deployed, reason)
+        return record
+
+    def promotions(self):
+        """One row per promotion attempt (``syrupctl promote``)."""
+        return [record.snapshot() for record in self._promotions]
 
     # ------------------------------------------------------------------
     # Fault-driven transitions (called by repro.faults.FaultInjector)

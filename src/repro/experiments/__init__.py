@@ -12,6 +12,7 @@ from repro.experiments.figure7 import run_figure7
 from repro.experiments.figure8 import run_figure8
 from repro.experiments.figure9 import run_figure9
 from repro.experiments.figure_adaptive import run_figure_adaptive
+from repro.experiments.figure_canary import run_figure_canary
 from repro.experiments.figure_faults import run_figure_faults
 from repro.experiments.figure_fleet import run_figure_fleet
 from repro.experiments.figure_order import run_figure_order
@@ -26,6 +27,7 @@ __all__ = [
     "run_figure8",
     "run_figure9",
     "run_figure_adaptive",
+    "run_figure_canary",
     "run_figure_faults",
     "run_figure_fleet",
     "run_figure_order",

@@ -266,6 +266,25 @@ class SloTracker:
                 worst = state
         return worst
 
+    def guard(self, names=None, allow="warn"):
+        """A zero-arg gate predicate over burn-rate state.
+
+        Returns a callable that is True while every watched objective's
+        state is no worse than ``allow`` (``"ok"`` = any warn blocks,
+        ``"warn"`` = only a page blocks).  ``names`` limits the watch
+        to specific objectives; by default every objective — including
+        ones created *after* the guard — is consulted.  This is the SLO
+        gate handed to :class:`repro.core.promote.CanaryController`.
+        """
+        ceiling = STATE_CODES[allow]
+
+        def ok():
+            slos = (self.slos.values() if names is None
+                    else [s for n, s in self.slos.items() if n in names])
+            return all(STATE_CODES[slo.state()] <= ceiling for slo in slos)
+
+        return ok
+
     def publish(self, registry):
         """Mirror burn state into registry gauges (OpenMetrics-visible)."""
         for name, slo in self.slos.items():

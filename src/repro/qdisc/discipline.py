@@ -170,6 +170,9 @@ class Qdisc:
         #: callable(qdisc, exc): syrupd routes rank-function faults into
         #: the lifecycle manager (quarantine on window breach).
         self.fault_listener = None
+        #: Optional repro.core.promote.ShadowTap running a candidate
+        #: rank function side-by-side; set by Syrupd.deploy_shadow.
+        self.shadow = None
         #: callable(): undo this qdisc's attachment; set by syrupd's
         #: attach helpers, invoked by undeploy.
         self._detach = None
@@ -212,15 +215,27 @@ class Qdisc:
             flow = getattr(item, "flow", None)
             if flow is None or flow.dst_port not in self.ports:
                 return FIFO  # foreign traffic: never shown to the program
+        shadow = self.shadow
+        if shadow is not None:
+            # Canary stage: cohort flows are ranked by the candidate.
+            program = shadow.pick_program(program, item)
         try:
             decision = program.run(ctx if ctx is not None else item)
         except Exception as exc:  # noqa: BLE001 - untrusted rank function
+            if shadow is not None and program is not self.program:
+                # Enforced candidate faulted: charge the promotion
+                # record, not the active deployment's health window —
+                # the element still gets the safe FIFO rank.
+                shadow.record.note_candidate_fault(exc, enforced=True)
+                return FIFO
             self.runtime_faults += 1
             if self.metrics is not None:
                 self.metrics["runtime_faults"].inc()
             if self.fault_listener is not None:
                 self.fault_listener(self, exc)
             return FIFO  # ordering is advisory: never lose the element
+        if shadow is not None and program is self.program:
+            shadow.observe(decision, item, ctx)
         if decision == PASS:
             return FIFO
         if decision == DROP:

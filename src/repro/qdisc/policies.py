@@ -21,6 +21,8 @@ __all__ = [
     "FIFO_RANK",
     "RANK_BY_FLAG",
     "SRPT_BY_SIZE",
+    "SRPT_MISRANK_GETS",
+    "SRPT_TIERED",
 ]
 
 #: The identity discipline: every element PASSes, so the queue stays
@@ -62,6 +64,53 @@ def rank(pkt):
     if map_lookup(flag_map, rtype) > 0:
         return 1000
     return 0
+'''
+
+#: SRPT collapsed to two tiers: requests measured at or under SHORT_US
+#: keep their measured rank, everything longer shares one background
+#: rank.  Same ordering as SRPT_BY_SIZE for the short class (GETs) and
+#: coarser among the long class — a well-behaved *candidate* for the
+#: shadow/canary promotion pipeline (figure_canary's "good" policy):
+#: high decision agreement, indistinguishable cohort tail.
+SRPT_TIERED = '''
+svc_map = syr_map("svc_time_map", 16)
+
+def rank(pkt):
+    if pkt_len(pkt) < 16:
+        return PASS
+    rtype = load_u64(pkt, 8)
+    if map_has(svc_map, rtype):
+        svc = map_lookup(svc_map, rtype)
+        if svc <= SHORT_US:
+            return svc
+        return 1000
+    return PASS
+'''
+
+#: A subtly-broken SRPT variant: it mis-ranks a slice of GETs (every
+#: 16th key) to the worst possible priority, behind every SCAN.  The
+#: bug is rare enough (~6% of GETs) to sail through the shadow
+#: agreement gate, but on the canary cohort those GETs inherit the full
+#: SCAN queueing delay and the cohort p99 blows up — figure_canary's
+#: "broken" candidate, auto-rejected at the canary stage before it can
+#: touch more than the cohort.
+SRPT_MISRANK_GETS = '''
+svc_map = syr_map("svc_time_map", 16)
+
+def rank(pkt):
+    if pkt_len(pkt) < 32:
+        return PASS
+    rtype = load_u64(pkt, 8)
+    key_hash = load_u64(pkt, 24)
+    if rtype == 1:
+        if key_hash % 16 == 0:
+            return 100000
+    if map_has(svc_map, rtype):
+        svc = map_lookup(svc_map, rtype)
+        if svc <= SHORT_US:
+            return svc
+        return 1000
+    return PASS
 '''
 
 #: Earliest-Deadline-First: the app publishes a per-user deadline class

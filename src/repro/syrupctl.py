@@ -31,6 +31,7 @@ __all__ = [
     "render_fleet",
     "render_health",
     "render_maps",
+    "render_promote",
     "render_qdisc",
     "render_slo",
     "render_spans",
@@ -40,6 +41,7 @@ __all__ = [
     "render_timeline",
     "run_faults_demo",
     "run_fleet_demo",
+    "run_promote_demo",
     "run_qdisc_demo",
     "run_slo_demo",
     "run_spans_demo",
@@ -109,6 +111,48 @@ def render_qdisc(machine):
     rendered = table.render()
     if not rows:
         rendered += "\n(no disciplines installed)"
+    return rendered
+
+
+def render_promote(machine):
+    """Promotion pipeline state: one row per shadow/canary attempt.
+
+    The ``syrupctl promote`` view (docs/robustness.md "Promotion
+    lifecycle"): each candidate's current stage, decision-diff
+    agreement, canary cohort exposure, fault counts, and the rejection
+    or demotion reason, followed by the per-candidate stage history the
+    lifecycle events recorded.
+    """
+    table = Table(
+        f"promotion pipeline t={machine.now:.0f}us",
+        ["name", "app", "hook", "stage", "reason", "canary_pct",
+         "canary_enforced", "canary_faults", "agreement", "decisions",
+         "shadow_faults"],
+    )
+    rows = machine.syrupd.promotions()
+    for row in rows:
+        diff = row["diff"]
+        table.add(
+            name=row["name"], app=row["app"], hook=row["hook"],
+            stage=row["stage"], reason=row["reason"] or "-",
+            canary_pct=row["canary_pct"],
+            canary_enforced=row["canary_enforced"],
+            canary_faults=row["canary_faults"],
+            agreement=diff["agreement"], decisions=diff["decisions"],
+            shadow_faults=diff["shadow_faults"],
+        )
+    rendered = table.render()
+    if not rows:
+        return rendered + "\n(no promotion attempts)"
+    for row in rows:
+        rendered += f"\n{row['name']}:"
+        for step in row["history"]:
+            rendered += (f"\n  {step['t_us']:>10.0f}us  "
+                         f"{step['stage']:<8s} {step['reason']}")
+        confusion = row["diff"]["confusion"]
+        if confusion:
+            pairs = ", ".join(f"{k}:{v}" for k, v in confusion.items())
+            rendered += f"\n  decision diff: {pairs}"
     return rendered
 
 
@@ -635,6 +679,43 @@ def run_slo_demo(load=240_000, duration_ms=120.0, seed=3):
     return testbed.machine
 
 
+def run_promote_demo(load=260_000, duration_ms=300.0, seed=3):
+    """Drive the canned promotion demo: two candidates, one machine.
+
+    A figure_canary-style run where the *broken* SRPT variant is
+    submitted first (shadow at 80 ms, auto-rejected in its canary
+    window) and the *good* tiered variant second (shadow at 170 ms,
+    auto-promoted to active and through probation) — so
+    ``syrupctl promote`` renders a rejected row and an active row with
+    their full stage histories side by side.  Returns the finished
+    machine for rendering.
+    """
+    from repro.experiments.figure_canary import (
+        CANDIDATES, GATES, SHORT_US, _build, _wire,
+    )
+    from repro.workload.mixes import GET_SCAN_995_005
+
+    duration_us = duration_ms * 1000.0
+    testbed = _build(seed)
+    machine = testbed.machine
+    gen = testbed.drive(load, GET_SCAN_995_005, duration_us,
+                        warmup_us=duration_us * 0.2).start()
+    holder = {}
+    _wire(testbed, gen, duration_us, holder)
+
+    def submit(name):
+        holder["record"] = testbed.app.deploy_shadow(
+            CANDIDATES[name], layer="socket",
+            constants={"SHORT_US": SHORT_US}, name=name, **GATES,
+        )
+
+    machine.engine.at(duration_us * 0.27, lambda: submit("broken"))
+    machine.engine.at(duration_us * 0.57, lambda: submit("good"))
+    machine.run()
+    machine.demo_generator = gen
+    return machine
+
+
 def run_fleet_demo(load=500_000, duration_ms=60.0, seed=7,
                    num_machines=48, steering="power_of_two"):
     """Drive the canned rack demo: one figure_fleet-style run.
@@ -684,7 +765,7 @@ def main(argv=None):
     parser.add_argument(
         "view",
         choices=["stats", "status", "maps", "events", "timeline", "health",
-                 "spans", "tail", "qdisc", "fleet", "slo"],
+                 "spans", "tail", "qdisc", "fleet", "slo", "promote"],
         help="which surface to render",
     )
     parser.add_argument("--load", type=int, default=None,
@@ -781,6 +862,20 @@ def main(argv=None):
             ))
         else:
             print(render_slo(machine))
+    elif args.view == "promote":
+        kwargs = {}
+        if args.load is not None:
+            kwargs["load"] = args.load
+        if args.duration_ms is not None:
+            kwargs["duration_ms"] = args.duration_ms
+        if args.seed is not None:
+            kwargs["seed"] = args.seed
+        machine = run_promote_demo(**kwargs)
+        if args.json:
+            print(json.dumps(machine.syrupd.promotions(), indent=2,
+                             sort_keys=True))
+        else:
+            print(render_promote(machine))
     elif args.view == "fleet":
         kwargs = {}
         if args.load is not None:

@@ -30,6 +30,7 @@ class Request:
         "service_us",
         "sent_at",
         "completed_at",
+        "cohort",
     )
 
     def __init__(self, rid, rtype, service_us, user_id=0, key=0, key_hash=0):
@@ -41,6 +42,9 @@ class Request:
         self.service_us = service_us
         self.sent_at = 0.0
         self.completed_at = None
+        # Canary-split bucket in [0, 100), stamped once by the first
+        # CanarySplit that sees the request; None outside promotions.
+        self.cohort = None
 
     @property
     def latency_us(self):

@@ -68,7 +68,8 @@ def test_quarantine_uninstalls_sick_policy_within_window():
         faults=plan,
         health=HealthPolicy(window_us=window_us, max_faults=max_faults),
     )
-    quarantines = machine.obs.events.events(kind="quarantine")
+    quarantines = [e for e in machine.obs.events.events(kind="lifecycle")
+                   if e["action"] == "quarantine"]
     assert len(quarantines) == 1
     assert quarantines[0]["reason"] == "fault_window"
     faults = machine.obs.events.events(kind="runtime_fault")
@@ -131,7 +132,8 @@ def test_runtime_fault_after_redeploy_rolls_back_to_last_good():
     gen.start()
     machine.run()
     assert machine.obs.events.events(kind="redeploy")
-    rollbacks = machine.obs.events.events(kind="rollback")
+    rollbacks = [e for e in machine.obs.events.events(kind="lifecycle")
+                 if e["action"] == "rollback"]
     assert len(rollbacks) == 1
     assert rollbacks[0]["reason"] == "runtime_fault"
     assert deployed.state == "active"
@@ -160,7 +162,8 @@ def test_redeploy_verify_failure_swaps_nothing():
     assert deployed.state == "active"
     assert deployed.last_good is None
     assert deployed.health.rollbacks == 1
-    rollbacks = machine.obs.events.events(kind="rollback")
+    rollbacks = [e for e in machine.obs.events.events(kind="lifecycle")
+                 if e["action"] == "rollback"]
     assert rollbacks and rollbacks[0]["reason"] == "verify_failed"
 
 

@@ -1,0 +1,153 @@
+"""Tests for the hardened policy loader (repro.core.loader).
+
+The authoring path's contract: arbitrary user policy files are
+validated *syntactically* — size ceilings, import allow/deny-list,
+banned AST constructs, denied names — before anything touches the
+compile pipeline, and a rejected source reports every issue at once.
+"""
+
+import pytest
+
+from repro import Hook, Machine, set_a
+from repro.apps.rocksdb import RocksDbServer
+from repro.core.loader import (
+    DEFAULT_MAX_BYTES,
+    PolicyLoadError,
+    PolicyValidationError,
+    check_policy_source,
+    load_policy_file,
+    validate_policy_source,
+)
+from repro.policies.builtin import ROUND_ROBIN
+from repro.qdisc.policies import SRPT_BY_SIZE, SRPT_TIERED
+
+CLEAN = """
+def schedule(pkt):
+    return PASS
+"""
+
+
+# ----------------------------------------------------------------------
+# The happy path: every shipped policy is inside the subset
+# ----------------------------------------------------------------------
+def test_builtin_policies_validate_clean():
+    for source in (CLEAN, ROUND_ROBIN, SRPT_BY_SIZE, SRPT_TIERED):
+        assert validate_policy_source(source) == []
+    assert check_policy_source(CLEAN) is CLEAN
+
+
+# ----------------------------------------------------------------------
+# Rejections
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("source,needle", [
+    ("import os\ndef schedule(pkt):\n    return PASS\n", "import"),
+    ("from subprocess import run\n", "import"),
+    ("def schedule(pkt):\n    return eval('1')\n", "eval"),
+    ("def schedule(pkt):\n    return open('/etc/passwd')\n", "open"),
+    ("def schedule(pkt):\n    return getattr(pkt, 'x')\n", "getattr"),
+    ("def schedule(pkt):\n    return pkt.__class__\n", "dunder"),
+    ("class Sneaky:\n    pass\n", "ClassDef"),
+    ("f = lambda pkt: 0\n", "Lambda"),
+    ("def schedule(pkt):\n    yield 1\n", "Yield"),
+    ("def schedule(pkt):\n    def inner():\n        nonlocal pkt\n"
+     "        return pkt\n    return 0\n", "Nonlocal"),
+    ("def schedule(pkt):\n    try:\n        return 0\n"
+     "    finally:\n        pass\n", "Try"),
+    ("def schedule(pkt):\n    with pkt:\n        return 0\n", "With"),
+    ("def schedule(pkt):\n    return max(*pkt)\n", "Starred"),
+    ("def schedule(pkt)\n    return 0\n", "syntax error"),
+], ids=["import", "from-import", "eval", "open", "getattr", "dunder",
+        "class", "lambda", "yield", "nonlocal", "try", "with", "starargs",
+        "syntax"])
+def test_hostile_sources_are_rejected(source, needle):
+    issues = validate_policy_source(source)
+    assert issues, source
+    assert any(needle in issue for issue in issues), issues
+    with pytest.raises(PolicyValidationError):
+        check_policy_source(source)
+
+
+def test_every_issue_is_reported_not_just_the_first():
+    source = (
+        "import os\n"
+        "def schedule(pkt):\n"
+        "    x = eval('1')\n"
+        "    return pkt.__dict__\n"
+    )
+    issues = validate_policy_source(source)
+    assert len(issues) == 3
+    # issues are in source order and carry line numbers
+    assert issues[0].startswith("line 1:")
+    assert issues[1].startswith("line 3:")
+    assert issues[2].startswith("line 4:")
+
+
+def test_shadowing_does_not_launder_denied_names():
+    # the reference site is checked, so `e = eval` trips on `eval`
+    issues = validate_policy_source("e = eval\n")
+    assert any("eval" in issue for issue in issues)
+
+
+def test_allow_list_admits_declared_imports_only():
+    source = "import math\ndef schedule(pkt):\n    return PASS\n"
+    assert validate_policy_source(source, allow_imports=("math",)) == []
+    assert validate_policy_source(source) != []
+
+
+def test_size_ceilings():
+    blob = "x = 0\n" * 600
+    assert validate_policy_source(blob, max_lines=512) != []
+    big = "# " + "a" * DEFAULT_MAX_BYTES
+    issues = validate_policy_source(big)
+    assert issues and "bytes" in issues[0]
+    assert validate_policy_source("x\x00= 0") == ["source contains NUL bytes"]
+    assert validate_policy_source(b"not text") != []
+
+
+# ----------------------------------------------------------------------
+# File loading
+# ----------------------------------------------------------------------
+def test_load_policy_file_roundtrip_and_rejections(tmp_path):
+    good = tmp_path / "good.py"
+    good.write_text(CLEAN)
+    assert load_policy_file(str(good)) == CLEAN
+
+    bad = tmp_path / "bad.py"
+    bad.write_text("import socket\n")
+    with pytest.raises(PolicyValidationError):
+        load_policy_file(str(bad))
+
+    binary = tmp_path / "binary.py"
+    binary.write_bytes(b"\xff\xfe policy")
+    with pytest.raises(PolicyLoadError, match="UTF-8"):
+        load_policy_file(str(binary))
+
+    huge = tmp_path / "huge.py"
+    huge.write_bytes(b"#" * 2048)
+    with pytest.raises(PolicyLoadError, match="exceeds"):
+        load_policy_file(str(huge), max_bytes=1024)
+
+    with pytest.raises(PolicyLoadError, match="cannot read"):
+        load_policy_file(str(tmp_path / "missing.py"))
+
+
+# ----------------------------------------------------------------------
+# Integration: deploy_shadow validates before the compiler runs
+# ----------------------------------------------------------------------
+def test_deploy_shadow_rejects_denied_source_before_compile():
+    machine = Machine(set_a(), seed=3, metrics=True)
+    app = machine.register_app("rocksdb", ports=[8080])
+    RocksDbServer(machine, app, 8080, 4)
+    app.deploy_qdisc(SRPT_BY_SIZE, layer="socket", backend="pifo")
+    hostile = "import os\ndef rank(pkt):\n    return PASS\n"
+    with pytest.raises(PolicyValidationError):
+        app.deploy_shadow(hostile, layer="socket")
+    # the rejection is observable: counter + structured event, no record
+    rejects = machine.obs.events.events(kind="loader_reject")
+    assert len(rejects) == 1
+    assert any("import" in issue for issue in rejects[0]["issues"])
+    assert machine.syrupd.promotions() == []
+    counter = machine.obs.registry.counter(
+        "rocksdb", "syrupd", "loader_rejections"
+    )
+    assert counter.value == 1

@@ -10,8 +10,10 @@ from repro.syrupctl import (
     dump_map,
     render_deployments,
     render_maps,
+    render_promote,
     render_slo,
     render_status,
+    run_promote_demo,
     run_slo_demo,
 )
 from repro.workload.generator import OpenLoopGenerator
@@ -92,3 +94,18 @@ def test_slo_demo_renders_objectives_and_signal_footer():
     # the signal-bus footer: cadence, tick count, controllers
     assert "signals: interval=" in text
     assert "shed" in text and "srpt_thresh" in text
+
+
+def test_render_promote_without_attempts(busy_machine):
+    assert "(no promotion attempts)" in render_promote(busy_machine)
+
+
+def test_promote_demo_renders_both_candidates_with_histories():
+    machine = run_promote_demo(load=150_000, duration_ms=100.0)
+    text = render_promote(machine)
+    assert "promotion pipeline" in text
+    assert "broken" in text and "good" in text
+    # the per-record history timeline and the decision-diff footer
+    assert "shadow" in text
+    assert "decision diff:" in text
+    assert len(machine.syrupd.promotions()) == 2

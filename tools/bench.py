@@ -8,8 +8,9 @@ scenarios — a Figure-6 steady-state point, the dynamic Figure-8 mid-run
 policy switch, a Figure-2 hash-imbalance point, the fault sweep's
 quarantine variant, the tail-attribution run with every request
 span-traced, figure_order's SRPT queueing-discipline point,
-figure_adaptive's closed-loop SignalBus run, and figure_fleet's
-rack-scale power-of-two steering run — each
+figure_adaptive's closed-loop SignalBus run, figure_fleet's
+rack-scale power-of-two steering run, and figure_canary's shadow/canary
+promotion pipeline — each
 under :mod:`repro.obs.profile`, and writes ``BENCH_results.json``:
 
     {
@@ -341,6 +342,60 @@ def _figure_order_qdisc(smoke):
     return testbed.machine, collect
 
 
+def _figure_canary_promotion(smoke):
+    """figure_canary's promotion pipeline: shadow tap on the hot path.
+
+    The broken candidate from figure_canary shadow-executes on every
+    socket-qdisc rank decision (decision diff + cohort stamping), then
+    enforces on the 10% flow cohort until the canary p99 gate rejects
+    it.  Exercises the ShadowTap dispatch overhead, the controller's
+    per-completion cohort sketches, and the SignalBus gauge publishing.
+    ``outcome_stage`` anchors the verdict (3 == rejected at full scale;
+    the smoke window ends mid-canary, 1).
+    """
+    from repro.core.promote import STAGE_CODES
+    from repro.experiments.figure_canary import (
+        CANDIDATES,
+        GATES,
+        SHORT_US,
+        _build,
+        _wire,
+    )
+    from repro.workload.mixes import GET_SCAN_995_005
+    from repro.workload.requests import GET
+
+    load = 200_000 if smoke else 260_000
+    duration_us = 60_000.0 if smoke else 300_000.0
+    warmup_us = duration_us * 0.2
+    testbed = _build(3)
+    gen = testbed.drive(load, GET_SCAN_995_005, duration_us, warmup_us)
+    gen.start()
+    holder = {}
+    _wire(testbed, gen, duration_us, holder)
+
+    def deploy():
+        holder["record"] = testbed.app.deploy_shadow(
+            CANDIDATES["broken"], layer="socket",
+            constants={"SHORT_US": SHORT_US}, name="broken", **GATES,
+        )
+
+    testbed.machine.engine.at(duration_us * 0.25, deploy)
+
+    def collect():
+        record = holder["record"]
+        return {
+            "load_rps": load,
+            "get_p99_us": gen.latency.p99(tag=GET),
+            "drop_pct": 100.0 * gen.drop_fraction(),
+            "outcome_stage": STAGE_CODES[record.stage],
+            "shadow_decisions": record.diff.decisions,
+            "agreement": round(record.diff.agreement(), 4),
+            "canary_enforced": record.canary_enforced,
+        }
+
+    return testbed.machine, collect
+
+
 SCENARIOS = {
     "figure6_steady": _figure6_steady,
     "figure8_dynamic": _figure8_dynamic,
@@ -350,6 +405,7 @@ SCENARIOS = {
     "figure_tail_spans": _figure_tail,
     "figure_order_qdisc": _figure_order_qdisc,
     "figure_fleet_steering": _figure_fleet,
+    "figure_canary_promotion": _figure_canary_promotion,
 }
 
 
