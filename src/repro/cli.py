@@ -35,6 +35,7 @@ from repro.experiments import (
     run_figure_canary,
     run_figure_faults,
     run_figure_fleet,
+    run_figure_interference,
     run_figure_order,
     run_figure_tail,
     run_table2,
@@ -62,6 +63,10 @@ _QUICK = {
                           warmup_us=30_000.0),
     "figure_fleet": dict(num_machines=24, rps=280_000, num_users=100_000,
                          duration_us=60_000.0, warmup_us=10_000.0),
+    "figure_interference": dict(loads=[(60_000, 420_000)],
+                                duration_us=120_000.0, warmup_us=30_000.0,
+                                variants=["isolated", "contended",
+                                          "blame_shed"]),
     "figure_order": dict(loads=[120_000, 240_000], duration_us=120_000.0,
                          warmup_us=30_000.0),
     "figure_tail": dict(loads=[120_000], duration_us=120_000.0,
@@ -80,6 +85,7 @@ _RUNNERS = {
     "figure_canary": run_figure_canary,
     "figure_faults": run_figure_faults,
     "figure_fleet": run_figure_fleet,
+    "figure_interference": run_figure_interference,
     "figure_order": run_figure_order,
     "figure_tail": run_figure_tail,
     "table2": run_table2,
@@ -95,11 +101,12 @@ def _build_parser():
     parser.add_argument(
         "experiment",
         choices=sorted(_RUNNERS) + ["all", "stats", "timeline", "health",
-                                    "qdisc", "fleet", "slo", "promote"],
+                                    "qdisc", "fleet", "slo", "promote",
+                                    "tenants"],
         help=(
             "which experiment to run ('all' runs every one; 'stats', "
-            "'timeline', 'health', 'qdisc', 'fleet', 'slo' and "
-            "'promote' render the syrupctl demos)"
+            "'timeline', 'health', 'qdisc', 'fleet', 'slo', 'promote' "
+            "and 'tenants' render the syrupctl demos)"
         ),
     )
     parser.add_argument(
@@ -142,6 +149,10 @@ def _kwargs_for(name, args):
             kwargs["rps"] = args.loads[0]  # one aggregate rack load
         elif name == "figure_canary":
             kwargs["load"] = args.loads[0]  # one calibrated load point
+        elif name == "figure_interference":
+            # two loads = one (victim, aggressor) pair
+            kwargs["loads"] = [(args.loads[0],
+                                args.loads[1 if len(args.loads) > 1 else 0])]
         else:
             key = "ls_loads" if name == "figure7" else "loads"
             kwargs[key] = args.loads
@@ -171,7 +182,7 @@ _PLOT_AXES = {
 def main(argv=None):
     args = _build_parser().parse_args(argv)
     if args.experiment in ("stats", "timeline", "health", "qdisc", "fleet",
-                           "slo", "promote"):
+                           "slo", "promote", "tenants"):
         from repro import syrupctl
 
         kwargs = {}
@@ -199,6 +210,9 @@ def main(argv=None):
         elif args.experiment == "promote":
             machine = syrupctl.run_promote_demo(**kwargs)
             text = syrupctl.render_promote(machine)
+        elif args.experiment == "tenants":
+            machine = syrupctl.run_tenants_demo(**kwargs)
+            text = syrupctl.render_tenants(machine)
         else:
             machine = syrupctl.run_timeline_demo(**kwargs)
             text = syrupctl.render_timeline(machine)

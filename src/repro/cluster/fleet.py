@@ -85,10 +85,10 @@ class FleetRequest:
 
     __slots__ = ("rid", "rtype", "user_id", "service_us", "sent_at",
                  "dst_port", "machine", "attempts", "completed_at", "_pv",
-                 "cohort")
+                 "cohort", "tenant")
 
     def __init__(self, rid, rtype, service_us, user_id=0, sent_at=0.0,
-                 dst_port=0):
+                 dst_port=0, tenant=None):
         self.rid = rid
         self.rtype = rtype
         self.user_id = user_id
@@ -100,6 +100,11 @@ class FleetRequest:
         self.completed_at = None
         self._pv = None
         self.cohort = None        # canary-split bucket, stamped once
+        # Owning tenant: stamped at admission from the ToR's per-port
+        # rule owner (TorSwitch.install(port, policy, owner=...)) so the
+        # switch's tenant identity propagates down the stack — the fleet
+        # half of per-tenant accounting (repro.obs.accounting).
+        self.tenant = tenant
 
     def packet_view(self):
         """The lazy packet facade handed to deployed programs/qdiscs."""
@@ -305,6 +310,11 @@ class TorSwitch:
         rule = self._port_rules.get(request.dst_port)
         return rule[0] if rule is not None else self.default
 
+    def owner_for(self, request):
+        """The tenant owning the request's port rule, or None."""
+        rule = self._port_rules.get(request.dst_port)
+        return rule[1] if rule is not None else None
+
     # ------------------------------------------------------------------
     def alive_machines(self):
         return self._alive
@@ -366,7 +376,8 @@ class FleetGenerator:
     """
 
     def __init__(self, fleet, rps, duration_us, num_users=1_000_000,
-                 mix=None, diurnal_period_us=None, diurnal_depth=0.0):
+                 mix=None, diurnal_period_us=None, diurnal_depth=0.0,
+                 ports=None):
         if not 0.0 <= diurnal_depth < 1.0:
             raise ValueError(
                 f"diurnal_depth must be in [0, 1), got {diurnal_depth}"
@@ -381,6 +392,15 @@ class FleetGenerator:
         self._arrivals = fleet.streams.get("arrivals")
         self._service = fleet.streams.get("service")
         self._users = fleet.streams.get("users")
+        # Multi-tenant traffic: each arrival's dst_port is drawn
+        # uniformly from ``ports``, landing it on that port's ToR rule
+        # (and its owner's tenant bill).  The draw uses its own named
+        # stream so the default single-port workload — ports=None, no
+        # stream ever created — is bit-identical with or without this
+        # feature existing.
+        self.ports = list(ports) if ports else None
+        self._ports_rng = (fleet.streams.get("gen_ports")
+                           if self.ports else None)
         self.offered = 0
         self.done = False
         self._next_rid = 0
@@ -416,6 +436,10 @@ class FleetGenerator:
             user_id=self._users.randrange(self.num_users),
             sent_at=self.fleet.engine.now,
         )
+        if self.ports is not None:
+            request.dst_port = self.ports[
+                self._ports_rng.randrange(len(self.ports))
+            ]
         self.offered += 1
         self.fleet.admit(request)
         self._schedule_next()
@@ -533,6 +557,12 @@ class Fleet:
         self.outstanding = 0
         self.completed = 0
         self.dropped = 0
+        # Per-tenant rollups, populated only for requests that carry a
+        # tenant (stamped in admit() from an owned port rule) — empty
+        # dicts for every historical single-tenant run.
+        self.tenant_completed = {}
+        self.tenant_dropped = {}
+        self.tenant_latency = {}   # tenant -> DDSketch of completion us
 
         self.sync = MapSyncBus(
             self.engine, interval_us=sync_interval_us,
@@ -666,6 +696,12 @@ class Fleet:
     # ------------------------------------------------------------------
     def admit(self, request):
         """A client request reaches the rack: sample, steer, forward."""
+        if request.tenant is None:
+            # ToR tenant stamping: a port rule installed with an owner
+            # makes that owner the request's tenant for the rest of its
+            # life (per-tenant counters, blame views).  No owned rule →
+            # tenant stays None and no per-tenant state is ever touched.
+            request.tenant = self.switch.owner_for(request)
         self.spans.switch_arrival(request)
         self.outstanding += 1
         self._steer(request, resteer=False)
@@ -714,12 +750,29 @@ class Fleet:
         self.outstanding -= 1
         self.completed += 1
         self.obs.registry.counter("fleet", "fleet", "completed").inc()
+        tenant = request.tenant
+        if tenant is not None:
+            self.tenant_completed[tenant] = \
+                self.tenant_completed.get(tenant, 0) + 1
+            sketch = self.tenant_latency.get(tenant)
+            if sketch is None:
+                sketch = self.tenant_latency[tenant] = DDSketch()
+            sketch.add(now - request.sent_at)
+            self.obs.registry.counter(
+                "fleet", f"tenant:{tenant}", "completed"
+            ).inc()
 
     def drop(self, request, reason):
         self.spans.fleet_drop(request, reason)
         self.outstanding -= 1
         self.dropped += 1
         self.obs.registry.counter("fleet", "fleet", "dropped").inc()
+        if request.tenant is not None:
+            self.tenant_dropped[request.tenant] = \
+                self.tenant_dropped.get(request.tenant, 0) + 1
+            self.obs.registry.counter(
+                "fleet", f"tenant:{request.tenant}", "dropped"
+            ).inc()
         self.obs.events.emit("fleet_drop", rid=request.rid, reason=reason)
 
     # ------------------------------------------------------------------
@@ -765,12 +818,12 @@ class Fleet:
     # Driving
     # ------------------------------------------------------------------
     def drive(self, duration_us, rps, num_users=1_000_000, mix=None,
-              diurnal_period_us=None, diurnal_depth=0.0):
+              diurnal_period_us=None, diurnal_depth=0.0, ports=None):
         """Attach the aggregate open-loop generator (call before run)."""
         self.generator = FleetGenerator(
             self, rps=rps, duration_us=duration_us, num_users=num_users,
             mix=mix, diurnal_period_us=diurnal_period_us,
-            diurnal_depth=diurnal_depth,
+            diurnal_depth=diurnal_depth, ports=ports,
         )
         return self.generator
 
@@ -821,6 +874,29 @@ class Fleet:
             "p50_us": self.latency.p50(),
             "p99_us": self.latency.p99(),
         }
+
+    def tenant_view(self):
+        """JSON-safe per-tenant rollup (``syrupctl tenants``, fleet tier).
+
+        One entry per tenant that owned a port rule and saw traffic:
+        completions, drops, and completion-latency quantiles from the
+        per-tenant DDSketch.  Empty list for single-tenant runs.
+        """
+        tenants = sorted(set(self.tenant_completed)
+                         | set(self.tenant_dropped))
+        out = []
+        for tenant in tenants:
+            sketch = self.tenant_latency.get(tenant)
+            out.append({
+                "tenant": tenant,
+                "completed": self.tenant_completed.get(tenant, 0),
+                "dropped": self.tenant_dropped.get(tenant, 0),
+                "p50_us": (round(sketch.percentile(50.0), 1)
+                           if sketch is not None and sketch.count else None),
+                "p99_us": (round(sketch.percentile(99.0), 1)
+                           if sketch is not None and sketch.count else None),
+            })
+        return out
 
     def __repr__(self):
         return (

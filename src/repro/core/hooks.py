@@ -108,6 +108,7 @@ class HookSite:
         self.fault_listener = None
         self._events = self.obs.events
         self._spans = self.obs.spans
+        self._acct = self.obs.acct
         self._m_dispatch_miss = self.obs.registry.counter(
             ROOT_APP, hook, "dispatch_miss"
         )
@@ -291,7 +292,12 @@ class HookSite:
         attachment = self._port_rules.get(packet.dst_port)
         if attachment is None:
             return 0.0
-        return self.costs.cycles_to_us(attachment.program.cycle_estimate)
+        cost = self.costs.cycles_to_us(attachment.program.cycle_estimate)
+        # Policy execution time is part of the owning tenant's bill: the
+        # substrate charges this cost on the datapath, so the accountant
+        # books it against the tenant whose packet triggered the program.
+        self._acct.policy_exec(packet, cost)
+        return cost
 
     def __repr__(self):
         return f"<HookSite {self.hook} ports={sorted(self._port_rules)}>"

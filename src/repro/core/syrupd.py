@@ -1070,6 +1070,15 @@ class Syrupd:
         """SignalBus view (``syrupctl slo`` footer; empty when absent)."""
         return self.machine.signals.view()
 
+    def tenants(self):
+        """Per-tenant accounting snapshot (``syrupctl tenants``).
+
+        Ledgers plus the pairwise blame matrix from
+        :class:`repro.obs.accounting.TenantAccountant`; the empty shape
+        ``{"tenants": [], "blame": {}}`` when accounting is disabled.
+        """
+        return self.obs.acct.snapshot()
+
     def health(self):
         """Per-deployment health rows (``syrupctl health``)."""
         now = self.machine.now

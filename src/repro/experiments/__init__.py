@@ -15,6 +15,7 @@ from repro.experiments.figure_adaptive import run_figure_adaptive
 from repro.experiments.figure_canary import run_figure_canary
 from repro.experiments.figure_faults import run_figure_faults
 from repro.experiments.figure_fleet import run_figure_fleet
+from repro.experiments.figure_interference import run_figure_interference
 from repro.experiments.figure_order import run_figure_order
 from repro.experiments.figure_tail import run_figure_tail
 from repro.experiments.table2 import run_table2
@@ -30,6 +31,7 @@ __all__ = [
     "run_figure_canary",
     "run_figure_faults",
     "run_figure_fleet",
+    "run_figure_interference",
     "run_figure_order",
     "run_figure_tail",
     "run_table2",

@@ -42,12 +42,14 @@ class RocksDbTestbed:
         spans_capacity=4096,
         signals=None,
         slo=None,
+        accounting=False,
     ):
         self.machine = Machine(
             config if config is not None else set_a(), seed=seed,
             scheduler=scheduler, metrics=metrics, timeseries=timeseries,
             faults=faults, health=health, spans=spans,
             spans_capacity=spans_capacity, signals=signals, slo=slo,
+            accounting=accounting,
         )
         self.app = self.machine.register_app("rocksdb", ports=[port])
         self.server = RocksDbServer(
@@ -56,6 +58,7 @@ class RocksDbTestbed:
             mark_sizes=mark_sizes,
         )
         self.port = port
+        self._generators = []
         if policy is not None:
             source, hook, constants = policy
             self.app.deploy_policy(source, hook, constants=constants)
@@ -70,13 +73,30 @@ class RocksDbTestbed:
             )
 
     def drive(self, rate_rps, mix, duration_us, warmup_us, stream="client",
-              user_id=0):
+              user_id=0, tenant=None):
+        """Attach a load generator; call once per tenant for co-located
+        multi-tenant runs.  With one generator the response sink is the
+        generator itself (the historical wiring, function-identical);
+        with several, a dispatcher routes each completion back to its
+        owning tenant's generator by ``request.tenant``."""
         gen = OpenLoopGenerator(
             self.machine, self.port, rate_rps, mix,
             duration_us=duration_us, warmup_us=warmup_us, stream=stream,
-            user_id=user_id,
+            user_id=user_id, tenant=tenant,
         )
-        self.server.response_sink = gen.deliver_response
+        self._generators.append(gen)
+        if len(self._generators) == 1:
+            self.server.response_sink = gen.deliver_response
+        else:
+            by_tenant = {
+                g.tenant: g.deliver_response for g in self._generators
+            }
+            fallback = self._generators[0].deliver_response
+
+            def _dispatch(request):
+                by_tenant.get(request.tenant, fallback)(request)
+
+            self.server.response_sink = _dispatch
         return gen
 
 

@@ -37,6 +37,7 @@ class GhostScheduler(ThreadScheduler):
     def wake(self, thread):
         thread.state = RUNNABLE
         self.spans.thread_runnable(thread)
+        self.acct.thread_runnable(thread)
         self._notify(MessageKind.THREAD_WAKEUP, thread)
 
     def _core_idle(self, core):

@@ -39,6 +39,7 @@ class CfsScheduler(ThreadScheduler):
                     break
         thread.state = RUNNABLE
         self.spans.thread_runnable(thread)
+        self.acct.thread_runnable(thread)
         self._rq[core.cid].append(thread)
         if core.thread is None:
             self._pick_next(core)

@@ -24,6 +24,7 @@ Path modeling notes:
 
 from repro.kernel.cpu import FifoServer
 from repro.kernel.sockets import SocketTable
+from repro.obs.accounting import NULL_ACCOUNTING
 from repro.obs.spans import NULL_SPANS
 
 __all__ = ["NetStack"]
@@ -61,6 +62,10 @@ class NetStack:
         # Span tracer (repro.obs.spans): softirq spans bracket FIFO
         # submission -> protocol completion; drops finalize the tree.
         self.spans = NULL_SPANS
+        # Tenant accountant (repro.obs.accounting): same seams, books
+        # per-tenant softirq wait + drops and snapshots queue occupancy
+        # for cross-tenant blame.
+        self.acct = NULL_ACCOUNTING
 
     # ------------------------------------------------------------------
     # RX path entry (called by the NIC at IRQ-delivery time)
@@ -72,6 +77,7 @@ class NetStack:
             if action == "drop":
                 self.drops["xdp_drop"] += 1
                 self.spans.drop(packet, "xdp_drop")
+                self.acct.drop(packet, "xdp_drop")
                 return
             if action == "target":
                 # zero copy only in native (XDP_DRV) mode on a capable NIC
@@ -90,8 +96,10 @@ class NetStack:
                 if not server.submit(cost, self._deliver_af_xdp, target, packet):
                     self.drops["ring_overflow"] += 1
                     self.spans.drop(packet, "ring_overflow")
+                    self.acct.drop(packet, "ring_overflow")
                 else:
                     self.spans.softirq_begin(packet, core_index, len(server))
+                    self.acct.softirq_begin(packet, core_index)
                 return
             # "none" / "pass": fall through to the standard stack
 
@@ -108,8 +116,10 @@ class NetStack:
             if not server.submit(cost, self._deliver_af_xdp, bound, packet):
                 self.drops["ring_overflow"] += 1
                 self.spans.drop(packet, "ring_overflow")
+                self.acct.drop(packet, "ring_overflow")
             else:
                 self.spans.softirq_begin(packet, core_index, len(server))
+                self.acct.softirq_begin(packet, core_index)
             return
 
         core_index = queue_index % len(self.softirq)
@@ -120,6 +130,7 @@ class NetStack:
             if action == "drop":
                 self.drops["select_drop"] += 1
                 self.spans.drop(packet, "select_drop")
+                self.acct.drop(packet, "select_drop")
                 return
             if action == "target":
                 core_index = target % len(self.softirq)
@@ -132,20 +143,25 @@ class NetStack:
         if not server.submit(cost, self._protocol_done, packet):
             self.drops["ring_overflow"] += 1
             self.spans.drop(packet, "ring_overflow")
+            self.acct.drop(packet, "ring_overflow")
         else:
             self.spans.softirq_begin(packet, core_index, len(server))
+            self.acct.softirq_begin(packet, core_index)
 
     # ------------------------------------------------------------------
     def _deliver_af_xdp(self, socket, packet):
         self.spans.softirq_end(packet)
+        self.acct.softirq_end(packet)
         if not socket.enqueue(packet):
             self.drops["socket_overflow"] += 1
             self.spans.drop(packet, "socket_overflow")
+            self.acct.drop(packet, "socket_overflow")
         else:
             self.delivered += 1
 
     def _protocol_done(self, packet):
         self.spans.softirq_end(packet)
+        self.acct.softirq_end(packet)
         if packet.is_tcp:
             # established connections bypass socket selection entirely
             socket = self.tcp_connections.get(packet.flow)
@@ -153,6 +169,7 @@ class NetStack:
                 if not socket.enqueue(packet):
                     self.drops["socket_overflow"] += 1
                     self.spans.drop(packet, "socket_overflow")
+                    self.acct.drop(packet, "socket_overflow")
                 else:
                     self.delivered += 1
                 return
@@ -160,6 +177,7 @@ class NetStack:
         if group is None or not len(group):
             self.drops["no_socket"] += 1
             self.spans.drop(packet, "no_socket")
+            self.acct.drop(packet, "no_socket")
             return
         socket = None
         if self.socket_select_hook is not None:
@@ -167,6 +185,7 @@ class NetStack:
             if action == "drop":
                 self.drops["select_drop"] += 1
                 self.spans.drop(packet, "select_drop")
+                self.acct.drop(packet, "select_drop")
                 return
             if action == "target":
                 socket = target
@@ -178,6 +197,7 @@ class NetStack:
         if not socket.enqueue(packet):
             self.drops["socket_overflow"] += 1
             self.spans.drop(packet, "socket_overflow")
+            self.acct.drop(packet, "socket_overflow")
         else:
             self.delivered += 1
 

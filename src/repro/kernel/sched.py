@@ -15,6 +15,7 @@ while subclasses provide policy:
 import math
 
 from repro.kernel.threads import BLOCKED, RUNNABLE, RUNNING
+from repro.obs.accounting import NULL_ACCOUNTING
 from repro.obs.spans import NULL_SPANS
 
 __all__ = ["PinnedScheduler", "ThreadScheduler"]
@@ -33,6 +34,9 @@ class ThreadScheduler:
         # Span tracer (repro.obs.spans): threads reach it through their
         # scheduler for service spans; CFS/ghOSt wakes feed runqueue_wait.
         self.spans = NULL_SPANS
+        # Tenant accountant (repro.obs.accounting): same access path,
+        # books per-tenant CPU service time and runqueue wait.
+        self.acct = NULL_ACCOUNTING
 
     # -- subclass policy interface --------------------------------------
     def wake(self, thread):

@@ -60,6 +60,7 @@ class KThread:
         self.remaining, self.token = item
         if self.scheduler is not None:
             self.scheduler.spans.service_begin(self, self.token)
+            self.scheduler.acct.service_begin(self, self.token)
         return True
 
     def finish_item(self):
@@ -70,6 +71,7 @@ class KThread:
         self.items_completed += 1
         if self.scheduler is not None:
             self.scheduler.spans.service_end(self, token)
+            self.scheduler.acct.service_end(self, token)
         self.source.complete(token)
 
     def wake(self):

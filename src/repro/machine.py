@@ -44,7 +44,8 @@ class Machine:
     def __init__(self, config=None, seed=0, scheduler="pinned", engine=None,
                  metrics=False, event_capacity=4096, timeseries=None,
                  timeseries_capacity=1024, faults=None, health=None,
-                 spans=None, spans_capacity=4096, signals=None, slo=None):
+                 spans=None, spans_capacity=4096, signals=None, slo=None,
+                 accounting=False):
         if scheduler not in _SCHEDULERS:
             raise ValueError(
                 f"scheduler must be one of {sorted(_SCHEDULERS)}, "
@@ -61,12 +62,16 @@ class Machine:
         # simulation results stay bit-identical.  spans=N head-samples
         # every Nth request into a causal span tree (repro.obs.spans;
         # True means every request) — independent of metrics, same
-        # nothing-when-disabled discipline.
+        # nothing-when-disabled discipline.  accounting=True adds the
+        # per-tenant cost accountant (repro.obs.accounting) — it only
+        # observes, so results stay bit-identical either way, and
+        # tenant-less runs book nothing even when it is live.
         self.obs = Observability(
             clock=lambda: self.engine.now, enabled=metrics,
             event_capacity=event_capacity,
             spans=(0 if spans is None else spans),
             spans_capacity=spans_capacity,
+            accounting=accounting,
         )
         # Time-series tier: timeseries=True (1 ms sampling) or a sample
         # interval in simulated us.  The recorder rides the event loop but
@@ -120,11 +125,14 @@ class Machine:
             self.engine, sched_cores, self.costs
         )
         self.scheduler.spans = self.obs.spans
+        self.scheduler.acct = self.obs.acct
         salt = self.streams.get("rss-salt").getrandbits(32)
         self.nic = Nic(self.engine, self.config.nic, self.costs, salt=salt)
         self.nic.spans = self.obs.spans
+        self.nic.acct = self.obs.acct
         self.netstack = NetStack(self.engine, self.config)
         self.netstack.spans = self.obs.spans
+        self.netstack.acct = self.obs.acct
         self.nic.deliver = self.netstack.deliver_from_nic
         # Queue-state telemetry: when the flight recorder is live, every
         # sample() first reads the instantaneous queue depths (socket
@@ -194,6 +202,7 @@ class Machine:
             is_af_xdp=is_af_xdp,
         )
         socket.spans = self.obs.spans
+        socket.acct = self.obs.acct
         if not is_af_xdp:
             self.netstack.socket_table.bind(socket)
         return socket

@@ -9,6 +9,7 @@ slower (Table 3), modeled in :mod:`repro.core.maps`.
 """
 
 from repro.net.rss import rss_queue
+from repro.obs.accounting import NULL_ACCOUNTING
 from repro.obs.spans import NULL_SPANS
 
 __all__ = ["Nic", "NicDropReason"]
@@ -37,6 +38,9 @@ class Nic:
         #: Span tracer (repro.obs.spans); NIC arrival is the head-sampling
         #: point and the start of each tree's nic_queue span.
         self.spans = NULL_SPANS
+        #: Tenant accountant (repro.obs.accounting): books per-tenant
+        #: NIC wait (arrival -> IRQ delivery) and NIC-level drops.
+        self.acct = NULL_ACCOUNTING
         #: Packets accepted but not yet IRQ-delivered (queue occupancy,
         #: sampled by the flight recorder's queue-state probe).
         self.in_flight = 0
@@ -81,9 +85,11 @@ class Nic:
         """A packet arrives from the wire."""
         self.rx_packets += 1
         self.spans.nic_arrival(packet)
+        self.acct.nic_arrival(packet)
         if self.deliver is None:
             self.drops[NicDropReason.NO_HANDLER] += 1
             self.spans.drop(packet, NicDropReason.NO_HANDLER)
+            self.acct.drop(packet, NicDropReason.NO_HANDLER)
             return
         queue = None
         if self.classifier is not None and not self.offload_down:
@@ -91,6 +97,7 @@ class Nic:
             if action == "drop":
                 self.drops[NicDropReason.OFFLOAD_DROP] += 1
                 self.spans.drop(packet, NicDropReason.OFFLOAD_DROP)
+                self.acct.drop(packet, NicDropReason.OFFLOAD_DROP)
                 return
             if action == "target":
                 queue = target % self.spec.num_queues
@@ -104,10 +111,12 @@ class Nic:
             if not result.accepted:
                 self.drops[NicDropReason.QDISC_SHED] += 1
                 self.spans.drop(packet, NicDropReason.QDISC_SHED)
+                self.acct.drop(packet, NicDropReason.QDISC_SHED)
                 return
             self.spans.qdisc_enqueued(
                 packet, qdisc.layer, result.rank, qdisc.backend_name
             )
+            self.acct.qdisc_enqueued(packet)
             self.in_flight += 1
             self.engine.schedule(delay, self._irq_drain, queue, qdisc)
             return
@@ -118,6 +127,7 @@ class Nic:
         """IRQ delivery into the kernel: occupancy drops, nic_queue ends."""
         self.in_flight -= 1
         self.spans.nic_delivered(packet, queue)
+        self.acct.nic_delivered(packet)
         self.deliver(queue, packet)
 
     def _irq_drain(self, queue, qdisc):
@@ -129,7 +139,9 @@ class Nic:
         if packet is None:
             return  # an eviction consumed this drain's element
         self.spans.qdisc_dequeued(packet)
+        self.acct.qdisc_dequeued(packet)
         self.spans.nic_delivered(packet, queue)
+        self.acct.nic_delivered(packet)
         self.deliver(queue, packet)
 
     def __repr__(self):

@@ -37,7 +37,18 @@ renders the registry, ``syrupctl timeline`` the recorder;
 ``docs/observability.md`` is the metric catalogue and event schema.
 """
 
+from repro.obs.accounting import (
+    NULL_ACCOUNTING,
+    NullTenantAccountant,
+    TenantAccountant,
+    TenantLedger,
+)
 from repro.obs.events import NULL_EVENTS, EventTrace, NullEventTrace
+from repro.obs.interference import (
+    BlameMatrix,
+    NoisyNeighborDetector,
+    TenantShedController,
+)
 from repro.obs.export import open_destination, to_openmetrics, write_openmetrics
 from repro.obs.registry import (
     NULL_METRIC,
@@ -55,6 +66,7 @@ from repro.obs.timeseries import NULL_RECORDER, FlightRecorder, NullFlightRecord
 
 __all__ = [
     "DISABLED",
+    "BlameMatrix",
     "CardinalityError",
     "Counter",
     "EventTrace",
@@ -62,18 +74,24 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "NULL_ACCOUNTING",
     "NULL_EVENTS",
     "NULL_METRIC",
     "NULL_RECORDER",
     "NULL_REGISTRY",
     "NULL_SPANS",
+    "NoisyNeighborDetector",
     "NullEventTrace",
     "NullFlightRecorder",
     "NullMetric",
     "NullRegistry",
     "NullSpanTracer",
+    "NullTenantAccountant",
     "Observability",
     "SpanTracer",
+    "TenantAccountant",
+    "TenantLedger",
+    "TenantShedController",
     "open_destination",
     "to_openmetrics",
     "write_openmetrics",
@@ -90,12 +108,18 @@ class Observability:
     (:mod:`repro.obs.spans`): :data:`NULL_SPANS` unless constructed with
     ``spans=N`` (sample every Nth request; ``Machine(spans=...)``) —
     independent of ``enabled``, since the tracer needs no registry.
+    ``acct`` is the per-tenant cost accountant
+    (:mod:`repro.obs.accounting`): :data:`NULL_ACCOUNTING` unless
+    constructed with ``accounting=True`` (``Machine(accounting=True)``)
+    — also registry-independent, same null-twin discipline.
     """
 
-    __slots__ = ("enabled", "registry", "events", "recorder", "spans")
+    __slots__ = ("enabled", "registry", "events", "recorder", "spans",
+                 "acct")
 
     def __init__(self, clock=None, enabled=False, event_capacity=4096,
-                 max_series=4096, spans=0, spans_capacity=4096):
+                 max_series=4096, spans=0, spans_capacity=4096,
+                 accounting=False):
         self.enabled = enabled
         self.recorder = NULL_RECORDER
         if enabled:
@@ -110,6 +134,10 @@ class Observability:
                                     capacity=spans_capacity)
         else:
             self.spans = NULL_SPANS
+        if accounting:
+            self.acct = TenantAccountant(clock=clock)
+        else:
+            self.acct = NULL_ACCOUNTING
 
     def snapshot(self):
         """Registry snapshot rows (see MetricsRegistry.snapshot)."""

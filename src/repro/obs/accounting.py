@@ -1,0 +1,428 @@
+"""Per-tenant resource accounting: who consumed what, at which layer.
+
+Every metric, sketch and span in the base observability tiers is
+*aggregate* — fine for one application, useless for auditing the paper's
+isolation claim when several untrusting tenants share a machine.  The
+:class:`TenantAccountant` closes that gap: it rides the same datapath
+seams as the span tracer (NIC arrival/IRQ delivery, softirq begin/end,
+socket enqueue/pop, qdisc offer/take, thread wake/service) and books
+every microsecond into the responsible tenant's :class:`TenantLedger`:
+
+- ``cpu_service_us`` — application CPU time (the modeled item cost,
+  charged at completion so preemption never double-counts),
+- ``policy_exec_us`` — the tenant's *own* policy execution time charged
+  by the hook sites (the Syrup overhead each tenant pays for itself),
+- per-layer queueing delay (``nic`` / ``softirq`` / ``socket`` /
+  ``qdisc`` / ``runqueue``) with event counts, and
+- ``drops`` by reason plus ``completed`` items.
+
+Tenancy is carried by ``Request.tenant`` (a short string stamped by the
+load generator, or propagated down from the ToR's per-port owners at
+fleet scale).  Requests without a tenant are invisible to the
+accountant: every seam returns before touching any structure, so a
+live accountant over a tenant-less run books nothing.
+
+Cross-tenant *attribution* is delegated to the companion module: each
+softirq/socket queueing span also snapshots which tenants' work was
+ahead in that queue at enqueue time, and on dequeue the measured wait
+is charged to them pro rata in a pairwise
+:class:`repro.obs.interference.BlameMatrix` ("tenant A imposed X µs on
+tenant B at the socket layer").  See docs/multitenancy.md for the math.
+
+Null-twin discipline (the registry/spans contract): machines built
+without ``accounting=True`` hold the shared :data:`NULL_ACCOUNTING`
+singleton, every seam is a no-op method on it, zero accounting objects
+are allocated, and simulation output stays bit-identical — the audit
+test in ``tests/test_accounting.py`` holds this line.  The accountant
+itself only ever *reads* the datapath (timestamps, queue mirrors), so
+enabling it changes no scheduling decision either: a run with
+accounting on is bit-identical to the same run with it off.
+"""
+
+from repro.obs.interference import BlameMatrix
+
+__all__ = [
+    "LAYERS",
+    "NULL_ACCOUNTING",
+    "NullTenantAccountant",
+    "TenantAccountant",
+    "TenantLedger",
+]
+
+#: Queueing layers a ledger itemizes, in datapath order.  ``qdisc`` is
+#: the time inside a programmable discipline's buffer and *overlaps* the
+#: surrounding nic/socket wait (it is a sub-span, not an addend).
+LAYERS = ("nic", "softirq", "socket", "qdisc", "runqueue")
+
+
+class TenantLedger:
+    """One tenant's resource consumption on one machine."""
+
+    __slots__ = ("tenant", "cpu_service_us", "policy_exec_us", "completed",
+                 "wait_us", "wait_events", "drops")
+
+    def __init__(self, tenant):
+        self.tenant = tenant
+        self.cpu_service_us = 0.0
+        self.policy_exec_us = 0.0
+        self.completed = 0
+        self.wait_us = {layer: 0.0 for layer in LAYERS}
+        self.wait_events = {layer: 0 for layer in LAYERS}
+        self.drops = {}  # reason -> count
+
+    def charge_wait(self, layer, us):
+        self.wait_us[layer] += us
+        self.wait_events[layer] += 1
+
+    def total_wait_us(self):
+        """Additive queueing delay (qdisc excluded: it is a sub-span)."""
+        return sum(
+            us for layer, us in self.wait_us.items() if layer != "qdisc"
+        )
+
+    def total_drops(self):
+        return sum(self.drops.values())
+
+    def as_dict(self):
+        """JSON-safe row (``syrupctl tenants --json`` / syrupd view)."""
+        return {
+            "tenant": self.tenant,
+            "cpu_service_us": self.cpu_service_us,
+            "policy_exec_us": self.policy_exec_us,
+            "completed": self.completed,
+            "wait_us": dict(self.wait_us),
+            "wait_events": dict(self.wait_events),
+            "drops": dict(sorted(self.drops.items())),
+        }
+
+    def __repr__(self):
+        return (
+            f"<TenantLedger {self.tenant} cpu={self.cpu_service_us:.0f}us "
+            f"wait={self.total_wait_us():.0f}us drops={self.total_drops()}>"
+        )
+
+
+def _tenant_of(packet):
+    request = packet.request
+    if request is None:
+        return None, None
+    return request, request.tenant
+
+
+class TenantAccountant:
+    """Live per-tenant cost ledgers + blame feed over the span seams.
+
+    In-flight state is keyed by request *object identity* (``id()``),
+    never by rid — rids restart at zero per generator, and a
+    multi-tenant machine runs one generator per tenant.  Entries are
+    removed on dequeue or drop, before the request object can be
+    collected, so ids are never stale.
+    """
+
+    enabled = True
+
+    def __init__(self, clock):
+        self._clock = clock
+        self.ledgers = {}           # tenant -> TenantLedger
+        self.blame = BlameMatrix()
+        # In-flight queueing spans, keyed by id(request).
+        self._nic = {}              # id -> enqueue ts
+        self._softirq = {}          # id -> (ts, ahead, core_index)
+        self._socket = {}           # id -> (ts, ahead, sid)
+        self._qdisc = {}            # id -> enqueue ts
+        # Occupancy mirrors for blame snapshots: who is in each queue
+        # right now, with the weight their presence imposes on arrivals.
+        self._cores = {}            # core_index -> {id: tenant}
+        self._sockq = {}            # sid -> {id: (tenant, weight)}
+        # Thread-layer state: wake timestamps (runqueue wait) and the
+        # item cost captured at service begin (charged at completion).
+        self._wakes = {}            # tid -> ts
+        self._service = {}          # tid -> (tenant, cost_us)
+
+    # ------------------------------------------------------------------
+    def ledger(self, tenant):
+        led = self.ledgers.get(tenant)
+        if led is None:
+            led = self.ledgers[tenant] = TenantLedger(tenant)
+        return led
+
+    def _charge_blame(self, victim, layer, wait_us, ahead):
+        """Split a measured wait across the tenants whose work was ahead
+        at enqueue time, pro rata by weight (self-queueing charges the
+        diagonal)."""
+        if wait_us <= 0.0 or not ahead:
+            return
+        total = 0.0
+        for weight in ahead.values():
+            total += weight
+        if total <= 0.0:
+            return
+        scale = wait_us / total
+        for aggressor, weight in ahead.items():
+            self.blame.charge(victim, aggressor, layer, weight * scale)
+
+    # -- NIC ------------------------------------------------------------
+    def nic_arrival(self, packet):
+        request, tenant = _tenant_of(packet)
+        if tenant is None:
+            return
+        self._nic[id(request)] = self._clock()
+
+    def nic_delivered(self, packet):
+        request, tenant = _tenant_of(packet)
+        if tenant is None:
+            return
+        ts = self._nic.pop(id(request), None)
+        if ts is not None:
+            self.ledger(tenant).charge_wait("nic", self._clock() - ts)
+
+    # -- softirq --------------------------------------------------------
+    def softirq_begin(self, packet, core_index):
+        request, tenant = _tenant_of(packet)
+        if tenant is None:
+            return
+        mirror = self._cores.setdefault(core_index, {})
+        ahead = {}
+        # Softirq work is near-uniform per packet: weight each occupant 1.
+        for occupant in mirror.values():
+            ahead[occupant] = ahead.get(occupant, 0.0) + 1.0
+        self._softirq[id(request)] = (self._clock(), ahead, core_index)
+        mirror[id(request)] = tenant
+
+    def softirq_end(self, packet):
+        request, tenant = _tenant_of(packet)
+        if tenant is None:
+            return
+        entry = self._softirq.pop(id(request), None)
+        if entry is None:
+            return
+        ts, ahead, core_index = entry
+        mirror = self._cores.get(core_index)
+        if mirror is not None:
+            mirror.pop(id(request), None)
+        wait = self._clock() - ts
+        self.ledger(tenant).charge_wait("softirq", wait)
+        self._charge_blame(tenant, "softirq", wait, ahead)
+
+    # -- socket backlog -------------------------------------------------
+    def socket_enqueued(self, packet, socket):
+        request, tenant = _tenant_of(packet)
+        if tenant is None:
+            return
+        mirror = self._sockq.setdefault(socket.sid, {})
+        ahead = {}
+        # Weight queued occupants by their service demand: that is the
+        # CPU time the arrival must wait out before its own turn.
+        for occupant, weight in mirror.values():
+            ahead[occupant] = ahead.get(occupant, 0.0) + weight
+        thread = socket.thread
+        if thread is not None and thread.token is not None:
+            in_service = getattr(thread.token, "tenant", None)
+            if in_service is not None:
+                ahead[in_service] = (
+                    ahead.get(in_service, 0.0) + max(thread.remaining, 0.0)
+                )
+        self._socket[id(request)] = (self._clock(), ahead, socket.sid)
+        mirror[id(request)] = (tenant, request.service_us)
+
+    def socket_dequeued(self, packet, socket):
+        request, tenant = _tenant_of(packet)
+        if tenant is None:
+            return
+        entry = self._socket.pop(id(request), None)
+        if entry is None:
+            return
+        ts, ahead, sid = entry
+        mirror = self._sockq.get(sid)
+        if mirror is not None:
+            mirror.pop(id(request), None)
+        wait = self._clock() - ts
+        self.ledger(tenant).charge_wait("socket", wait)
+        self._charge_blame(tenant, "socket", wait, ahead)
+
+    # -- qdisc (sub-span of the surrounding nic/socket wait) ------------
+    def qdisc_enqueued(self, packet):
+        request, tenant = _tenant_of(packet)
+        if tenant is None:
+            return
+        self._qdisc[id(request)] = self._clock()
+
+    def qdisc_dequeued(self, packet):
+        request, tenant = _tenant_of(packet)
+        if tenant is None:
+            return
+        ts = self._qdisc.pop(id(request), None)
+        if ts is not None:
+            self.ledger(tenant).charge_wait("qdisc", self._clock() - ts)
+
+    # -- thread layer ---------------------------------------------------
+    def thread_runnable(self, thread):
+        self._wakes[thread.tid] = self._clock()
+
+    def service_begin(self, thread, token):
+        ts = self._wakes.pop(thread.tid, None)
+        tenant = getattr(token, "tenant", None)
+        if tenant is None:
+            return
+        if ts is not None:
+            self.ledger(tenant).charge_wait(
+                "runqueue", self._clock() - ts
+            )
+        # Capture the item's modeled cost now; charge it at completion
+        # so preemption/timeslicing never double-counts CPU time.
+        self._service[thread.tid] = (tenant, thread.remaining)
+
+    def service_end(self, thread, token):
+        entry = self._service.pop(thread.tid, None)
+        tenant = getattr(token, "tenant", None)
+        if tenant is None:
+            return
+        led = self.ledger(tenant)
+        led.completed += 1
+        if entry is not None:
+            led.cpu_service_us += entry[1]
+
+    # -- hook dispatch --------------------------------------------------
+    def policy_exec(self, packet, cost_us):
+        if cost_us <= 0.0:
+            return
+        request, tenant = _tenant_of(packet)
+        if tenant is None:
+            return
+        self.ledger(tenant).policy_exec_us += cost_us
+
+    # -- drops ----------------------------------------------------------
+    def drop(self, packet, reason):
+        request, tenant = _tenant_of(packet)
+        if tenant is None:
+            return
+        led = self.ledger(tenant)
+        led.drops[reason] = led.drops.get(reason, 0) + 1
+        # Retire any open queueing span (a qdisc eviction removes an
+        # element that is still mirrored in its socket's occupancy).
+        rid = id(request)
+        self._nic.pop(rid, None)
+        self._qdisc.pop(rid, None)
+        entry = self._softirq.pop(rid, None)
+        if entry is not None:
+            mirror = self._cores.get(entry[2])
+            if mirror is not None:
+                mirror.pop(rid, None)
+        entry = self._socket.pop(rid, None)
+        if entry is not None:
+            mirror = self._sockq.get(entry[2])
+            if mirror is not None:
+                mirror.pop(rid, None)
+
+    # ------------------------------------------------------------------
+    # Views / export
+    # ------------------------------------------------------------------
+    def tenants(self):
+        return sorted(self.ledgers)
+
+    def snapshot(self):
+        """JSON-safe document: ledgers + the pairwise blame matrix."""
+        return {
+            "tenants": [
+                self.ledgers[name].as_dict() for name in sorted(self.ledgers)
+            ],
+            "blame": self.blame.matrix(),
+        }
+
+    def publish(self, registry):
+        """Mirror ledger totals into registry gauges.
+
+        Series are scoped ``tenant:<name>`` — the OpenMetrics exporter
+        splits that into ``scope="tenant",tenant="<name>"`` labels (see
+        repro.obs.export).  Pure reads; call at view/export time so the
+        datapath never pays for string formatting.
+        """
+        for name in sorted(self.ledgers):
+            led = self.ledgers[name]
+            scope = f"tenant:{name}"
+            registry.gauge("tenants", scope, "cpu_service_us").set(
+                led.cpu_service_us
+            )
+            registry.gauge("tenants", scope, "policy_exec_us").set(
+                led.policy_exec_us
+            )
+            registry.gauge("tenants", scope, "completed").set(led.completed)
+            registry.gauge("tenants", scope, "drops").set(led.total_drops())
+            for layer in LAYERS:
+                registry.gauge("tenants", scope, f"{layer}_wait_us").set(
+                    led.wait_us[layer]
+                )
+            registry.gauge("tenants", scope, "imposed_us").set(
+                self.blame.imposed_by(name)
+            )
+            registry.gauge("tenants", scope, "suffered_us").set(
+                self.blame.suffered_by(name)
+            )
+
+    def __repr__(self):
+        return f"<TenantAccountant tenants={len(self.ledgers)}>"
+
+
+class NullTenantAccountant:
+    """Disabled accountant: every seam is a no-op, views are empty."""
+
+    enabled = False
+    ledgers = {}
+
+    def ledger(self, tenant):
+        return None
+
+    def nic_arrival(self, packet):
+        pass
+
+    def nic_delivered(self, packet):
+        pass
+
+    def softirq_begin(self, packet, core_index):
+        pass
+
+    def softirq_end(self, packet):
+        pass
+
+    def socket_enqueued(self, packet, socket):
+        pass
+
+    def socket_dequeued(self, packet, socket):
+        pass
+
+    def qdisc_enqueued(self, packet):
+        pass
+
+    def qdisc_dequeued(self, packet):
+        pass
+
+    def thread_runnable(self, thread):
+        pass
+
+    def service_begin(self, thread, token):
+        pass
+
+    def service_end(self, thread, token):
+        pass
+
+    def policy_exec(self, packet, cost_us):
+        pass
+
+    def drop(self, packet, reason):
+        pass
+
+    def tenants(self):
+        return []
+
+    def snapshot(self):
+        return {"tenants": [], "blame": {}}
+
+    def publish(self, registry):
+        pass
+
+    def __repr__(self):
+        return "<NullTenantAccountant>"
+
+
+#: Shared disabled instance — the default for every datapath object.
+NULL_ACCOUNTING = NullTenantAccountant()

@@ -76,7 +76,21 @@ def _escape(value):
 
 
 def _labels(app, scope, le=None, quantile=None):
+    """Label set for one series.
+
+    Scopes of the form ``tenant:<name>`` (the per-tenant accounting
+    convention, see :mod:`repro.obs.accounting`) split into
+    ``scope="tenant",tenant="<name>"`` so tenant-labeled series group
+    per tenant in any Prometheus-compatible consumer; the tenant name
+    is escaped like every other label value.
+    """
+    tenant = None
+    if isinstance(scope, str) and scope.startswith("tenant:"):
+        tenant = scope[len("tenant:"):]
+        scope = "tenant"
     out = f'{{app="{_escape(app)}",scope="{_escape(scope)}"'
+    if tenant is not None:
+        out += f',tenant="{_escape(tenant)}"'
     if le is not None:
         out += f',le="{le}"'
     if quantile is not None:

@@ -1,0 +1,229 @@
+"""Cross-tenant interference attribution: the pairwise blame matrix.
+
+The :class:`~repro.obs.accounting.TenantAccountant` measures *how long*
+each tenant's requests queued per layer; this module answers *because of
+whom*.  At every softirq/socket enqueue the accountant snapshots which
+tenants' work was ahead in that queue (weighted by the CPU time that
+work imposes); when the request dequeues, the measured wait is split
+pro rata across that snapshot and charged here::
+
+    blame[victim][aggressor][layer] += wait_us * weight_share
+
+Self-queueing lands on the diagonal (``victim == aggressor``), so the
+matrix distinguishes "alpha is slow because alpha is overloaded" from
+"alpha is slow because bravo's flood sat ahead of it" — the audit the
+isolation claim needs, and the figure ``figure_interference`` renders.
+
+The :class:`NoisyNeighborDetector` is the online consumer: a SignalBus
+controller that windows the matrix every tick, publishes per-tenant
+``(interference,tenant:<name>,*)`` gauges (``imposed_us``,
+``suffered_us``, ``share``, ``noisy``), and flags the dominant
+aggressor.  :class:`TenantShedController` closes the loop: while a
+protected latency objective burns, it raises a per-tenant shed level —
+written into a Map keyed by the *numeric* tenant id the datapath can
+read from the payload — against flagged noisy tenants only, restoring
+the victim's SLO without touching innocent traffic (where the load-only
+:class:`~repro.policies.adaptive.ShedController` must shed blindly).
+"""
+
+__all__ = [
+    "BlameMatrix",
+    "NoisyNeighborDetector",
+    "TenantShedController",
+]
+
+
+class BlameMatrix:
+    """Cumulative pairwise queueing blame, in microseconds."""
+
+    __slots__ = ("_cells",)
+
+    def __init__(self):
+        # (victim, aggressor, layer) -> imposed microseconds
+        self._cells = {}
+
+    def charge(self, victim, aggressor, layer, us):
+        if us <= 0.0:
+            return
+        key = (victim, aggressor, layer)
+        self._cells[key] = self._cells.get(key, 0.0) + us
+
+    # ------------------------------------------------------------------
+    def total(self):
+        return sum(self._cells.values())
+
+    def imposed_on(self, victim, layer=None):
+        """``{aggressor: us}`` charged against ``victim`` (one layer or
+        all layers summed)."""
+        out = {}
+        for (v, aggressor, lyr), us in self._cells.items():
+            if v != victim or (layer is not None and lyr != layer):
+                continue
+            out[aggressor] = out.get(aggressor, 0.0) + us
+        return out
+
+    def imposed_by(self, aggressor):
+        """Total µs this tenant inflicted on *others* (diagonal excluded)."""
+        return sum(
+            us for (victim, a, _lyr), us in self._cells.items()
+            if a == aggressor and victim != aggressor
+        )
+
+    def suffered_by(self, victim):
+        """Total µs *others* inflicted on this tenant (diagonal excluded)."""
+        return sum(
+            us for (v, aggressor, _lyr), us in self._cells.items()
+            if v == victim and aggressor != victim
+        )
+
+    def top_aggressor(self, victim):
+        """``(aggressor, layer, us, share)`` for the worst *other-tenant*
+        cell charged against ``victim``; share is that cell over all
+        blame at its layer (diagonal included, so a 0.9 share means 90%
+        of the victim's queueing at that layer traces to one neighbor).
+        Returns ``None`` when no cross-tenant blame exists."""
+        worst = None
+        for (v, aggressor, layer), us in sorted(self._cells.items()):
+            if v != victim or aggressor == victim:
+                continue
+            if worst is None or us > worst[2]:
+                worst = (aggressor, layer, us)
+        if worst is None:
+            return None
+        aggressor, layer, us = worst
+        layer_total = sum(
+            cell for (v, _a, lyr), cell in self._cells.items()
+            if v == victim and lyr == layer
+        )
+        share = us / layer_total if layer_total > 0.0 else 0.0
+        return (aggressor, layer, us, share)
+
+    def matrix(self):
+        """JSON-safe nested view: ``{victim: {aggressor: {layer: us}}}``."""
+        out = {}
+        for (victim, aggressor, layer), us in sorted(self._cells.items()):
+            out.setdefault(victim, {}).setdefault(aggressor, {})[layer] = us
+        return out
+
+    def __len__(self):
+        return len(self._cells)
+
+    def __repr__(self):
+        return f"<BlameMatrix cells={len(self._cells)} total={self.total():.0f}us>"
+
+
+class NoisyNeighborDetector:
+    """SignalBus controller: window the blame matrix, flag aggressors.
+
+    Every tick it diffs the cumulative matrix against the last tick and
+    judges each ordered *pair*: tenant ``A`` is a noisy neighbor when,
+    for some **other** tenant ``V``, ``A``'s windowed blame is at least
+    ``share_threshold`` of *all* queueing ``V`` experienced in the
+    window (diagonal included) — i.e. most of the victim's wait traces
+    to that one neighbor.  The per-victim normalization is the point:
+    absolute imposed-microseconds are volume-symmetric (a flooding
+    tenant also *suffers* in aggregate, so its victims "impose" large
+    absolute numbers right back), and a detector that compared absolute
+    totals would flag the victim along with the aggressor.  Victims with
+    under ``min_window_us`` of windowed queueing flag nobody (a quiet
+    machine has no neighbors worth shedding).
+
+    ``noisy`` maps each flagged tenant to its worst per-victim share;
+    gauges publish under ``(interference, tenant:<name>, *)``
+    (``imposed_us``, ``suffered_us``, ``share``, ``noisy``) when a
+    registry is given.
+    """
+
+    def __init__(self, acct, registry=None, share_threshold=0.5,
+                 min_window_us=1_000.0):
+        self.acct = acct
+        self.registry = registry
+        self.share_threshold = share_threshold
+        self.min_window_us = min_window_us
+        self.noisy = {}          # tenant -> worst per-victim blame share
+        self._last_cells = {}    # (victim, aggressor, layer) -> cumulative us
+
+    def __call__(self):
+        blame = self.acct.blame
+        tenants = self.acct.tenants()
+        cells = dict(blame._cells)
+        window = {}              # (victim, aggressor) -> windowed us
+        victim_total = {}        # victim -> windowed us incl. diagonal
+        for (victim, aggressor, _layer), us in cells.items():
+            delta = us - self._last_cells.get((victim, aggressor, _layer),
+                                              0.0)
+            if delta <= 0.0:
+                continue
+            pair = (victim, aggressor)
+            window[pair] = window.get(pair, 0.0) + delta
+            victim_total[victim] = victim_total.get(victim, 0.0) + delta
+        self.noisy = {}
+        shares = {t: 0.0 for t in tenants}
+        for (victim, aggressor), us in window.items():
+            if aggressor == victim:
+                continue
+            total = victim_total.get(victim, 0.0)
+            if total < self.min_window_us:
+                continue
+            share = us / total
+            if share > shares.get(aggressor, 0.0):
+                shares[aggressor] = share
+            if share >= self.share_threshold and \
+                    share > self.noisy.get(aggressor, 0.0):
+                self.noisy[aggressor] = share
+        if self.registry is not None:
+            for tenant in tenants:
+                scope = f"tenant:{tenant}"
+                self.registry.gauge(
+                    "interference", scope, "imposed_us"
+                ).set(blame.imposed_by(tenant))
+                self.registry.gauge(
+                    "interference", scope, "suffered_us"
+                ).set(blame.suffered_by(tenant))
+                self.registry.gauge(
+                    "interference", scope, "share"
+                ).set(shares.get(tenant, 0.0))
+                self.registry.gauge(
+                    "interference", scope, "noisy"
+                ).set(1 if tenant in self.noisy else 0)
+        self._last_cells = cells
+
+
+class TenantShedController:
+    """Blame-driven per-tenant shedding into a Map keyed by tenant id.
+
+    The load-only :class:`~repro.policies.adaptive.ShedController` can
+    only shed a *request type* — when an aggressor's traffic looks like
+    the victim's, blind shedding spends the victim's own availability
+    budget.  This controller sheds by *identity*: while the protected
+    latency objective pages/warns, every tenant the detector flags as
+    noisy has its shed level raised (``TENANT_SHED`` reads the level
+    per-packet via the payload's tenant id); healthy windows decay all
+    levels back to zero.  Tenants never flagged are never shed.
+    """
+
+    def __init__(self, shed_map, detector, latency_slo, tenant_ids,
+                 step_up=25, warn_step=10, step_down=2, max_level=95):
+        self.shed_map = shed_map
+        self.detector = detector
+        self.latency_slo = latency_slo
+        self.tenant_ids = dict(tenant_ids)   # tenant name -> numeric id
+        self.step_up = step_up
+        self.warn_step = warn_step
+        self.step_down = step_down
+        self.max_level = max_level
+        self.levels = {name: 0 for name in self.tenant_ids}
+
+    def __call__(self):
+        state = self.latency_slo.state()
+        noisy = self.detector.noisy
+        for name in sorted(self.tenant_ids):
+            level = self.levels[name]
+            if name in noisy and state == "page":
+                level = min(self.max_level, level + self.step_up)
+            elif name in noisy and state == "warn":
+                level = min(self.max_level, level + self.warn_step)
+            elif state == "ok":
+                level = max(0, level - self.step_down)
+            self.levels[name] = level
+            self.shed_map.update(self.tenant_ids[name], level)

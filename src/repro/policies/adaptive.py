@@ -47,6 +47,7 @@ __all__ = [
     "SRPT_FIXED_THRESHOLD",
     "ShedController",
     "SrptThresholdController",
+    "TENANT_SHED",
 ]
 
 #: Rank offset that sinks over-threshold ("long") requests behind every
@@ -82,6 +83,30 @@ def schedule(pkt):
     if blame_b < blame_a:
         return b
     return a
+'''
+
+#: Identity-based shedding at Socket Select: the payload's u64 tenant id
+#: (offset 16, the ``user_id`` slot the generator stamps) indexes
+#: ``tenant_shed_map`` for a per-tenant drop probability in percent.
+#: The map is written by
+#: :class:`repro.obs.interference.TenantShedController` from blame-matrix
+#: evidence, so only tenants *flagged as noisy neighbors* are ever shed
+#: — where ``ADAPTIVE_SELECT``'s type-based valve must drop the victim's
+#: own traffic whenever the aggressor's requests look the same.  With an
+#: all-zero map (no controller) every packet PASSes to the default
+#: select, byte-identical to no policy at all.
+TENANT_SHED = '''
+tenant_shed_map = syr_map("tenant_shed_map", 64)
+
+def schedule(pkt):
+    if pkt_len(pkt) >= 24:
+        tid = load_u64(pkt, 16)
+        if tid < 64:
+            level = map_lookup(tenant_shed_map, tid)
+            if level > 0:
+                if get_random() % 100 < level:
+                    return DROP
+    return PASS
 '''
 
 #: SRPT with a *fixed* compile-time size threshold (``THRESHOLD_US``):

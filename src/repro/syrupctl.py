@@ -38,6 +38,7 @@ __all__ = [
     "render_stats",
     "render_status",
     "render_tail",
+    "render_tenants",
     "render_timeline",
     "run_faults_demo",
     "run_fleet_demo",
@@ -46,6 +47,7 @@ __all__ = [
     "run_slo_demo",
     "run_spans_demo",
     "run_stats_demo",
+    "run_tenants_demo",
     "run_timeline_demo",
 ]
 
@@ -232,6 +234,67 @@ def render_slo(machine):
             for name, value in last.items()
         )
     return table.render() + "\n" + footer
+
+
+def render_tenants(machine):
+    """The multi-tenant console: per-tenant bills plus the blame matrix.
+
+    One row per tenant from the
+    :class:`~repro.obs.accounting.TenantAccountant` ledgers — CPU
+    service time, policy-execution overhead, per-layer queueing delay,
+    completions and drops — followed by the pairwise interference
+    matrix ("A imposed X us on B at layer L", diagonal = self-queueing)
+    and each tenant's worst aggressor.
+    """
+    acct = machine.obs.acct
+    if not acct.enabled:
+        return (
+            "tenant accounting disabled on this machine "
+            "(construct it with Machine(accounting=True))"
+        )
+    snap = acct.snapshot()
+    table = Table(
+        f"syrup tenants t={machine.now:.0f}us",
+        ["tenant", "completed", "drops", "cpu_us", "policy_us",
+         "nic_wait_us", "softirq_wait_us", "socket_wait_us",
+         "qdisc_wait_us", "runq_wait_us"],
+    )
+    for entry in snap["tenants"]:
+        wait = entry["wait_us"]
+        table.add(
+            tenant=entry["tenant"],
+            completed=entry["completed"],
+            drops=sum(entry["drops"].values()),
+            cpu_us=round(entry["cpu_service_us"], 1),
+            policy_us=round(entry["policy_exec_us"], 1),
+            nic_wait_us=round(wait["nic"], 1),
+            softirq_wait_us=round(wait["softirq"], 1),
+            socket_wait_us=round(wait["socket"], 1),
+            qdisc_wait_us=round(wait["qdisc"], 1),
+            runq_wait_us=round(wait["runqueue"], 1),
+        )
+    rendered = table.render()
+    if not snap["tenants"]:
+        return rendered + "\n(no tenant-labeled traffic)"
+    blame = snap["blame"]
+    if blame:
+        rendered += "\n== blame matrix (victim <- aggressor, us) =="
+        for victim in sorted(blame):
+            for aggressor in sorted(blame[victim]):
+                for layer, us in sorted(blame[victim][aggressor].items()):
+                    marker = " (self)" if victim == aggressor else ""
+                    rendered += (f"\n{victim:<10} <- {aggressor:<10} "
+                                 f"{layer:<9} {us:>12.1f}{marker}")
+        for entry in snap["tenants"]:
+            top = acct.blame.top_aggressor(entry["tenant"])
+            if top is not None:
+                aggressor, layer, us, share = top
+                rendered += (
+                    f"\nworst aggressor for {entry['tenant']}: "
+                    f"{aggressor} at {layer} "
+                    f"({us:.0f}us, {100.0 * share:.0f}% of that layer)"
+                )
+    return rendered
 
 
 def render_maps(machine, max_entries=8):
@@ -716,6 +779,32 @@ def run_promote_demo(load=260_000, duration_ms=300.0, seed=3):
     return machine
 
 
+def run_tenants_demo(load=60_000, duration_ms=120.0, seed=3,
+                     aggressor_load=420_000):
+    """Drive the canned multi-tenant demo: one blame_shed point.
+
+    The ``figure_interference`` closed loop — victim *alpha* under an
+    identical-looking GET flood from *bravo*, per-tenant accounting on,
+    the :class:`~repro.obs.interference.NoisyNeighborDetector` flagging
+    the aggressor from windowed blame, and the
+    :class:`~repro.obs.interference.TenantShedController` shedding only
+    bravo — so ``syrupctl tenants`` renders both tenants' bills and a
+    blame matrix fingering bravo at the socket layer.  Returns the
+    finished machine for rendering.
+    """
+    from repro.experiments.figure_interference import run_variant
+
+    duration_us = duration_ms * 1000.0
+    testbed, gen_alpha, _gen_bravo, detector = run_variant(
+        "blame_shed", load, aggressor_load, duration_us,
+        duration_us * 0.25, seed,
+    )
+    machine = testbed.machine
+    machine.demo_generator = gen_alpha
+    machine.demo_detector = detector
+    return machine
+
+
 def run_fleet_demo(load=500_000, duration_ms=60.0, seed=7,
                    num_machines=48, steering="power_of_two"):
     """Drive the canned rack demo: one figure_fleet-style run.
@@ -750,7 +839,7 @@ def run_fleet_demo(load=500_000, duration_ms=60.0, seed=7,
 
 def main(argv=None):
     """CLI: ``syrupctl {stats,status,maps,events,timeline,health,spans,
-    tail,qdisc,fleet,slo}``."""
+    tail,qdisc,fleet,slo,promote,tenants}``."""
     parser = argparse.ArgumentParser(
         prog="syrupctl",
         description=(
@@ -765,7 +854,8 @@ def main(argv=None):
     parser.add_argument(
         "view",
         choices=["stats", "status", "maps", "events", "timeline", "health",
-                 "spans", "tail", "qdisc", "fleet", "slo", "promote"],
+                 "spans", "tail", "qdisc", "fleet", "slo", "promote",
+                 "tenants"],
         help="which surface to render",
     )
     parser.add_argument("--load", type=int, default=None,
@@ -789,7 +879,8 @@ def main(argv=None):
                         help=("spans/tail: also export the sampled spans "
                               "as a Chrome/Perfetto trace"))
     parser.add_argument("--json", action="store_true",
-                        help="stats/timeline: print the raw snapshot as JSON")
+                        help="print the view's raw snapshot as JSON "
+                             "(every view supports it)")
     parser.add_argument("--interval-ms", type=float, default=10.0,
                         help="timeline: flight-recorder sample interval")
     parser.add_argument("--app", type=str, default=None,
@@ -890,6 +981,20 @@ def main(argv=None):
         else:
             print(render_fleet(fleet))
         return 0
+    elif args.view == "tenants":
+        kwargs = {}
+        if args.load is not None:
+            kwargs["load"] = args.load
+        if args.duration_ms is not None:
+            kwargs["duration_ms"] = args.duration_ms
+        if args.seed is not None:
+            kwargs["seed"] = args.seed
+        machine = run_tenants_demo(**kwargs)
+        if args.json:
+            print(json.dumps(machine.syrupd.tenants(), indent=2,
+                             sort_keys=True))
+        else:
+            print(render_tenants(machine))
     elif args.view in ("spans", "tail"):
         kwargs = {"spans_every": args.spans_every}
         if args.load is not None:
@@ -900,7 +1005,11 @@ def main(argv=None):
             kwargs["seed"] = args.seed
         machine = run_spans_demo(**kwargs)
         if args.view == "spans":
-            print(render_spans(machine, last=args.last))
+            if args.json:
+                print(json.dumps(machine.obs.spans.trees()[-args.last:],
+                                 indent=2, sort_keys=True))
+            else:
+                print(render_spans(machine, last=args.last))
         elif args.json:
             from repro.obs.tail import critical_path
 
@@ -925,13 +1034,31 @@ def main(argv=None):
             else:
                 print(render_stats(machine))
         elif args.view == "status":
-            print(render_status(machine))
+            if args.json:
+                print(json.dumps(machine.syrupd.status(), indent=2,
+                                 sort_keys=True))
+            else:
+                print(render_status(machine))
         elif args.view == "maps":
-            print(render_maps(machine))
+            if args.json:
+                registry = machine.syrupd.registry
+                print(json.dumps(
+                    {path: dict(registry._pinned[path].items())
+                     for path in registry.paths()},
+                    indent=2, sort_keys=True,
+                ))
+            else:
+                print(render_maps(machine))
         else:
             last = args.limit if args.limit is not None else args.last
-            print(render_events(machine, last=last, kind=args.kind,
-                                since=args.since))
+            if args.json:
+                events = machine.obs.events.events(
+                    kind=args.kind, since=args.since
+                )[-last:]
+                print(json.dumps(events, indent=2, sort_keys=True))
+            else:
+                print(render_events(machine, last=last, kind=args.kind,
+                                    since=args.since))
     if args.export_events:
         n = machine.obs.events.to_jsonl(args.export_events)
         print(f"wrote {n} events to {args.export_events}", file=sys.stderr)

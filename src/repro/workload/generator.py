@@ -26,9 +26,13 @@ class OpenLoopGenerator:
         duration_us: stop generating after this much simulated time.
         warmup_us: samples before this time are discarded.
         num_flows: size of the client 5-tuple pool.
-        user_id: stamped into every request (QoS experiments).
+        user_id: stamped into every request (QoS experiments); doubles
+            as the numeric tenant id policies read from the payload.
         key_space: MICA-style key range; key_hash is derived per request.
         stream: RNG stream name suffix (several generators can coexist).
+        tenant: tenant name stamped on every request for per-tenant
+            accounting (repro.obs.accounting); None (default) leaves
+            requests tenant-less and the accountant untouched.
     """
 
     def __init__(
@@ -43,6 +47,7 @@ class OpenLoopGenerator:
         user_id=0,
         key_space=10000,
         stream="client",
+        tenant=None,
     ):
         if rate_rps <= 0:
             raise ValueError("rate_rps must be positive")
@@ -55,6 +60,7 @@ class OpenLoopGenerator:
         self.warmup_us = warmup_us
         self.user_id = user_id
         self.key_space = key_space
+        self.tenant = tenant
         self.rng = machine.streams.get(f"{stream}/arrivals")
         self.service_rng = machine.streams.get(f"{stream}/service")
         flow_rng = machine.streams.get(f"{stream}/flows")
@@ -109,6 +115,7 @@ class OpenLoopGenerator:
         request = Request(
             self._next_rid, rtype, service_us,
             user_id=self.user_id, key=key, key_hash=key_hash,
+            tenant=self.tenant,
         )
         request.sent_at = now
         payload = build_payload(rtype, self.user_id, key_hash, self._next_rid)

@@ -31,9 +31,11 @@ class Request:
         "sent_at",
         "completed_at",
         "cohort",
+        "tenant",
     )
 
-    def __init__(self, rid, rtype, service_us, user_id=0, key=0, key_hash=0):
+    def __init__(self, rid, rtype, service_us, user_id=0, key=0, key_hash=0,
+                 tenant=None):
         self.rid = rid
         self.rtype = rtype
         self.user_id = user_id
@@ -45,6 +47,10 @@ class Request:
         # Canary-split bucket in [0, 100), stamped once by the first
         # CanarySplit that sees the request; None outside promotions.
         self.cohort = None
+        # Owning tenant (short string) for per-tenant accounting and
+        # interference blame (repro.obs.accounting); None — the default
+        # everywhere — keeps the request invisible to the accountant.
+        self.tenant = tenant
 
     @property
     def latency_us(self):

@@ -1,0 +1,403 @@
+"""Per-tenant accounting and interference-attribution tests.
+
+Home of the **no-op audit** the :mod:`repro.obs.accounting` docstring
+points at: by default (and with ``accounting=False``) a figure6-style
+run allocates not a single accounting object — no accountant, no
+ledger, no blame matrix — and its simulation output is bit-identical to
+the same seed with accounting *enabled*, because the accountant only
+ever reads the datapath.
+
+Also covers: the OpenMetrics ``tenant:<name>`` scope convention (label
+escaping round-trips arbitrary tenant names), per-tenant sketch summary
+series, blame-matrix arithmetic, the per-victim-normalized noisy
+detector (the volume-symmetry trap), the blame-driven shed controller,
+and the end-to-end contended run that the figure and ``syrupctl
+tenants`` are built on.
+"""
+
+import re
+
+import pytest
+
+from repro.experiments.figure_interference import run_variant
+from repro.experiments.runner import RocksDbTestbed, run_point
+from repro.obs.accounting import (
+    LAYERS,
+    NULL_ACCOUNTING,
+    TenantAccountant,
+    TenantLedger,
+)
+from repro.obs.export import to_openmetrics
+from repro.obs.interference import (
+    BlameMatrix,
+    NoisyNeighborDetector,
+    TenantShedController,
+)
+from repro.obs.registry import MetricsRegistry
+from repro.workload.mixes import GET_SCAN_995_005
+
+
+# ----------------------------------------------------------------------
+# Ledger and blame-matrix arithmetic
+# ----------------------------------------------------------------------
+def test_ledger_total_wait_excludes_the_qdisc_subspan():
+    led = TenantLedger("alpha")
+    for layer in LAYERS:
+        led.charge_wait(layer, 10.0)
+    # qdisc time overlaps the surrounding nic/socket wait: a sub-span,
+    # not an addend
+    assert led.total_wait_us() == 10.0 * (len(LAYERS) - 1)
+    assert led.wait_us["qdisc"] == 10.0
+    assert led.wait_events["qdisc"] == 1
+
+
+def test_ledger_drops_by_reason_and_json_row():
+    led = TenantLedger("alpha")
+    led.drops["backlog"] = 2
+    led.drops["qdisc"] = 1
+    assert led.total_drops() == 3
+    row = led.as_dict()
+    assert row["tenant"] == "alpha"
+    assert row["drops"] == {"backlog": 2, "qdisc": 1}
+    assert set(row["wait_us"]) == set(LAYERS)
+
+
+def test_blame_matrix_shares_and_diagonal():
+    blame = BlameMatrix()
+    blame.charge("alpha", "bravo", "socket", 90.0)
+    blame.charge("alpha", "alpha", "socket", 10.0)   # self-queueing
+    blame.charge("bravo", "alpha", "softirq", 5.0)
+    blame.charge("alpha", "bravo", "socket", -1.0)   # ignored
+    assert blame.total() == 105.0
+    # diagonal excluded from imposed/suffered aggregates
+    assert blame.imposed_by("bravo") == 90.0
+    assert blame.suffered_by("alpha") == 90.0
+    assert blame.imposed_by("alpha") == 5.0
+    aggressor, layer, us, share = blame.top_aggressor("alpha")
+    assert (aggressor, layer, us) == ("bravo", "socket", 90.0)
+    # share is over ALL blame at that layer, diagonal included
+    assert share == pytest.approx(0.9)
+    assert blame.top_aggressor("charlie") is None
+    assert blame.matrix()["alpha"]["bravo"]["socket"] == 90.0
+
+
+def test_accountant_splits_wait_pro_rata_into_blame():
+    acct = TenantAccountant(lambda: 0.0)
+    acct._charge_blame("alpha", "socket", 100.0,
+                       {"bravo": 3.0, "alpha": 1.0})
+    assert acct.blame.matrix()["alpha"]["bravo"]["socket"] == 75.0
+    assert acct.blame.matrix()["alpha"]["alpha"]["socket"] == 25.0
+    # nothing ahead, or zero weight: nothing charged
+    acct._charge_blame("alpha", "socket", 100.0, {})
+    acct._charge_blame("alpha", "socket", 100.0, {"bravo": 0.0})
+    assert acct.blame.total() == 100.0
+
+
+# ----------------------------------------------------------------------
+# OpenMetrics tenant labels: escaping round-trip, sketch summaries
+# ----------------------------------------------------------------------
+def _parse_label(line, label):
+    """The (escaped) value of ``label`` in an exposition line, decoded."""
+    match = re.search(rf'{label}="((?:[^"\\]|\\.)*)"', line)
+    assert match is not None, line
+    out, chars = [], iter(match.group(1))
+    for ch in chars:
+        if ch == "\\":
+            nxt = next(chars)
+            out.append({"n": "\n", '"': '"', "\\": "\\"}[nxt])
+        else:
+            out.append(ch)
+    return "".join(out)
+
+
+@pytest.mark.parametrize("tenant", [
+    "alpha",
+    'quo"ted',
+    "back\\slash",
+    "new\nline",
+    '\\"both\\"\n',
+])
+def test_tenant_label_escaping_round_trips(tenant):
+    reg = MetricsRegistry()
+    reg.gauge("tenants", f"tenant:{tenant}", "completed").set(7)
+    lines = [
+        line for line in to_openmetrics(reg).splitlines()
+        if line.startswith("syrup_completed{")
+    ]
+    assert len(lines) == 1
+    # the tenant: prefix split into scope="tenant" + a tenant label
+    assert _parse_label(lines[0], "scope") == "tenant"
+    assert _parse_label(lines[0], "tenant") == tenant
+    # escaped text stays on one exposition line even with raw newlines
+    assert lines[0].endswith(" 7")
+
+
+def test_per_tenant_sketch_exports_summary_series():
+    reg = MetricsRegistry()
+    sketch = reg.sketch("tenants", "tenant:alpha", "latency_us")
+    for v in range(1, 101):
+        sketch.observe(float(v))
+    text = to_openmetrics(reg)
+    assert "# TYPE syrup_latency_us summary" in text
+    quantile_lines = [
+        line for line in text.splitlines()
+        if line.startswith("syrup_latency_us{")
+    ]
+    assert quantile_lines, text
+    for line in quantile_lines:
+        assert _parse_label(line, "tenant") == "alpha"
+        assert _parse_label(line, "scope") == "tenant"
+        assert 'quantile="' in line
+    assert ('syrup_latency_us_count{app="tenants",scope="tenant",'
+            'tenant="alpha"} 100') in text
+
+
+def test_accountant_publish_mirrors_ledgers_into_tenant_gauges():
+    acct = TenantAccountant(lambda: 0.0)
+    led = acct.ledger("alpha")
+    led.cpu_service_us = 42.0
+    led.completed = 3
+    led.charge_wait("socket", 9.0)
+    acct.blame.charge("alpha", "bravo", "socket", 9.0)
+    reg = MetricsRegistry()
+    acct.publish(reg)
+    assert reg.gauge("tenants", "tenant:alpha", "cpu_service_us").value == 42.0
+    assert reg.gauge("tenants", "tenant:alpha", "socket_wait_us").value == 9.0
+    assert reg.gauge("tenants", "tenant:alpha", "suffered_us").value == 9.0
+
+
+# ----------------------------------------------------------------------
+# The noisy-neighbor detector: per-victim normalization
+# ----------------------------------------------------------------------
+class _FakeAcct:
+    def __init__(self):
+        self.blame = BlameMatrix()
+
+    def tenants(self):
+        names = set()
+        for victim, aggressor, _layer in self.blame._cells:
+            names.add(victim)
+            names.add(aggressor)
+        return sorted(names)
+
+
+def test_detector_normalizes_per_victim_not_by_absolute_volume():
+    """The volume-symmetry trap: bravo floods, so bravo also *suffers*
+    a huge absolute wait — mostly self-inflicted, but alpha's share of
+    it in absolute microseconds dwarfs everything alpha suffers.  A
+    detector comparing absolute imposed-µs would flag the victim; the
+    per-victim law must flag only bravo."""
+    acct = _FakeAcct()
+    # alpha's queueing: 1000us of it is bravo's fault (91%)
+    acct.blame.charge("alpha", "bravo", "socket", 1_000.0)
+    acct.blame.charge("alpha", "alpha", "socket", 100.0)
+    # bravo's queueing is enormous but 96% self-inflicted; alpha's
+    # absolute contribution (2000us) still exceeds what bravo imposed
+    acct.blame.charge("bravo", "bravo", "socket", 50_000.0)
+    acct.blame.charge("bravo", "alpha", "socket", 2_000.0)
+    detector = NoisyNeighborDetector(acct, share_threshold=0.5,
+                                     min_window_us=100.0)
+    detector()
+    assert set(detector.noisy) == {"bravo"}
+    assert detector.noisy["bravo"] == pytest.approx(1_000.0 / 1_100.0)
+
+
+def test_detector_windows_deltas_and_respects_min_volume():
+    acct = _FakeAcct()
+    acct.blame.charge("alpha", "bravo", "socket", 1_000.0)
+    detector = NoisyNeighborDetector(acct, share_threshold=0.5,
+                                     min_window_us=100.0)
+    detector()
+    assert set(detector.noisy) == {"bravo"}
+    # next window: no new blame -> flag clears (cumulative is diffed)
+    detector()
+    assert detector.noisy == {}
+    # a window below min_window_us flags nobody, whatever the share
+    acct.blame.charge("alpha", "bravo", "socket", 50.0)
+    detector()
+    assert detector.noisy == {}
+
+
+def test_detector_publishes_interference_gauges():
+    acct = _FakeAcct()
+    acct.blame.charge("alpha", "bravo", "socket", 1_000.0)
+    reg = MetricsRegistry()
+    NoisyNeighborDetector(acct, reg, min_window_us=100.0)()
+    assert reg.gauge("interference", "tenant:bravo", "noisy").value == 1
+    assert reg.gauge("interference", "tenant:bravo", "imposed_us").value \
+        == 1_000.0
+    assert reg.gauge("interference", "tenant:alpha", "suffered_us").value \
+        == 1_000.0
+    assert reg.gauge("interference", "tenant:alpha", "noisy").value == 0
+
+
+# ----------------------------------------------------------------------
+# TenantShedController: identity-aware, flagged tenants only
+# ----------------------------------------------------------------------
+class _FakeSlo:
+    def __init__(self, state="ok"):
+        self._state = state
+
+    def state(self):
+        return self._state
+
+
+class _FakeMap:
+    def __init__(self):
+        self.values = {}
+
+    def update(self, key, value):
+        self.values[key] = value
+
+
+def test_tenant_shed_controller_sheds_flagged_tenants_only():
+    detector = _FakeAcct()
+    detector.noisy = {"bravo": 0.9}
+    slo = _FakeSlo("page")
+    shed_map = _FakeMap()
+    ctl = TenantShedController(shed_map, detector, slo,
+                               {"alpha": 1, "bravo": 2},
+                               step_up=25, step_down=2)
+    ctl()
+    assert ctl.levels == {"alpha": 0, "bravo": 25}
+    assert shed_map.values == {1: 0, 2: 25}
+    ctl()
+    assert ctl.levels["bravo"] == 50
+    # healthy windows decay slowly; never-flagged tenants never rise
+    slo._state = "ok"
+    ctl()
+    assert ctl.levels == {"alpha": 0, "bravo": 48}
+    # warn escalates gently
+    slo._state = "warn"
+    ctl()
+    assert ctl.levels["bravo"] == 58
+    assert ctl.levels["alpha"] == 0
+
+
+def test_tenant_shed_controller_caps_at_max_level():
+    detector = _FakeAcct()
+    detector.noisy = {"bravo": 0.9}
+    ctl = TenantShedController(_FakeMap(), detector, _FakeSlo("page"),
+                               {"bravo": 2}, step_up=60, max_level=95)
+    ctl()
+    ctl()
+    assert ctl.levels["bravo"] == 95
+
+
+# ----------------------------------------------------------------------
+# The no-op audit: disabled means bit-identical and allocation-free
+# ----------------------------------------------------------------------
+def fingerprint(testbed, gen):
+    """Everything a figure table is computed from, bit-for-bit."""
+    return (
+        tuple(gen.latency._samples),
+        {tag: tuple(gen.latency._select(tag)) for tag in gen.latency.tags()},
+        gen.drop_fraction(),
+        dict(testbed.machine.netstack.drops),
+        testbed.machine.now,
+    )
+
+
+def test_machine_defaults_leave_the_accountant_null():
+    testbed = RocksDbTestbed(seed=3)
+    assert testbed.machine.obs.acct is NULL_ACCOUNTING
+    assert not testbed.machine.obs.acct.enabled
+    assert testbed.machine.obs.acct.snapshot() == {"tenants": [], "blame": {}}
+
+
+def test_default_runs_allocate_no_accounting_objects_and_stay_identical(
+    monkeypatch,
+):
+    counts = {}
+
+    def probe(cls):
+        orig = cls.__init__
+        counts[cls.__name__] = 0
+
+        def wrapped(self, *a, **k):
+            counts[cls.__name__] += 1
+            return orig(self, *a, **k)
+
+        monkeypatch.setattr(cls, "__init__", wrapped)
+
+    for cls in (TenantAccountant, TenantLedger, BlameMatrix):
+        probe(cls)
+    # sanity: the probe sees instantiations
+    TenantLedger("t")
+    assert counts["TenantLedger"] == 1
+    counts["TenantLedger"] = 0
+
+    def figure6_point(tenant=None, **kwargs):
+        def factory():
+            return RocksDbTestbed(seed=3, **kwargs)
+
+        testbed = factory()
+        gen = testbed.drive(100_000, GET_SCAN_995_005, 60_000.0, 15_000.0,
+                            tenant=tenant)
+        gen.start()
+        testbed.machine.run()
+        return fingerprint(testbed, gen)
+
+    # a default build and an explicitly-disabled build are the same run
+    default = figure6_point()
+    assert default == figure6_point(accounting=False)
+    assert counts == {"TenantAccountant": 0, "TenantLedger": 0,
+                      "BlameMatrix": 0}
+
+    # the accountant reads the datapath, never steers it: the same seed
+    # with accounting ON and tenant-labeled traffic is still the same run
+    assert default == figure6_point(tenant="alpha", accounting=True)
+    assert counts["TenantAccountant"] == 1
+    assert counts["TenantLedger"] >= 1
+
+
+def test_live_accountant_ignores_tenantless_traffic(monkeypatch):
+    """Every seam bails before touching state when requests carry no
+    tenant — a live accountant over tenant-less load books nothing."""
+    testbed = RocksDbTestbed(seed=3, accounting=True)
+    gen = testbed.drive(100_000, GET_SCAN_995_005, 20_000.0, 5_000.0)
+    gen.start()
+    testbed.machine.run()
+    acct = testbed.machine.obs.acct
+    assert acct.enabled
+    assert acct.ledgers == {}
+    assert len(acct.blame) == 0
+
+
+# ----------------------------------------------------------------------
+# End to end: the contended pair, attribution, and the closed loop
+# ----------------------------------------------------------------------
+def test_contended_run_attributes_alpha_queueing_to_bravo():
+    testbed, gen_alpha, gen_bravo, _ = run_variant(
+        "contended", 60_000, 420_000, 60_000.0, 15_000.0, seed=3,
+    )
+    acct = testbed.machine.obs.acct
+    assert set(acct.tenants()) == {"alpha", "bravo"}
+    led = acct.ledgers["alpha"]
+    assert led.completed > 0
+    assert led.cpu_service_us > 0.0
+    top = acct.blame.top_aggressor("alpha")
+    assert top is not None
+    aggressor, layer, _us, share = top
+    assert aggressor == "bravo"
+    assert layer == "socket"
+    assert share >= 0.8  # the figure's ATTRIBUTION_TARGET
+    # the snapshot (syrupd.tenants / syrupctl tenants --json) is JSON-safe
+    snap = acct.snapshot()
+    assert [row["tenant"] for row in snap["tenants"]] == ["alpha", "bravo"]
+    assert "bravo" in snap["blame"]["alpha"]
+
+
+def test_blame_shed_restores_the_victim_without_alpha_drops():
+    testbed, gen_alpha, gen_bravo, detector = run_variant(
+        "blame_shed", 60_000, 420_000, 60_000.0, 15_000.0, seed=3,
+    )
+    assert set(detector.noisy) <= {"bravo"}
+    acct = testbed.machine.obs.acct
+    alpha_drops = acct.ledgers["alpha"].total_drops() \
+        if "alpha" in acct.ledgers else 0
+    bravo_drops = acct.ledgers["bravo"].total_drops()
+    # the whole point: bravo pays, alpha does not
+    assert bravo_drops > 0
+    assert gen_alpha.drop_fraction() <= 0.01
+    assert alpha_drops <= 0.01 * max(acct.ledgers["alpha"].completed, 1)

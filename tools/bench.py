@@ -9,8 +9,10 @@ policy switch, a Figure-2 hash-imbalance point, the fault sweep's
 quarantine variant, the tail-attribution run with every request
 span-traced, figure_order's SRPT queueing-discipline point,
 figure_adaptive's closed-loop SignalBus run, figure_fleet's
-rack-scale power-of-two steering run, and figure_canary's shadow/canary
-promotion pipeline — each
+rack-scale power-of-two steering run, figure_canary's shadow/canary
+promotion pipeline, the figure6_steady workload rerun with the full
+observability stack on, and figure_interference's blame-driven
+tenant-shed run — each
 under :mod:`repro.obs.profile`, and writes ``BENCH_results.json``:
 
     {
@@ -26,6 +28,11 @@ under :mod:`repro.obs.profile`, and writes ``BENCH_results.json``:
           "profile": {"<section>": {"wall_s", "inclusive_s", "calls"}},
           "sim_metrics": {...}       # p99s / drops — a correctness anchor
         }, ...
+      },
+      "obs_overhead": {              # when figure6_steady + _obs both ran
+        "base_wall_s": ..., "obs_wall_s": ...,
+        "overhead_ratio": ...,       # obs wall over base wall, same seed
+        "sim_metrics_match": true    # obs never perturbed the simulation
       }
     }
 
@@ -106,6 +113,55 @@ def _figure6_steady(smoke):
             "p99_us": gen.latency.p99(),
             "drop_pct": 100.0 * gen.drop_fraction(),
             "goodput_rps": gen.goodput_rps(duration_us),
+        }
+
+    return testbed.machine, collect
+
+
+def _figure6_steady_obs(smoke):
+    """The figure6_steady workload with the FULL observability stack on.
+
+    Same load, mix, policy, and seed as ``figure6_steady`` but with
+    metrics, the flight recorder, span sampling, streaming sketches,
+    and per-tenant accounting (the generator tagged ``tenant="bench"``)
+    all enabled.  Two purposes: (a) the shared ``p99_us`` / ``drop_pct``
+    / ``goodput_rps`` sim metrics must equal ``figure6_steady``'s
+    exactly — observability is measurement, never perturbation — and
+    (b) the wall-clock ratio between the two scenarios is the measured
+    cost of full observability, recorded as the results document's
+    top-level ``obs_overhead`` block when both scenarios run.
+    """
+    from repro.core.hooks import Hook
+    from repro.experiments.runner import RocksDbTestbed
+    from repro.policies.builtin import SCAN_AVOID
+    from repro.workload.mixes import GET_SCAN_995_005
+
+    load = 60_000 if smoke else 150_000
+    duration_us = 40_000.0 if smoke else 300_000.0
+    warmup_us = duration_us * 0.2
+    testbed = RocksDbTestbed(
+        policy=(SCAN_AVOID, Hook.SOCKET_SELECT, {"NUM_THREADS": 6}),
+        mark_scans=True, num_threads=6, seed=3,
+        metrics=True, timeseries=5_000.0, spans=16, accounting=True,
+    )
+    gen = testbed.drive(load, GET_SCAN_995_005, duration_us, warmup_us,
+                        tenant="bench")
+    gen.start()
+
+    def collect():
+        machine = testbed.machine
+        ledger = machine.obs.acct.ledgers.get("bench")
+        return {
+            "load_rps": load,
+            "p99_us": gen.latency.p99(),
+            "drop_pct": 100.0 * gen.drop_fraction(),
+            "goodput_rps": gen.goodput_rps(duration_us),
+            "metric_series": len(machine.obs.registry.series()),
+            "spans_sampled": machine.obs.spans.sampled,
+            "tenant_completed": ledger.completed if ledger else 0,
+            "tenant_wait_us": (
+                round(ledger.total_wait_us(), 1) if ledger else 0.0
+            ),
         }
 
     return testbed.machine, collect
@@ -396,8 +452,50 @@ def _figure_canary_promotion(smoke):
     return testbed.machine, collect
 
 
+def _figure_interference_blame(smoke):
+    """figure_interference's closed loop: blame-driven tenant shedding.
+
+    Victim + identical-looking aggressor on one machine, per-tenant
+    accounting charging every queueing span, the blame matrix fed on
+    each dequeue, the NoisyNeighborDetector windowing it on the
+    SignalBus cadence, and the TenantShedController actuating the
+    per-tenant valve.  Exercises the whole attribution plane (ledger
+    seams, occupancy mirrors, pro-rata blame splits) under the profiler.
+    """
+    from repro.experiments.figure_interference import stage_variant
+    from repro.workload.requests import GET
+
+    victim = 60_000
+    aggressor = 300_000 if smoke else 420_000
+    duration_us = 40_000.0 if smoke else 200_000.0
+    warmup_us = duration_us * 0.2
+    testbed, gen_alpha, gen_bravo, detector = stage_variant(
+        "blame_shed", victim, aggressor, duration_us, warmup_us, seed=3,
+    )
+
+    def collect():
+        blame = testbed.machine.obs.acct.blame
+        top = blame.top_aggressor("alpha")
+        return {
+            "victim_rps": victim,
+            "aggressor_rps": aggressor,
+            "alpha_p99_us": gen_alpha.latency.p99(tag=GET),
+            "alpha_drop_pct": 100.0 * gen_alpha.drop_fraction(),
+            "bravo_drop_pct": 100.0 * gen_bravo.drop_fraction(),
+            "blame_cells": len(blame),
+            "aggressor_share_pct": (
+                round(100.0 * top[3], 2) if top is not None else 0.0
+            ),
+            "noisy_flags": len(detector.noisy),
+        }
+
+    return testbed.machine, collect
+
+
 SCENARIOS = {
     "figure6_steady": _figure6_steady,
+    "figure6_steady_obs": _figure6_steady_obs,
+    "figure_interference_blame": _figure_interference_blame,
     "figure8_dynamic": _figure8_dynamic,
     "figure2_imbalance": _figure2_imbalance,
     "figure_adaptive_loop": _figure_adaptive,
@@ -430,13 +528,53 @@ def run_benchmarks(names=None, smoke=False, echo=print):
             f"{row['sim_us_per_wall_s']:,.0f} sim-us/wall-s, "
             f"{row['events_per_s']:,.0f} events/s"
         )
-    return {
+    results = {
         "schema_version": SCHEMA_VERSION,
         "mode": "smoke" if smoke else "full",
         "python": platform.python_version(),
         "platform": platform.platform(),
         "created_unix": time.time(),
         "scenarios": scenarios,
+    }
+    overhead = _obs_overhead(scenarios)
+    if overhead is not None:
+        results["obs_overhead"] = overhead
+        echo(
+            f"obs_overhead: {overhead['overhead_ratio']:.3f}x wall "
+            f"(sim_metrics_match={overhead['sim_metrics_match']})"
+        )
+    return results
+
+
+#: sim metrics the base and full-obs figure6 scenarios must agree on —
+#: the executable form of "observability never perturbs the simulation".
+_OBS_SHARED_METRICS = ("load_rps", "p99_us", "drop_pct", "goodput_rps")
+
+
+def _obs_overhead(scenarios):
+    """The observability cost block, when both figure6 variants ran.
+
+    ``overhead_ratio`` is full-obs wall time over base wall time for
+    the *identical* seeded workload (>1 means obs costs that factor);
+    ``sim_metrics_match`` asserts the shared latency/drop/goodput
+    metrics are exactly equal — the no-perturbation guarantee measured,
+    not assumed.  Returns None unless both scenarios are present.
+    """
+    base = scenarios.get("figure6_steady")
+    obs = scenarios.get("figure6_steady_obs")
+    if base is None or obs is None:
+        return None
+    match = all(
+        base["sim_metrics"].get(key) == obs["sim_metrics"].get(key)
+        for key in _OBS_SHARED_METRICS
+    )
+    return {
+        "base_wall_s": base["wall_s"],
+        "obs_wall_s": obs["wall_s"],
+        "overhead_ratio": (
+            obs["wall_s"] / base["wall_s"] if base["wall_s"] > 0 else 0.0
+        ),
+        "sim_metrics_match": match,
     }
 
 
@@ -515,6 +653,12 @@ _PROFILE_FIELDS = {
     "inclusive_s": (int, float),
     "calls": int,
 }
+_OBS_OVERHEAD_FIELDS = {
+    "base_wall_s": (int, float),
+    "obs_wall_s": (int, float),
+    "overhead_ratio": (int, float),
+    "sim_metrics_match": bool,
+}
 
 
 def _require(doc, fields, origin):
@@ -558,6 +702,17 @@ def validate_results(doc):
                     f"{origin}.sim_metrics[{metric!r}]: expected a number, "
                     f"got {type(value).__name__}"
                 )
+    overhead = doc.get("obs_overhead")
+    if overhead is not None:
+        _require(overhead, _OBS_OVERHEAD_FIELDS, "obs_overhead")
+        if overhead["base_wall_s"] <= 0 or overhead["obs_wall_s"] <= 0:
+            raise BenchSchemaError(
+                "obs_overhead: base_wall_s/obs_wall_s must be positive"
+            )
+        if not isinstance(overhead["sim_metrics_match"], bool):
+            raise BenchSchemaError(
+                "obs_overhead.sim_metrics_match: expected a bool"
+            )
     return doc
 
 
