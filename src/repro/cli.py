@@ -18,7 +18,9 @@ qdisc`` the queueing-discipline view (an SRPT figure_order point; see
 docs/scheduling-order.md), ``python -m repro slo`` the SLO/signal
 view (one closed-loop figure_adaptive point), and ``python -m repro
 promote`` the shadow/canary promotion pipeline (a figure_canary-style
-run; see docs/robustness.md); all are the same surfaces as the
+run; see docs/robustness.md), and ``python -m repro cores`` the
+elastic core-arbitration view (one figure_oversub elastic point; see
+docs/oversubscription.md); all are the same surfaces as the
 ``syrupctl`` console script — see docs/observability.md.
 """
 
@@ -37,6 +39,7 @@ from repro.experiments import (
     run_figure_fleet,
     run_figure_interference,
     run_figure_order,
+    run_figure_oversub,
     run_figure_tail,
     run_table2,
     run_table3,
@@ -69,6 +72,9 @@ _QUICK = {
                                           "blame_shed"]),
     "figure_order": dict(loads=[120_000, 240_000], duration_us=120_000.0,
                          warmup_us=30_000.0),
+    "figure_oversub": dict(duration_us=160_000.0, warmup_us=16_000.0,
+                           variants=["static_2_3", "static_3_2",
+                                     "elastic"]),
     "figure_tail": dict(loads=[120_000], duration_us=120_000.0,
                         warmup_us=30_000.0),
     "table2": dict(samples=128),
@@ -87,6 +93,7 @@ _RUNNERS = {
     "figure_fleet": run_figure_fleet,
     "figure_interference": run_figure_interference,
     "figure_order": run_figure_order,
+    "figure_oversub": run_figure_oversub,
     "figure_tail": run_figure_tail,
     "table2": run_table2,
     "table3": run_table3,
@@ -102,11 +109,11 @@ def _build_parser():
         "experiment",
         choices=sorted(_RUNNERS) + ["all", "stats", "timeline", "health",
                                     "qdisc", "fleet", "slo", "promote",
-                                    "tenants"],
+                                    "tenants", "cores"],
         help=(
             "which experiment to run ('all' runs every one; 'stats', "
-            "'timeline', 'health', 'qdisc', 'fleet', 'slo', 'promote' "
-            "and 'tenants' render the syrupctl demos)"
+            "'timeline', 'health', 'qdisc', 'fleet', 'slo', 'promote', "
+            "'tenants' and 'cores' render the syrupctl demos)"
         ),
     )
     parser.add_argument(
@@ -153,6 +160,8 @@ def _kwargs_for(name, args):
             # two loads = one (victim, aggressor) pair
             kwargs["loads"] = [(args.loads[0],
                                 args.loads[1 if len(args.loads) > 1 else 0])]
+        elif name == "figure_oversub":
+            kwargs["base_rps"] = args.loads[0]  # per-app baseline RPS
         else:
             key = "ls_loads" if name == "figure7" else "loads"
             kwargs[key] = args.loads
@@ -182,7 +191,7 @@ _PLOT_AXES = {
 def main(argv=None):
     args = _build_parser().parse_args(argv)
     if args.experiment in ("stats", "timeline", "health", "qdisc", "fleet",
-                           "slo", "promote", "tenants"):
+                           "slo", "promote", "tenants", "cores"):
         from repro import syrupctl
 
         kwargs = {}
@@ -213,6 +222,9 @@ def main(argv=None):
         elif args.experiment == "tenants":
             machine = syrupctl.run_tenants_demo(**kwargs)
             text = syrupctl.render_tenants(machine)
+        elif args.experiment == "cores":
+            machine = syrupctl.run_cores_demo(**kwargs)
+            text = syrupctl.render_cores(machine)
         else:
             machine = syrupctl.run_timeline_demo(**kwargs)
             text = syrupctl.render_timeline(machine)

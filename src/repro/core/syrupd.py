@@ -328,10 +328,16 @@ class Syrupd:
 
     def _deploy_thread_policy(self, app, policy):
         scheduler = self.machine.scheduler
+        # Elastic machines (repro.kernel.arbiter) front a facade; the
+        # app's own scheduling class is what the agent drives.
+        resolve = getattr(scheduler, "class_for_app", None)
+        if resolve is not None:
+            scheduler = resolve(app.name)
         if not isinstance(scheduler, GhostScheduler):
             raise ValueError(
-                "Thread Scheduler hook requires the machine to run the "
-                "ghOSt scheduling class (Machine(scheduler='ghost'))"
+                "Thread Scheduler hook requires the app's threads to run "
+                "under the ghOSt scheduling class (Machine("
+                "scheduler='ghost'), or an elastic ghost class)"
             )
         if not hasattr(policy, "schedule"):
             raise TypeError(

@@ -17,6 +17,7 @@ from repro.experiments.figure_faults import run_figure_faults
 from repro.experiments.figure_fleet import run_figure_fleet
 from repro.experiments.figure_interference import run_figure_interference
 from repro.experiments.figure_order import run_figure_order
+from repro.experiments.figure_oversub import run_figure_oversub
 from repro.experiments.figure_tail import run_figure_tail
 from repro.experiments.table2 import run_table2
 from repro.experiments.table3 import run_table3
@@ -33,6 +34,7 @@ __all__ = [
     "run_figure_fleet",
     "run_figure_interference",
     "run_figure_order",
+    "run_figure_oversub",
     "run_figure_tail",
     "run_table2",
     "run_table3",

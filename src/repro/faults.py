@@ -341,6 +341,20 @@ class FaultInjector:
         self.machine.syrupd.handle_offload_restore()
 
     def _inject_core_stall(self, spec):
+        # Elastic machines route the stall through the arbiter: the
+        # granted app core is force-revoked (its work migrates) and the
+        # owner is backfilled from the free pool or a surplus class
+        # (docs/oversubscription.md).  Without an arbiter the stall
+        # lands on a softirq core, exactly as before.
+        arbiter = getattr(self.machine, "arbiter", None)
+        if arbiter is not None:
+            record = arbiter.stall(spec.core, spec.duration_us)
+            self._note(FaultKind.CORE_STALL, core=record["cid"],
+                       duration_us=spec.duration_us, scope="app_core",
+                       victim=record["victim"],
+                       backfill=record["backfill"],
+                       lender=record["lender"])
+            return
         servers = self.machine.netstack.softirq
         server = servers[spec.core % len(servers)]
         accepted = server.submit(spec.duration_us, _noop)

@@ -81,6 +81,9 @@ class GhostAgent:
         self.messages_processed = 0
         self.commits = 0
         self.failed_commits = 0
+        # Commits killed by a core revocation (abort_inflight), kept
+        # separate from failed_commits: these never reached the kernel.
+        self.revocation_aborts = 0
         self.preemptions = 0
         self.policy_errors = 0
         self.last_error = None
@@ -121,6 +124,26 @@ class GhostAgent:
             if core.pending_commit is not None:
                 self.scheduler.spans.placement_abort(core.pending_commit)
             core.pending_commit = None
+
+    def abort_inflight(self):
+        """Revocation barrier: kill every in-flight commit transaction.
+
+        Reuses the crash path's commit-epoch guard — the epoch bump
+        makes any already-scheduled ``_commit_effect`` a no-op even
+        though its engine event still fires, exactly as post-crash
+        commits are discarded.  The aborted threads stay RUNNABLE and
+        are re-placed on the next decision pass (the CORE_REVOKED
+        message that follows a revocation triggers it).
+        """
+        if self.crashed:
+            return  # crash() already aborted everything
+        self._epoch += 1
+        self._pending_threads.clear()
+        for core in self.scheduler.cores:
+            if core.pending_commit is not None:
+                self.scheduler.spans.placement_abort(core.pending_commit)
+                core.pending_commit = None
+                self.revocation_aborts += 1
 
     def restart(self):
         """Bring a crashed agent back; re-evaluates the enclave state.

@@ -9,6 +9,10 @@ class MessageKind:
     THREAD_BLOCKED = "thread_blocked"
     THREAD_PREEMPTED = "thread_preempted"
     THREAD_DEPARTED = "thread_departed"
+    # Elastic core arbitration (repro.kernel.arbiter): the enclave's
+    # core set changed.  ``thread`` is None; ``core`` names the cid.
+    CORE_GRANTED = "core_granted"
+    CORE_REVOKED = "core_revoked"
 
     ALL = (
         THREAD_CREATED,
@@ -16,6 +20,8 @@ class MessageKind:
         THREAD_BLOCKED,
         THREAD_PREEMPTED,
         THREAD_DEPARTED,
+        CORE_GRANTED,
+        CORE_REVOKED,
     )
 
 
@@ -34,4 +40,5 @@ class Message:
 
     def __repr__(self):
         where = f" core={self.core}" if self.core is not None else ""
-        return f"<Message {self.kind} tid={self.thread.tid}{where} t={self.time:.1f}>"
+        tid = self.thread.tid if self.thread is not None else None
+        return f"<Message {self.kind} tid={tid}{where} t={self.time:.1f}>"

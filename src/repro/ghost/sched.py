@@ -34,6 +34,37 @@ class GhostScheduler(ThreadScheduler):
         super().attach(thread)
         self._notify(MessageKind.THREAD_CREATED, thread)
 
+    # -- elastic core grants (repro.kernel.arbiter) -----------------------
+    def add_core(self, core):
+        """Accept a granted core; the agent learns and re-decides."""
+        if core in self.cores:
+            return
+        self.cores.append(core)
+        self._notify(MessageKind.CORE_GRANTED, None, core.cid)
+
+    def remove_core(self, core):
+        """Release a revoked core without stranding its work.
+
+        Every in-flight commit transaction is aborted first through the
+        agent's commit-epoch guard (a commit landing on a core that is
+        no longer ours must not take effect); the running thread is
+        then preempted with partial progress kept and handed back to
+        the agent as a THREAD_PREEMPTED message, followed by the
+        CORE_REVOKED notification that triggers a re-decide over the
+        surviving cores.
+        """
+        if self.agent is not None:
+            self.agent.abort_inflight()
+        elif core.pending_commit is not None:
+            self.spans.placement_abort(core.pending_commit)
+            core.pending_commit = None
+        victim = self.preempt(core)
+        core.last_blocked = None
+        self.cores.remove(core)
+        if victim is not None:
+            self._notify(MessageKind.THREAD_PREEMPTED, victim, core.cid)
+        self._notify(MessageKind.CORE_REVOKED, None, core.cid)
+
     def wake(self, thread):
         thread.state = RUNNABLE
         self.spans.thread_runnable(thread)
@@ -53,6 +84,8 @@ class GhostScheduler(ThreadScheduler):
         CPU.
         """
         core.pending_commit = None
+        if core not in self.cores:
+            return False  # revoked between decision and IPI landing
         if thread.state != RUNNABLE or not thread.ensure_work():
             return False
         if core.thread is thread:

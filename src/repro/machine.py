@@ -45,11 +45,11 @@ class Machine:
                  metrics=False, event_capacity=4096, timeseries=None,
                  timeseries_capacity=1024, faults=None, health=None,
                  spans=None, spans_capacity=4096, signals=None, slo=None,
-                 accounting=False):
-        if scheduler not in _SCHEDULERS:
+                 accounting=False, elastic=None):
+        if scheduler not in _SCHEDULERS and scheduler != "elastic":
             raise ValueError(
-                f"scheduler must be one of {sorted(_SCHEDULERS)}, "
-                f"got {scheduler!r}"
+                f"scheduler must be one of "
+                f"{sorted(_SCHEDULERS) + ['elastic']}, got {scheduler!r}"
             )
         self.config = config if config is not None else MachineConfig()
         self.costs = self.config.costs
@@ -111,6 +111,11 @@ class Machine:
         self.streams = RngStreams(seed)
         self.cores = [Core(i) for i in range(self.config.num_app_cores)]
         self.scheduler_kind = scheduler
+        # Elastic core arbitration (repro.kernel.arbiter): None unless
+        # scheduler="elastic" — the null-twin default allocates nothing
+        # and leaves every other mode bit-identical.
+        self.arbiter = None
+        self.agent_cores = []
         if scheduler == "ghost":
             if len(self.cores) < 2:
                 raise ValueError("ghOSt needs at least 2 cores (1 for the agent)")
@@ -121,9 +126,21 @@ class Machine:
         else:
             self.agent_core = None
             sched_cores = self.cores
-        self.scheduler = _SCHEDULERS[scheduler](
-            self.engine, sched_cores, self.costs
-        )
+        if scheduler == "elastic":
+            # Deferred import keeps the default path allocation-free.
+            from repro.kernel.arbiter import build_elastic
+
+            self.scheduler, self.arbiter, self.agent_cores = build_elastic(
+                self, elastic
+            )
+        else:
+            if elastic is not None:
+                raise ValueError(
+                    "elastic= spec requires Machine(scheduler='elastic')"
+                )
+            self.scheduler = _SCHEDULERS[scheduler](
+                self.engine, sched_cores, self.costs
+            )
         self.scheduler.spans = self.obs.spans
         self.scheduler.acct = self.obs.acct
         salt = self.streams.get("rss-salt").getrandbits(32)

@@ -59,7 +59,7 @@ class TenantLedger:
     """One tenant's resource consumption on one machine."""
 
     __slots__ = ("tenant", "cpu_service_us", "policy_exec_us", "completed",
-                 "wait_us", "wait_events", "drops")
+                 "wait_us", "wait_events", "drops", "core_occupancy_us")
 
     def __init__(self, tenant):
         self.tenant = tenant
@@ -69,6 +69,9 @@ class TenantLedger:
         self.wait_us = {layer: 0.0 for layer in LAYERS}
         self.wait_events = {layer: 0 for layer in LAYERS}
         self.drops = {}  # reason -> count
+        # Core-seconds held via elastic grants (repro.kernel.arbiter
+        # books closed occupancy segments here); 0.0 without an arbiter.
+        self.core_occupancy_us = 0.0
 
     def charge_wait(self, layer, us):
         self.wait_us[layer] += us
@@ -93,6 +96,7 @@ class TenantLedger:
             "wait_us": dict(self.wait_us),
             "wait_events": dict(self.wait_events),
             "drops": dict(sorted(self.drops.items())),
+            "core_occupancy_us": self.core_occupancy_us,
         }
 
     def __repr__(self):
@@ -145,6 +149,13 @@ class TenantAccountant:
         if led is None:
             led = self.ledgers[tenant] = TenantLedger(tenant)
         return led
+
+    def book_core_occupancy(self, tenant, us):
+        """Credit ``us`` of held-core time to ``tenant`` (the arbiter
+        calls this when an occupancy segment closes)."""
+        if tenant is None or us <= 0.0:
+            return
+        self.ledger(tenant).core_occupancy_us += us
 
     def _charge_blame(self, victim, layer, wait_us, ahead):
         """Split a measured wait across the tenants whose work was ahead
@@ -394,6 +405,9 @@ class NullTenantAccountant:
         pass
 
     def qdisc_dequeued(self, packet):
+        pass
+
+    def book_core_occupancy(self, tenant, us):
         pass
 
     def thread_runnable(self, thread):

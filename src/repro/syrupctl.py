@@ -26,6 +26,7 @@ from repro.stats.results import Table
 __all__ = [
     "dump_map",
     "main",
+    "render_cores",
     "render_deployments",
     "render_events",
     "render_fleet",
@@ -40,6 +41,7 @@ __all__ = [
     "render_tail",
     "render_tenants",
     "render_timeline",
+    "run_cores_demo",
     "run_faults_demo",
     "run_fleet_demo",
     "run_promote_demo",
@@ -295,6 +297,64 @@ def render_tenants(machine):
                     f"({us:.0f}us, {100.0 * share:.0f}% of that layer)"
                 )
     return rendered
+
+
+def render_cores(machine, width=64):
+    """The elastic-core console: per-class grants plus occupancy lanes.
+
+    One row per scheduling class registered with the
+    :class:`~repro.kernel.arbiter.CoreArbiter` — floor, currently held
+    cores, cumulative grants/revocations, time-averaged occupancy (in
+    cores) and instantaneous pressure — followed by one ASCII lane per
+    pool core showing which class owned it over the run (legend letter
+    per class, ``.`` = unowned / before the recorded window).
+    """
+    arbiter = getattr(machine, "arbiter", None)
+    if arbiter is None:
+        return (
+            "no core arbiter on this machine (construct it with "
+            "Machine(scheduler='elastic', elastic=ElasticSpec()...))"
+        )
+    snap = arbiter.view()
+    now = max(snap["now_us"], 1e-9)
+    table = Table(
+        f"syrup cores t={snap['now_us']:.0f}us "
+        f"pool={len(snap['pool'])} moves={snap['moves']} "
+        f"stalls={snap['stalls']}",
+        ["class", "floor", "cores", "grants", "revocations",
+         "occ_cores", "pressure"],
+    )
+    letters = {}
+    for index, entry in enumerate(snap["classes"]):
+        letters[entry["name"]] = chr(ord("A") + index % 26)
+        table.add(**{
+            "class": entry["name"],
+            "floor": entry["floor"],
+            "cores": ",".join(str(c) for c in entry["cores"]) or "-",
+            "grants": entry["grants"],
+            "revocations": entry["revocations"],
+            "occ_cores": round(entry["occupancy_us"] / now, 2),
+            "pressure": entry["pressure"],
+        })
+    lines = [table.render(), "", "== occupancy timeline =="]
+    lines.append("  ".join(
+        f"{letter}={name}" for name, letter in letters.items()
+    ) + "  .=unowned")
+    bucket = now / width
+    for cid in snap["pool"]:
+        segments = snap["timeline"].get(cid, [])
+        lane = []
+        for col in range(width):
+            t = (col + 0.5) * bucket
+            char = "."
+            for seg in segments:
+                if seg["start_us"] <= t < seg["end_us"]:
+                    char = letters.get(seg["owner"], "?")
+                    break
+            lane.append(char)
+        stalled = " [stalled]" if cid in snap["stalled"] else ""
+        lines.append(f"core {cid:>2} |{''.join(lane)}|{stalled}")
+    return "\n".join(lines)
 
 
 def render_maps(machine, max_entries=8):
@@ -805,6 +865,28 @@ def run_tenants_demo(load=60_000, duration_ms=120.0, seed=3,
     return machine
 
 
+def run_cores_demo(load=25_000, duration_ms=200.0, seed=5):
+    """Drive the canned elastic-arbitration demo: one figure_oversub point.
+
+    The ``elastic`` variant of ``figure_oversub`` — *search* (a ghOSt
+    enclave) and *batch* (CFS) sharing the arbitrated core pool under
+    anti-correlated flash crowds, with the
+    :class:`~repro.kernel.arbiter.ElasticCoreController` chasing the
+    bursts — so ``syrupctl cores`` renders grants moving back and
+    forth between the classes.  ``load`` is each app's baseline RPS.
+    Returns the finished machine for rendering.
+    """
+    from repro.experiments.figure_oversub import PEAK_FACTOR, run_variant
+
+    duration_us = duration_ms * 1000.0
+    machine, gen_search, _gen_batch, controller = run_variant(
+        "elastic", load, PEAK_FACTOR, duration_us, duration_us * 0.1, seed,
+    )
+    machine.demo_generator = gen_search
+    machine.demo_controller = controller
+    return machine
+
+
 def run_fleet_demo(load=500_000, duration_ms=60.0, seed=7,
                    num_machines=48, steering="power_of_two"):
     """Drive the canned rack demo: one figure_fleet-style run.
@@ -855,7 +937,7 @@ def main(argv=None):
         "view",
         choices=["stats", "status", "maps", "events", "timeline", "health",
                  "spans", "tail", "qdisc", "fleet", "slo", "promote",
-                 "tenants"],
+                 "tenants", "cores"],
         help="which surface to render",
     )
     parser.add_argument("--load", type=int, default=None,
@@ -995,6 +1077,20 @@ def main(argv=None):
                              sort_keys=True))
         else:
             print(render_tenants(machine))
+    elif args.view == "cores":
+        kwargs = {}
+        if args.load is not None:
+            kwargs["load"] = args.load
+        if args.duration_ms is not None:
+            kwargs["duration_ms"] = args.duration_ms
+        if args.seed is not None:
+            kwargs["seed"] = args.seed
+        machine = run_cores_demo(**kwargs)
+        if args.json:
+            print(json.dumps(machine.arbiter.view(), indent=2,
+                             sort_keys=True))
+        else:
+            print(render_cores(machine))
     elif args.view in ("spans", "tail"):
         kwargs = {"spans_every": args.spans_every}
         if args.load is not None:

@@ -33,6 +33,11 @@ class OpenLoopGenerator:
         tenant: tenant name stamped on every request for per-tenant
             accounting (repro.obs.accounting); None (default) leaves
             requests tenant-less and the accountant untouched.
+        envelope: optional :class:`~repro.workload.weather.Envelope`
+            modulating the offered rate over time (traffic weather).
+            Gaps are divided by the envelope's factor at the interval
+            start — no extra RNG draws, so ``None`` (the default) is
+            bit-identical to builds without envelopes.
     """
 
     def __init__(
@@ -48,6 +53,7 @@ class OpenLoopGenerator:
         key_space=10000,
         stream="client",
         tenant=None,
+        envelope=None,
     ):
         if rate_rps <= 0:
             raise ValueError("rate_rps must be positive")
@@ -61,6 +67,7 @@ class OpenLoopGenerator:
         self.user_id = user_id
         self.key_space = key_space
         self.tenant = tenant
+        self.envelope = envelope
         self.rng = machine.streams.get(f"{stream}/arrivals")
         self.service_rng = machine.streams.get(f"{stream}/service")
         flow_rng = machine.streams.get(f"{stream}/flows")
@@ -88,10 +95,15 @@ class OpenLoopGenerator:
         self.on_latency = None
 
     # ------------------------------------------------------------------
+    def _gap_us(self):
+        gap = self.rng.expovariate(1.0) * self._mean_gap_us
+        if self.envelope is not None:
+            gap /= max(self.envelope.rate_factor(self.engine.now), 1e-9)
+        return gap
+
     def start(self):
         """Begin generating; returns self for chaining."""
-        self.engine.schedule(self.rng.expovariate(1.0) * self._mean_gap_us,
-                             self._arrival)
+        self.engine.schedule(self._gap_us(), self._arrival)
         return self
 
     def stop(self):
@@ -103,9 +115,7 @@ class OpenLoopGenerator:
         if self._stopped or now >= self.duration_us:
             return
         self._send_one(now)
-        self.engine.schedule(
-            self.rng.expovariate(1.0) * self._mean_gap_us, self._arrival
-        )
+        self.engine.schedule(self._gap_us(), self._arrival)
 
     def _send_one(self, now):
         self._next_rid += 1

@@ -6,10 +6,14 @@ carry no service time here — the MICA server derives per-request CPU costs
 from its own cost model (data movement is what Figure 9 measures).
 """
 
+import math
+
 from repro.workload.requests import GET, PUT, SCAN
 
 __all__ = [
+    "BoundedPareto",
     "GET_ONLY",
+    "GET_PARETO",
     "GET_SCAN_50_50",
     "GET_SCAN_995_005",
     "MICA_50_50",
@@ -18,10 +22,57 @@ __all__ = [
 ]
 
 
-class RequestMix:
-    """Weighted request types with per-type uniform service distributions.
+class BoundedPareto:
+    """Heavy-tailed service times: Pareto(alpha) truncated to [L, H].
 
-    ``components`` is a list of ``(rtype, weight, (low_us, high_us))``.
+    Drawn by inverse CDF from a single uniform variate —
+    ``x = (L^-a - u*(L^-a - H^-a))^(-1/a)`` — so a mix component swaps
+    from uniform to bounded-Pareto without changing the number of RNG
+    draws per request (determinism tests rely on that).  The bounded
+    tail keeps capacity planning honest: ``mean()`` is closed-form, and
+    no single request exceeds ``high_us``.
+    """
+
+    __slots__ = ("alpha", "low_us", "high_us")
+
+    def __init__(self, alpha, low_us, high_us):
+        if alpha <= 0:
+            raise ValueError("alpha must be positive")
+        if not 0 < low_us < high_us:
+            raise ValueError("need 0 < low_us < high_us")
+        self.alpha = float(alpha)
+        self.low_us = float(low_us)
+        self.high_us = float(high_us)
+
+    def sample(self, rng):
+        u = rng.random()
+        la = self.low_us ** -self.alpha
+        ha = self.high_us ** -self.alpha
+        return (la - u * (la - ha)) ** (-1.0 / self.alpha)
+
+    def mean(self):
+        a, low, high = self.alpha, self.low_us, self.high_us
+        norm = 1.0 - (low / high) ** a
+        if a == 1.0:
+            return low / norm * math.log(high / low)
+        return (a * low ** a / norm) * (
+            (low ** (1.0 - a) - high ** (1.0 - a)) / (a - 1.0)
+        )
+
+    def __repr__(self):
+        return (
+            f"<BoundedPareto a={self.alpha:g} "
+            f"[{self.low_us:g}, {self.high_us:g}]us>"
+        )
+
+
+class RequestMix:
+    """Weighted request types with per-type service distributions.
+
+    ``components`` is a list of ``(rtype, weight, dist)`` where ``dist``
+    is either a ``(low_us, high_us)`` uniform range or an object with
+    ``sample(rng) -> us`` and ``mean() -> us`` (e.g.
+    :class:`BoundedPareto`).
     """
 
     def __init__(self, name, components):
@@ -45,12 +96,16 @@ class RequestMix:
             if roll < acc:
                 rtype, dist = candidate, cdist
                 break
+        if hasattr(dist, "sample"):
+            return rtype, dist.sample(rng)
         low, high = dist
         return rtype, rng.uniform(low, high)
 
     def mean_service_us(self):
         return sum(
-            w * (dist[0] + dist[1]) / 2.0 for _, w, dist in self.components
+            w * (dist.mean() if hasattr(dist, "mean")
+                 else (dist[0] + dist[1]) / 2.0)
+            for _, w, dist in self.components
         )
 
     def __repr__(self):
@@ -65,6 +120,12 @@ SCAN_SERVICE = (650.0, 750.0)
 
 #: §2.1 / Figure 2: homogeneous GETs.
 GET_ONLY = RequestMix("get-only", [(GET, 1.0, GET_SERVICE)])
+
+#: Heavy-tailed GETs (figure_oversub's batch app): bounded Pareto with
+#: mean ~11.3 us — same capacity footprint as GET_ONLY, fatter tail.
+GET_PARETO = RequestMix(
+    "get-pareto", [(GET, 1.0, BoundedPareto(2.0, 6.0, 100.0))]
+)
 
 #: §5.2 / Figure 6 (Shinjuku-style): 99.5% GET, 0.5% SCAN.
 GET_SCAN_995_005 = RequestMix(

@@ -1,0 +1,123 @@
+"""Traffic weather: deterministic rate-modulation envelopes.
+
+An :class:`Envelope` maps simulated time to a multiplicative factor on
+an :class:`~repro.workload.generator.OpenLoopGenerator`'s offered rate
+— the single-machine analogue of the fleet tier's diurnal load shaping.
+The generator draws its exponential inter-arrival gap exactly as
+before, then divides it by the envelope's factor at the interval's
+start (a standard time-rescaling approximation of an inhomogeneous
+Poisson process: factor evaluation adds **no RNG draws**, so an
+``envelope=None`` run is bit-identical to builds without this module).
+
+Shapes:
+
+- :class:`FlashCrowd` — a trapezoidal burst: baseline, linear ramp to
+  ``peak``, hold, linear decay back (the anti-correlated demand spikes
+  ``figure_oversub`` throws at the core arbiter).
+- :class:`DiurnalSine` — a sinusoidal day/night swing around 1.0.
+- :class:`Composite` — pointwise product; build with ``a * b``.
+
+All shapes are pure functions of time — no state, no randomness — so
+runs remain reproducible and envelopes can be shared across
+generators.
+"""
+
+import math
+
+__all__ = ["Composite", "DiurnalSine", "Envelope", "FlashCrowd"]
+
+
+class Envelope:
+    """Base: a pure ``time -> rate factor`` function (factor >= 0)."""
+
+    def rate_factor(self, t_us):
+        raise NotImplementedError
+
+    def __mul__(self, other):
+        return Composite(self, other)
+
+
+class FlashCrowd(Envelope):
+    """Trapezoidal burst: 1.0 outside, ``peak`` inside.
+
+    ``start_us`` begins the linear ramp (``ramp_us`` long) up to
+    ``peak``; the peak holds for ``hold_us``; a linear decay
+    (``decay_us``, defaults to ``ramp_us``) returns to baseline.
+    """
+
+    def __init__(self, start_us, ramp_us, hold_us, peak, decay_us=None):
+        if peak <= 0:
+            raise ValueError("peak must be positive")
+        if ramp_us < 0 or hold_us < 0:
+            raise ValueError("ramp/hold must be non-negative")
+        self.start_us = float(start_us)
+        self.ramp_us = float(ramp_us)
+        self.hold_us = float(hold_us)
+        self.peak = float(peak)
+        self.decay_us = float(ramp_us if decay_us is None else decay_us)
+
+    def rate_factor(self, t_us):
+        t = t_us - self.start_us
+        if t < 0:
+            return 1.0
+        if t < self.ramp_us:
+            return 1.0 + (self.peak - 1.0) * (t / self.ramp_us)
+        t -= self.ramp_us
+        if t < self.hold_us:
+            return self.peak
+        t -= self.hold_us
+        if t < self.decay_us:
+            return self.peak - (self.peak - 1.0) * (t / self.decay_us)
+        return 1.0
+
+    def end_us(self):
+        return self.start_us + self.ramp_us + self.hold_us + self.decay_us
+
+    def __repr__(self):
+        return (
+            f"<FlashCrowd x{self.peak:g} "
+            f"[{self.start_us:.0f}..{self.end_us():.0f}]us>"
+        )
+
+
+class DiurnalSine(Envelope):
+    """``1 + depth * sin(2*pi*(t + phase)/period)``, clipped at 0.
+
+    ``depth`` in [0, 1] keeps the factor non-negative without
+    clipping; the fleet tier uses the same day/night shape.
+    """
+
+    def __init__(self, period_us, depth, phase_us=0.0):
+        if period_us <= 0:
+            raise ValueError("period must be positive")
+        if depth < 0:
+            raise ValueError("depth must be non-negative")
+        self.period_us = float(period_us)
+        self.depth = float(depth)
+        self.phase_us = float(phase_us)
+
+    def rate_factor(self, t_us):
+        factor = 1.0 + self.depth * math.sin(
+            2.0 * math.pi * (t_us + self.phase_us) / self.period_us
+        )
+        return max(0.0, factor)
+
+    def __repr__(self):
+        return (
+            f"<DiurnalSine period={self.period_us:.0f}us "
+            f"depth={self.depth:g}>"
+        )
+
+
+class Composite(Envelope):
+    """Pointwise product of two envelopes (``a * b``)."""
+
+    def __init__(self, left, right):
+        self.left = left
+        self.right = right
+
+    def rate_factor(self, t_us):
+        return self.left.rate_factor(t_us) * self.right.rate_factor(t_us)
+
+    def __repr__(self):
+        return f"<Composite {self.left!r} * {self.right!r}>"

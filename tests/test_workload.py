@@ -9,11 +9,14 @@ from repro.apps.rocksdb import RocksDbServer
 from repro.workload.generator import OpenLoopGenerator
 from repro.workload.mixes import (
     GET_ONLY,
+    GET_PARETO,
     GET_SCAN_50_50,
     GET_SCAN_995_005,
+    BoundedPareto,
     RequestMix,
 )
 from repro.workload.requests import GET, SCAN, Request, type_name
+from repro.workload.weather import DiurnalSine, FlashCrowd
 
 
 def test_mix_weights_normalized():
@@ -148,3 +151,136 @@ def test_generator_rejects_bad_rate():
     machine.register_app("app", ports=[8080])
     with pytest.raises(ValueError):
         OpenLoopGenerator(machine, 8080, 0, GET_ONLY, duration_us=1000)
+
+
+# ----------------------------------------------------------------------
+# Traffic weather (repro.workload.weather)
+# ----------------------------------------------------------------------
+def test_flash_crowd_trapezoid_shape():
+    burst = FlashCrowd(start_us=100.0, ramp_us=50.0, hold_us=200.0,
+                       peak=10.0)
+    assert burst.rate_factor(0.0) == 1.0
+    assert burst.rate_factor(99.9) == 1.0
+    assert burst.rate_factor(125.0) == pytest.approx(5.5)  # mid-ramp
+    assert burst.rate_factor(150.0) == 10.0
+    assert burst.rate_factor(349.9) == 10.0
+    assert burst.rate_factor(375.0) == pytest.approx(5.5)  # mid-decay
+    assert burst.rate_factor(400.0) == 1.0
+    assert burst.rate_factor(1e9) == 1.0
+    assert burst.end_us() == pytest.approx(400.0)
+
+
+def test_flash_crowd_asymmetric_decay_and_validation():
+    burst = FlashCrowd(0.0, ramp_us=10.0, hold_us=0.0, peak=3.0,
+                       decay_us=90.0)
+    assert burst.end_us() == pytest.approx(100.0)
+    assert burst.rate_factor(55.0) == pytest.approx(2.0)
+    with pytest.raises(ValueError):
+        FlashCrowd(0.0, 10.0, 10.0, peak=0.0)
+    with pytest.raises(ValueError):
+        FlashCrowd(0.0, -1.0, 10.0, peak=2.0)
+
+
+def test_diurnal_sine_bounds_and_phase():
+    day = DiurnalSine(period_us=1000.0, depth=0.4)
+    values = [day.rate_factor(t) for t in range(0, 1000, 25)]
+    assert max(values) == pytest.approx(1.4, abs=1e-3)
+    assert min(values) == pytest.approx(0.6, abs=1e-3)
+    assert day.rate_factor(0.0) == pytest.approx(1.0)
+    shifted = DiurnalSine(period_us=1000.0, depth=0.4, phase_us=250.0)
+    assert shifted.rate_factor(0.0) == pytest.approx(1.4)
+    # depth > 1 clips at zero instead of going negative
+    deep = DiurnalSine(period_us=1000.0, depth=2.0)
+    assert deep.rate_factor(750.0) == 0.0
+    with pytest.raises(ValueError):
+        DiurnalSine(period_us=0.0, depth=0.5)
+
+
+def test_envelope_composition_is_pointwise_product():
+    burst = FlashCrowd(0.0, 10.0, 10.0, peak=4.0)
+    day = DiurnalSine(period_us=100.0, depth=0.5)
+    both = burst * day
+    for t in (0.0, 5.0, 15.0, 80.0):
+        assert both.rate_factor(t) == pytest.approx(
+            burst.rate_factor(t) * day.rate_factor(t)
+        )
+
+
+def test_unit_envelope_is_bit_identical_to_none():
+    """A peak-1.0 envelope divides every gap by exactly 1.0, so the run
+    must match an envelope-free run sample for sample."""
+    flat = FlashCrowd(start_us=0.0, ramp_us=1.0, hold_us=1e9, peak=1.0)
+    runs = []
+    for envelope in (None, flat):
+        machine, gen = make_gen(rate=60_000, duration=40_000,
+                                envelope=envelope)
+        gen.start()
+        machine.run()
+        runs.append((tuple(gen.latency._samples), gen.sent_in_window(),
+                     machine.now))
+    assert runs[0] == runs[1]
+
+
+def test_envelope_modulates_offered_rate():
+    burst = FlashCrowd(start_us=0.0, ramp_us=1_000.0, hold_us=98_000.0,
+                       peak=3.0)
+    machine, gen = make_gen(rate=50_000, duration=100_000,
+                            envelope=burst)
+    gen.start()
+    machine.run()
+    # ~3x 50K RPS over ~0.1s = ~15K requests
+    assert 12_000 < gen.sent_in_window() < 18_000
+
+
+# ----------------------------------------------------------------------
+# Bounded Pareto (figure_oversub's heavy-tailed batch service times)
+# ----------------------------------------------------------------------
+def test_bounded_pareto_stays_in_bounds():
+    dist = BoundedPareto(2.0, 6.0, 100.0)
+    rng = random.Random(7)
+    draws = [dist.sample(rng) for _ in range(5000)]
+    assert min(draws) >= 6.0
+    assert max(draws) <= 100.0
+    # heavy tail: the max should get near the truncation bound
+    assert max(draws) > 60.0
+
+
+def test_bounded_pareto_mean_matches_samples():
+    dist = BoundedPareto(2.0, 6.0, 100.0)
+    rng = random.Random(11)
+    empirical = sum(dist.sample(rng) for _ in range(20000)) / 20000
+    assert empirical == pytest.approx(dist.mean(), rel=0.05)
+    # alpha == 1 takes the logarithmic branch of the closed form
+    log_dist = BoundedPareto(1.0, 1.0, 10.0)
+    rng = random.Random(12)
+    empirical = sum(log_dist.sample(rng) for _ in range(20000)) / 20000
+    assert empirical == pytest.approx(log_dist.mean(), rel=0.05)
+
+
+def test_bounded_pareto_validation():
+    with pytest.raises(ValueError):
+        BoundedPareto(0.0, 1.0, 10.0)
+    with pytest.raises(ValueError):
+        BoundedPareto(2.0, 10.0, 10.0)
+    with pytest.raises(ValueError):
+        BoundedPareto(2.0, -1.0, 10.0)
+
+
+def test_pareto_mix_draws_same_rng_count_as_uniform():
+    """Swapping a uniform component for BoundedPareto must not change
+    the number of RNG draws per sample (determinism of shared
+    streams)."""
+    r_uniform, r_pareto = random.Random(42), random.Random(42)
+    for _ in range(200):
+        GET_ONLY.sample(r_uniform)
+        GET_PARETO.sample(r_pareto)
+    assert r_uniform.random() == r_pareto.random()
+
+
+def test_pareto_mix_is_deterministic():
+    a = [GET_PARETO.sample(random.Random(3)) for _ in range(5)]
+    b = [GET_PARETO.sample(random.Random(3)) for _ in range(5)]
+    assert a == b
+    assert GET_PARETO.mean_service_us() == pytest.approx(
+        BoundedPareto(2.0, 6.0, 100.0).mean()
+    )

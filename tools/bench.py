@@ -492,6 +492,40 @@ def _figure_interference_blame(smoke):
     return testbed.machine, collect
 
 
+def _figure_oversub_elastic(smoke):
+    """figure_oversub's elastic variant: the core-arbitration plane live.
+
+    A ghOSt enclave (search) and CFS (batch) competing for the
+    arbitrated pool under anti-correlated flash crowds, per-class
+    pressure signals on the bus, and the ElasticCoreController moving
+    cores — prices grants/revocations (CFS queue migration, ghost
+    commit-epoch aborts) plus occupancy bookkeeping under the profiler.
+    """
+    from repro.experiments.figure_oversub import stage_variant
+
+    duration_us = 60_000.0 if smoke else 400_000.0
+    warmup_us = duration_us * 0.1
+    machine, gen_search, gen_batch, _controller = stage_variant(
+        "elastic", 25_000, 10.0, duration_us, warmup_us, seed=5,
+    )
+
+    def collect():
+        arbiter = machine.arbiter
+        arbiter.settle()
+        elapsed = max(machine.now, 1e-9)
+        return {
+            "search_p99_us": gen_search.latency.p99(),
+            "batch_p99_us": gen_batch.latency.p99(),
+            "search_drop_pct": 100.0 * gen_search.drop_fraction(),
+            "batch_drop_pct": 100.0 * gen_batch.drop_fraction(),
+            "core_moves": arbiter.moves,
+            "search_occ_cores": arbiter.occupancy_us("search") / elapsed,
+            "batch_occ_cores": arbiter.occupancy_us("batch") / elapsed,
+        }
+
+    return machine, collect
+
+
 SCENARIOS = {
     "figure6_steady": _figure6_steady,
     "figure6_steady_obs": _figure6_steady_obs,
@@ -504,6 +538,7 @@ SCENARIOS = {
     "figure_order_qdisc": _figure_order_qdisc,
     "figure_fleet_steering": _figure_fleet,
     "figure_canary_promotion": _figure_canary_promotion,
+    "figure_oversub_elastic": _figure_oversub_elastic,
 }
 
 
